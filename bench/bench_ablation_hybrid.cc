@@ -1,0 +1,72 @@
+// Ablation for the paper's §6.2 claim that a combined MinMax-SuperEGO
+// would beat SuperEGO if it could run on non-normalized data. Compares,
+// per VK-family couple:
+//   Ex-MinMax        — the paper's best exact method (sorted-buffer scan);
+//   Ex-SuperEGO      — normalized float grid (fast but lossy on VK data);
+//   IntEGO (plain)   — SuperEGO recursion on the INTEGER grid, plain
+//                      nested-loop leaves (exact accuracy, no encoding);
+//   Ex-MinMaxEGO     — the hybrid: integer grid + MinMax-encoded leaves.
+// The hybrid should match Ex-MinMax's accuracy exactly while approaching
+// Ex-SuperEGO's speed, and the encoded leaf should beat the plain leaf.
+
+#include <cstdio>
+
+#include "core/method.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("scale", "16", "divide the paper's community sizes");
+  flags.Define("seed", "2024", "master seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto scale = static_cast<uint32_t>(flags.GetInt("scale"));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::printf(
+      "Ablation: the MinMax-SuperEGO hybrid of paper §6.2 (VK family, "
+      "scale 1/%u, eps = %u)\n\n",
+      scale == 0 ? 1 : scale, csj::data::kVkEpsilon);
+
+  csj::util::TablePrinter table({"cID", "Ex-MinMax", "Ex-SuperEGO",
+                                 "IntEGO plain leaf", "Ex-MinMaxEGO",
+                                 "size_B | size_A"});
+  for (const csj::data::CaseStudyCouple& study :
+       csj::data::DifferentCategoryCouples()) {
+    const csj::data::Couple couple = csj::data::MaterializeCouple(
+        study, csj::data::DatasetFamily::kVk, scale == 0 ? 1 : scale, seed);
+
+    csj::JoinOptions options;
+    options.eps = csj::data::kVkEpsilon;
+    options.superego_norm_max = csj::data::kVkMaxCounter;
+
+    auto cell = [&](csj::Method method, bool encoded_leaf) {
+      options.hybrid_encoded_leaf = encoded_leaf;
+      const csj::JoinResult result =
+          RunMethod(method, couple.b, couple.a, options);
+      return csj::util::Percent(result.Similarity()) + " " +
+             csj::util::SecondsCell(result.stats.seconds);
+    };
+
+    table.AddRow({std::to_string(study.cid),
+                  cell(csj::Method::kExMinMax, true),
+                  cell(csj::Method::kExSuperEgo, true),
+                  cell(csj::Method::kExMinMaxEgo, false),
+                  cell(csj::Method::kExMinMaxEgo, true),
+                  csj::util::WithCommas(couple.b.size()) + " | " +
+                      csj::util::WithCommas(couple.a.size())});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nExpected shape: the two integer-grid columns reproduce "
+      "Ex-MinMax's similarity exactly (no normalization loss) at "
+      "SuperEGO-like speed — the accuracy half of §6.2's claim. The "
+      "encoded leaf filter does cut d-dimensional comparisons (see "
+      "no_overlap stats), but inside EGO leaves the early-exiting "
+      "comparison is already so cheap that the filter does not buy wall "
+      "time at these leaf sizes; MinMax's real advantage comes from its "
+      "sorted-buffer MIN/MAX pruning, which the recursion replaces.\n");
+  return 0;
+}

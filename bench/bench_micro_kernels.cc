@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks for csjoin's hot kernels: the epsilon
+// predicate, the MinMax encoder, encoded-buffer construction, EGO sort,
+// and the one-to-one matchers.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/community.h"
+#include "core/encoding.h"
+#include "core/epsilon_predicate.h"
+#include "ego/normalized.h"
+#include "matching/csf.h"
+#include "matching/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace {
+
+using csj::Community;
+using csj::Count;
+using csj::Dim;
+using csj::MatchedPair;
+using csj::UserId;
+
+Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
+  csj::util::Rng rng(seed);
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+void BM_EpsilonPredicate(benchmark::State& state) {
+  const auto d = static_cast<Dim>(state.range(0));
+  const Community c = RandomCommunity(d, 1024, 50, 1);
+  uint64_t matches = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const UserId x = i % 1024;
+    const UserId y = (i * 7 + 13) % 1024;
+    matches += csj::EpsilonMatches(c.User(x), c.User(y), 1) ? 1u : 0u;
+    ++i;
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsilonPredicate)->Arg(4)->Arg(27)->Arg(128);
+
+void BM_EncoderEncodeOne(benchmark::State& state) {
+  const Community c = RandomCommunity(27, 1024, 100, 2);
+  const csj::Encoder encoder(27, 1, static_cast<uint32_t>(state.range(0)));
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    encoder.PartRanges(c.User(i % 1024), &lo, &hi);
+    benchmark::DoNotOptimize(lo.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncoderEncodeOne)->Arg(1)->Arg(4)->Arg(27);
+
+void BM_EncodedBufferBuild(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const Community c = RandomCommunity(27, n, 100, 3);
+  const csj::Encoder encoder(27, 1, 4);
+  for (auto _ : state) {
+    const csj::EncodedA encd(c, encoder);
+    benchmark::DoNotOptimize(encd.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EncodedBufferBuild)->Arg(1024)->Arg(8192);
+
+void BM_EgoSort(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const Community c = RandomCommunity(27, n, 100000, 4);
+  const std::vector<Dim> order = csj::ego::IdentityOrder(27);
+  for (auto _ : state) {
+    const csj::ego::NormalizedData norm =
+        csj::ego::Normalize(c, 152532, 1, order);
+    benchmark::DoNotOptimize(norm.flat.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EgoSort)->Arg(1024)->Arg(8192);
+
+std::vector<MatchedPair> RandomEdges(uint32_t nb, uint32_t na, double density,
+                                     uint64_t seed) {
+  csj::util::Rng rng(seed);
+  std::vector<MatchedPair> edges;
+  for (UserId b = 0; b < nb; ++b) {
+    for (UserId a = 0; a < na; ++a) {
+      if (rng.Bernoulli(density)) edges.push_back(MatchedPair{b, a});
+    }
+  }
+  return edges;
+}
+
+void BM_CoverSmallestFirst(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const auto edges = RandomEdges(n, n, 8.0 / n, 5);
+  for (auto _ : state) {
+    const auto matched = csj::matching::CoverSmallestFirst(edges);
+    benchmark::DoNotOptimize(matched.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_CoverSmallestFirst)->Arg(1024)->Arg(8192);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const auto edges = RandomEdges(n, n, 8.0 / n, 6);
+  for (auto _ : state) {
+    const auto matched = csj::matching::HopcroftKarp(edges);
+    benchmark::DoNotOptimize(matched.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

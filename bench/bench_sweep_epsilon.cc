@@ -1,0 +1,85 @@
+// Epsilon sensitivity sweep (extension experiment): the paper fixes eps
+// at its "minimum meaningful" values (1 for VK, 15000 for Synthetic) and
+// argues CSJ thereby avoids classic eps-join selectivity tuning. This
+// bench quantifies what happens as eps grows: similarity inflates with
+// accidental matches and every method slows down as the filters lose
+// selectivity — SuperEGO's EGO strategy degrading fastest (the paper's
+// Table 7 observation about the higher Synthetic eps).
+
+#include <cstdio>
+
+#include "core/method.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/table_printer.h"
+
+namespace {
+
+void SweepFamily(csj::data::DatasetFamily family, uint32_t scale,
+                 uint64_t seed, std::initializer_list<csj::Epsilon> epsilons) {
+  const bool is_vk = family == csj::data::DatasetFamily::kVk;
+  const csj::data::CaseStudyCouple& study = csj::data::AllCaseStudies()[0];
+  const csj::data::Couple couple =
+      csj::data::MaterializeCouple(study, family, scale, seed);
+
+  std::printf("%s family, cID 1 (|B|=%s, |A|=%s), planted at eps = %u:\n",
+              is_vk ? "VK" : "Synthetic",
+              csj::util::WithCommas(couple.b.size()).c_str(),
+              csj::util::WithCommas(couple.a.size()).c_str(),
+              is_vk ? csj::data::kVkEpsilon : csj::data::kSyntheticEpsilon);
+
+  csj::util::TablePrinter table(
+      {"eps", "Ex-MinMax", "Ex-SuperEGO", "Ex-MinMaxEGO", "candidates"});
+  for (const csj::Epsilon eps : epsilons) {
+    csj::JoinOptions options;
+    options.eps = eps;
+    options.superego_norm_max = is_vk ? csj::data::kVkMaxCounter
+                                      : csj::data::kSyntheticMaxCounter;
+    std::vector<std::string> row = {csj::util::WithCommas(eps)};
+    uint64_t candidates = 0;
+    for (const csj::Method method :
+         {csj::Method::kExMinMax, csj::Method::kExSuperEgo,
+          csj::Method::kExMinMaxEgo}) {
+      const csj::JoinResult result =
+          RunMethod(method, couple.b, couple.a, options);
+      row.push_back(csj::util::Percent(result.Similarity()) + " " +
+                    csj::util::SecondsCell(result.stats.seconds));
+      if (method == csj::Method::kExMinMax) {
+        candidates = result.stats.candidate_pairs;
+      }
+    }
+    row.push_back(csj::util::WithCommas(candidates));
+    table.AddRow(std::move(row));
+  }
+  table.Print(stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("scale", "32", "divide the paper's community sizes");
+  flags.Define("seed", "2024", "master seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto scale = static_cast<uint32_t>(flags.GetInt("scale"));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::printf("Extension: epsilon sensitivity sweep (scale 1/%u)\n\n",
+              scale == 0 ? 1 : scale);
+  SweepFamily(csj::data::DatasetFamily::kVk, scale == 0 ? 1 : scale, seed,
+              {1, 2, 4, 8});
+  SweepFamily(csj::data::DatasetFamily::kSynthetic, scale == 0 ? 1 : scale,
+              seed, {5000, 15000, 30000, 60000});
+  std::printf(
+      "Expected shape: at the paper's eps the similarity equals the "
+      "planted target; growing eps multiplies the candidate count and "
+      "every method's runtime as the filters lose selectivity, until "
+      "accidental matches eventually inflate the similarity itself. Note "
+      "how Ex-SuperEGO's VK accuracy loss exists ONLY at eps = 1 — the "
+      "regime where integer counters put true pairs exactly on the "
+      "float32 boundary — which is precisely the eps the paper says CSJ "
+      "should run at.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Regenerates Table 2: the 20 case-study community pairs — page names,
+// VK page ids, categories, paper sizes, and the similarity targets the
+// planting sampler aims for on each dataset family.
+
+#include <cstdio>
+
+#include "data/case_studies.h"
+#include "util/format.h"
+#include "util/table_printer.h"
+
+int main() {
+  std::printf(
+      "Table 2: the names and VK-ids of compared community pairs "
+      "(https://vk.com/public<ID>)\n\n");
+  csj::util::TablePrinter table({"cID", "name_B", "id_B", "name_A", "id_A",
+                                 "categories (B | A)", "size_B | size_A",
+                                 "target VK | Syn"});
+  for (const csj::data::CaseStudyCouple& c : csj::data::AllCaseStudies()) {
+    table.AddRow({std::to_string(c.cid), c.name_b, std::to_string(c.vk_id_b),
+                  c.name_a, std::to_string(c.vk_id_a),
+                  std::string(csj::data::CategoryName(c.category_b)) + " | " +
+                      csj::data::CategoryName(c.category_a),
+                  csj::util::WithCommas(c.size_b) + " | " +
+                      csj::util::WithCommas(c.size_a),
+                  csj::util::Percent(c.target_vk) + " | " +
+                      csj::util::Percent(c.target_synthetic)});
+  }
+  table.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates Table 4: exact methods on the VK-family dataset,
+// different-category couples (cID 1-10, similarity >= 15%), eps = 1.
+
+#include "common/harness.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  csj::bench::BenchConfig config;
+  if (!csj::bench::ParseBenchConfig(argc, argv, &flags, &config)) return 1;
+  csj::bench::RunMethodTable(
+      "Table 4: Exact methods on VK dataset for eps = 1 and different "
+      "categories where similarity >= 15%",
+      csj::data::DifferentCategoryCouples(), csj::data::DatasetFamily::kVk,
+      csj::bench::ExactTrio(), config);
+  return 0;
+}

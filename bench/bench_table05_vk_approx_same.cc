@@ -1,0 +1,18 @@
+// Regenerates Table 5: approximate methods on the VK-family dataset,
+// same-category couples (cID 11-20, similarity >= 30%), eps = 1.
+
+#include "common/harness.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  csj::bench::BenchConfig config;
+  if (!csj::bench::ParseBenchConfig(argc, argv, &flags, &config)) return 1;
+  csj::bench::RunMethodTable(
+      "Table 5: Approximate methods on VK dataset for eps = 1 and same "
+      "categories where similarity >= 30%",
+      csj::data::SameCategoryCouples(), csj::data::DatasetFamily::kVk,
+      csj::bench::ApproximateTrio(), config);
+  return 0;
+}

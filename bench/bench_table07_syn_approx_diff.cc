@@ -1,0 +1,20 @@
+// Regenerates Table 7: approximate methods on the Synthetic dataset,
+// different-category couples (cID 1-10), eps = 15000. cID 10 is the
+// paper's edge case whose similarity (7.8%) sits below the 15% band.
+
+#include "common/harness.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  csj::bench::BenchConfig config;
+  if (!csj::bench::ParseBenchConfig(argc, argv, &flags, &config)) return 1;
+  csj::bench::RunMethodTable(
+      "Table 7: Approximate methods on Synthetic dataset for eps = 15000 "
+      "and different categories where similarity >= 15%",
+      csj::data::DifferentCategoryCouples(),
+      csj::data::DatasetFamily::kSynthetic, csj::bench::ApproximateTrio(),
+      config);
+  return 0;
+}

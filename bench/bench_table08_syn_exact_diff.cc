@@ -1,0 +1,19 @@
+// Regenerates Table 8: exact methods on the Synthetic dataset,
+// different-category couples (cID 1-10), eps = 15000. All three exact
+// methods report the same similarity here (no float-boundary pairs).
+
+#include "common/harness.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  csj::bench::BenchConfig config;
+  if (!csj::bench::ParseBenchConfig(argc, argv, &flags, &config)) return 1;
+  csj::bench::RunMethodTable(
+      "Table 8: Exact methods on Synthetic dataset for eps = 15000 and "
+      "different categories where similarity >= 15%",
+      csj::data::DifferentCategoryCouples(),
+      csj::data::DatasetFamily::kSynthetic, csj::bench::ExactTrio(), config);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates Table 9: approximate methods on the Synthetic dataset,
+// same-category couples (cID 11-20, similarity >= 30%), eps = 15000.
+
+#include "common/harness.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  csj::bench::BenchConfig config;
+  if (!csj::bench::ParseBenchConfig(argc, argv, &flags, &config)) return 1;
+  csj::bench::RunMethodTable(
+      "Table 9: Approximate methods on Synthetic dataset for eps = 15000 "
+      "and same categories where similarity >= 30%",
+      csj::data::SameCategoryCouples(), csj::data::DatasetFamily::kSynthetic,
+      csj::bench::ApproximateTrio(), config);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates Table 11: Ex-MinMax scalability on the VK family — 20
+// categories x 4 couple sizes (the paper's average couple sizes, divided
+// by --scale). Execution time should grow roughly quadratically with the
+// couple size within each category row.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/method.h"
+#include "data/case_studies.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using csj::data::ScalabilityRow;
+
+/// Same-category couple of `size` users on each side with a ~30% planted
+/// similarity, mirroring the paper's "different and realistic couples
+/// within category".
+double TimeExMinMax(csj::data::Category category, uint32_t size,
+                    uint64_t seed) {
+  csj::data::VkLikeGenerator gen_b(category);
+  csj::data::VkLikeGenerator gen_a(category);
+  csj::data::CoupleSpec spec;
+  spec.size_b = size;
+  spec.size_a = size;
+  spec.target_similarity = 0.30;
+  spec.eps = csj::data::kVkEpsilon;
+  csj::util::Rng rng(seed);
+  const csj::data::Couple couple =
+      csj::data::PlantCouple(gen_b, gen_a, spec, rng);
+  csj::JoinOptions options;
+  options.eps = csj::data::kVkEpsilon;
+  const csj::JoinResult result =
+      RunMethod(csj::Method::kExMinMax, couple.b, couple.a, options);
+  return result.stats.seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("scale", "16",
+               "divide the paper's couple sizes by this factor");
+  flags.Define("seed", "2024", "master seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto scale =
+      std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("scale")));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::printf(
+      "Table 11: Scalability results for Exact MinMax on VK (couple sizes "
+      "= paper averages / %u)\n\n",
+      scale);
+  csj::util::TablePrinter table({"Category", "size_1", "Ex-MinMax", "size_2",
+                                 "Ex-MinMax", "size_3", "Ex-MinMax", "size_4",
+                                 "Ex-MinMax"});
+  uint64_t couple_index = 0;
+  for (const ScalabilityRow& row : csj::data::ScalabilityStudy()) {
+    std::vector<std::string> cells = {
+        csj::data::CategoryName(row.category)};
+    for (const uint32_t paper_size : row.sizes) {
+      const uint32_t size = std::max<uint32_t>(paper_size / scale, 16);
+      const double seconds =
+          TimeExMinMax(row.category, size, seed + couple_index++);
+      cells.push_back(csj::util::WithCommas(size));
+      cells.push_back(csj::util::SecondsCell(seconds));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "common/harness.h"
+
+#include <cstdio>
+
+#include "core/similarity.h"
+#include "data/categories.h"
+#include "util/format.h"
+#include "util/table_printer.h"
+
+namespace csj::bench {
+
+namespace {
+
+constexpr Method kApproximate[] = {Method::kApBaseline, Method::kApMinMax,
+                                   Method::kApSuperEgo};
+constexpr Method kExact[] = {Method::kExBaseline, Method::kExMinMax,
+                             Method::kExSuperEgo};
+
+}  // namespace
+
+std::span<const Method> ApproximateTrio() { return kApproximate; }
+std::span<const Method> ExactTrio() { return kExact; }
+
+bool ParseBenchConfig(int argc, char** argv, util::Flags* flags,
+                      BenchConfig* config) {
+  flags->Define("scale", "16",
+                "divide the paper's community sizes by this factor "
+                "(1 = full paper sizes)");
+  flags->Define("seed", "2024", "master seed for dataset generation");
+  flags->Define("skip_baseline", "false",
+                "skip the (slowest) Baseline column");
+  if (!flags->Parse(argc, argv)) return false;
+  config->scale = static_cast<uint32_t>(flags->GetInt("scale"));
+  config->seed = static_cast<uint64_t>(flags->GetInt("seed"));
+  config->run_baseline = !flags->GetBool("skip_baseline");
+  if (config->scale == 0) config->scale = 1;
+  return true;
+}
+
+void RunMethodTable(const std::string& title,
+                    std::span<const data::CaseStudyCouple> couples,
+                    data::DatasetFamily family,
+                    std::span<const Method> methods,
+                    const BenchConfig& config) {
+  const bool is_vk = family == data::DatasetFamily::kVk;
+  std::printf("%s\n", title.c_str());
+  std::printf("(scale 1/%u of the paper's community sizes; eps = %u)\n",
+              config.scale,
+              is_vk ? data::kVkEpsilon : data::kSyntheticEpsilon);
+
+  std::vector<std::string> header = {"cID", "Categories (B | A)"};
+  for (const Method method : methods) header.emplace_back(MethodName(method));
+  header.emplace_back("size_B | size_A");
+  util::TablePrinter table(std::move(header));
+
+  JoinOptions options;
+  options.eps = is_vk ? data::kVkEpsilon : data::kSyntheticEpsilon;
+  options.superego_norm_max =
+      is_vk ? data::kVkMaxCounter : data::kSyntheticMaxCounter;
+
+  for (const data::CaseStudyCouple& study : couples) {
+    const data::Couple couple =
+        data::MaterializeCouple(study, family, config.scale, config.seed);
+    std::vector<std::string> row = {
+        std::to_string(study.cid),
+        std::string(data::CategoryName(study.category_b)) + " | " +
+            data::CategoryName(study.category_a)};
+    for (const Method method : methods) {
+      const bool is_baseline = method == Method::kApBaseline ||
+                               method == Method::kExBaseline;
+      if (is_baseline && !config.run_baseline) {
+        row.emplace_back("skipped");
+        continue;
+      }
+      const auto result =
+          ComputeSimilarity(method, couple.b, couple.a, options);
+      if (!result.has_value()) {
+        row.emplace_back("inadmissible");
+        continue;
+      }
+      row.push_back(util::Percent(result->Similarity()) + " " +
+                    util::SecondsCell(result->stats.seconds));
+    }
+    row.push_back(util::WithCommas(couple.b.size()) + " | " +
+                  util::WithCommas(couple.a.size()));
+    table.AddRow(std::move(row));
+  }
+  table.Print(stdout);
+  std::printf("\n");
+}
+
+}  // namespace csj::bench

@@ -1,0 +1,51 @@
+#ifndef CSJ_BENCH_COMMON_HARNESS_H_
+#define CSJ_BENCH_COMMON_HARNESS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "data/case_studies.h"
+#include "util/flags.h"
+
+namespace csj::bench {
+
+/// Shared configuration of the paper-table benches.
+///
+/// `scale` divides the paper's community sizes: the paper's testbed spends
+/// hours per table (Table 4's cID 5 alone is 8220 s for Ex-Baseline); the
+/// default of 16 reduces every couple by 16x (~256x less nested-loop work)
+/// so a full table regenerates in about a minute while preserving who wins
+/// and by roughly what factor. Run with --scale 1 to reproduce the paper's
+/// full sizes.
+struct BenchConfig {
+  uint32_t scale = 16;
+  uint64_t seed = 2024;
+  bool run_baseline = true;  ///< Ex-Baseline dominates runtime; skippable
+};
+
+/// Declares the common flags (--scale, --seed, --skip_baseline) on
+/// `flags`, parses argv, and fills `config`. Returns false when the run
+/// should stop (--help or a parse error).
+bool ParseBenchConfig(int argc, char** argv, util::Flags* flags,
+                      BenchConfig* config);
+
+/// Prints one of the paper's method-comparison tables (the layout of
+/// Tables 3-10): one row per couple with similarity and execution time per
+/// method, plus the scaled community sizes. `methods` is the approximate
+/// or the exact trio.
+void RunMethodTable(const std::string& title,
+                    std::span<const data::CaseStudyCouple> couples,
+                    data::DatasetFamily family,
+                    std::span<const Method> methods,
+                    const BenchConfig& config);
+
+/// The paper's approximate / exact method trios, in table column order.
+std::span<const Method> ApproximateTrio();
+std::span<const Method> ExactTrio();
+
+}  // namespace csj::bench
+
+#endif  // CSJ_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,101 @@
+// Friend recommendation (paper §1.2, case i): CSJ's matched pairs are
+// "people with similar interests" across two communities, independent of
+// any social links. For each matched pair <b, a> the platform can notify
+// b's account about a's account ("you have p% similar taste with ...") —
+// unlike link-based joins, this never exhausts and needs no common
+// friends.
+//
+//   ./friend_recommendation [--size N] [--seed S]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/epsilon_predicate.h"
+#include "core/method.h"
+#include "core/similarity.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace {
+
+/// A cheap "taste agreement" percentage for the notification copy: the
+/// share of dimensions on which the two users are within eps.
+double TasteAgreement(std::span<const csj::Count> x,
+                      std::span<const csj::Count> y, csj::Epsilon eps) {
+  uint32_t close = 0;
+  for (size_t k = 0; k < x.size(); ++k) {
+    const csj::Count lo = std::min(x[k], y[k]);
+    const csj::Count hi = std::max(x[k], y[k]);
+    close += (hi - lo <= eps) ? 1u : 0u;
+  }
+  return static_cast<double>(close) / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("size", "1500", "subscribers per community");
+  flags.Define("seed", "23", "dataset seed");
+  flags.Define("show", "8", "how many recommendations to print");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto size = static_cast<uint32_t>(flags.GetInt("size"));
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const auto show = static_cast<size_t>(flags.GetInt("show"));
+
+  // Two music-adjacent communities with a genuinely overlapping audience.
+  csj::data::VkLikeGenerator gen_b(csj::data::Category::kMusic);
+  csj::data::VkLikeGenerator gen_a(csj::data::Category::kCelebrity);
+  csj::data::CoupleSpec spec;
+  spec.size_b = size;
+  spec.size_a = size + size / 4;
+  spec.target_similarity = 0.2;
+  spec.eps = 1;
+  csj::util::Rng rng(seed);
+  const csj::data::Couple couple =
+      csj::data::PlantCouple(gen_b, gen_a, spec, rng);
+
+  csj::JoinOptions options;
+  options.eps = 1;
+  const auto result = csj::ComputeSimilarity(csj::Method::kExMinMax,
+                                             couple.b, couple.a, options);
+  if (!result.has_value()) {
+    std::printf("couple rejected by the CSJ size rule\n");
+    return 1;
+  }
+
+  std::printf(
+      "CSJ join of 'IndieMixtapes' (|B| = %u) and 'StarWatch' (|A| = %u): "
+      "%zu matched pairs, similarity %s, %s\n\n",
+      couple.b.size(), couple.a.size(), result->pairs.size(),
+      csj::util::Percent(result->Similarity()).c_str(),
+      csj::util::SecondsCell(result->stats.seconds).c_str());
+
+  // Rank notifications by taste agreement, most convincing copy first.
+  std::vector<std::pair<double, csj::MatchedPair>> ranked;
+  for (const csj::MatchedPair& pair : result->pairs) {
+    ranked.emplace_back(TasteAgreement(couple.b.User(pair.b),
+                                       couple.a.User(pair.a), options.eps),
+                        pair);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+
+  std::printf("Top friend recommendations:\n");
+  for (size_t i = 0; i < ranked.size() && i < show; ++i) {
+    const auto& [agreement, pair] = ranked[i];
+    std::printf(
+        "  notify user B#%-5u: \"you have %s similar taste with user "
+        "A#%u — follow them?\"\n",
+        pair.b, csj::util::Percent(agreement).c_str(), pair.a);
+  }
+  std::printf(
+      "\n%zu further recommendations available — CSJ keeps finding "
+      "similar-subscription users where common-friend joins dry up.\n",
+      ranked.size() > show ? ranked.size() - show : 0);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Live-membership example: community similarity as a continuously
+// maintained quantity. Subscribers join and leave brand B's page all day;
+// IncrementalCsj keeps the exact similarity against brand A current after
+// every event, instead of re-running a full join (which at the paper's
+// community sizes costs minutes to hours per evaluation).
+//
+//   ./live_membership [--size N] [--events K] [--seed S]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/method.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "incremental/incremental_csj.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("size", "4000", "subscribers of the fixed community A");
+  flags.Define("events", "3000", "membership events to stream");
+  flags.Define("seed", "31", "dataset seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto size = static_cast<uint32_t>(flags.GetInt("size"));
+  const auto events = static_cast<uint32_t>(flags.GetInt("events"));
+  csj::util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  // Brand A's audience is fixed for the session.
+  csj::data::VkLikeGenerator gen_a(csj::data::Category::kBeautyHealth);
+  const csj::Community a =
+      csj::data::MakeCommunity(gen_a, size, rng, "GlowCosmetics");
+
+  csj::JoinOptions options;
+  options.eps = 1;
+  csj::incremental::IncrementalCsj live(a, options);
+
+  // Stream membership churn for brand B: 65% joins / 35% leaves; a third
+  // of the joiners are genuinely similar to A subscribers (twins), the
+  // rest come from B's own category model.
+  csj::data::VkLikeGenerator gen_b(csj::data::Category::kBeautyHealth);
+  std::vector<csj::incremental::IncrementalCsj::Handle> roster;
+  std::vector<csj::Count> scratch;
+
+  csj::util::Timer timer;
+  uint32_t joins = 0;
+  uint32_t leaves = 0;
+  for (uint32_t event = 0; event < events; ++event) {
+    const bool join = roster.empty() || rng.Bernoulli(0.65);
+    if (join) {
+      scratch.clear();
+      if (rng.Bernoulli(0.34)) {
+        const auto src = static_cast<csj::UserId>(rng.Below(a.size()));
+        scratch.assign(a.User(src).begin(), a.User(src).end());
+      } else {
+        gen_b.Generate(rng, &scratch);
+      }
+      roster.push_back(live.AddUser(scratch));
+      ++joins;
+    } else {
+      const auto pick = static_cast<size_t>(rng.Below(roster.size()));
+      live.RemoveUser(roster[pick]);
+      roster[pick] = roster.back();
+      roster.pop_back();
+      ++leaves;
+    }
+
+    if ((event + 1) % (events / 10) == 0) {
+      std::printf(
+          "after %5u events: |B| = %5u, matched = %5u, similarity = %7s%s\n",
+          event + 1, live.live_users(), live.matched_pairs(),
+          csj::util::Percent(live.Similarity()).c_str(),
+          live.SizesAdmissible() ? "" : "  (|B| below the CSJ size rule)");
+    }
+  }
+  const double seconds = timer.Seconds();
+
+  std::printf(
+      "\nprocessed %u joins and %u leaves in %s — %.1f us per event, with "
+      "the exact maximum matching maintained after every single one.\n",
+      joins, leaves, csj::util::SecondsCell(seconds).c_str(),
+      seconds * 1e6 / events);
+  std::printf(
+      "A full Ex-MinMax re-join at |A| = %s costs orders of magnitude "
+      "more per evaluation; see bench_sweep_epsilon and Table 11 for "
+      "full-join costs.\n",
+      csj::util::WithCommas(a.size()).c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: build two communities, compute their CSJ similarity with
+// every method, and inspect the matched pairs.
+//
+//   ./quickstart
+//
+// This walks the paper's §3 example (eps = 1, d = 3: Music, Sport,
+// Education) and then a slightly larger generated couple.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/community.h"
+#include "core/method.h"
+#include "core/similarity.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main() {
+  using csj::Community;
+  using csj::Count;
+
+  // --- The paper's worked example -----------------------------------
+  Community b(3, "community B");
+  b.AddUser(std::vector<Count>{3, 4, 2});  // b1 = {Music:3, Sport:4, Edu:2}
+  b.AddUser(std::vector<Count>{2, 2, 3});  // b2
+  Community a(3, "community A");
+  a.AddUser(std::vector<Count>{2, 3, 5});  // a1
+  a.AddUser(std::vector<Count>{2, 3, 1});  // a2
+  a.AddUser(std::vector<Count>{3, 3, 3});  // a3
+
+  csj::JoinOptions options;
+  options.eps = 1;
+
+  std::printf("Paper Section 3 example (eps = 1, d = 3):\n");
+  for (const csj::Method method :
+       {csj::Method::kApMinMax, csj::Method::kExMinMax}) {
+    const auto result = csj::ComputeSimilarity(method, b, a, options);
+    if (!result.has_value()) {
+      std::printf("  %s: couple not admissible\n", MethodName(method));
+      continue;
+    }
+    std::printf("  %-10s similarity = %s, pairs:", MethodName(method),
+                csj::util::Percent(result->Similarity()).c_str());
+    for (const csj::MatchedPair& pair : result->pairs) {
+      std::printf(" <b%u,a%u>", pair.b + 1, pair.a + 1);
+    }
+    std::printf("\n");
+  }
+
+  // --- A generated couple with a planted 25% similarity -------------
+  csj::data::VkLikeGenerator gen_b(csj::data::Category::kSport);
+  csj::data::VkLikeGenerator gen_a(csj::data::Category::kHobbies);
+  csj::data::CoupleSpec spec;
+  spec.size_b = 2000;
+  spec.size_a = 2500;
+  spec.target_similarity = 0.25;
+  spec.eps = 1;
+  csj::util::Rng rng(7);
+  const csj::data::Couple couple =
+      csj::data::PlantCouple(gen_b, gen_a, spec, rng);
+
+  std::printf(
+      "\nGenerated couple (|B| = %u Sport users, |A| = %u Hobbies users, "
+      "planted similarity 25%%):\n",
+      couple.b.size(), couple.a.size());
+  for (const csj::Method method : csj::kAllMethods) {
+    const auto result =
+        csj::ComputeSimilarity(method, couple.b, couple.a, options);
+    std::printf("  %-12s similarity = %7s   time = %s\n", MethodName(method),
+                csj::util::Percent(result->Similarity()).c_str(),
+                csj::util::SecondsCell(result->stats.seconds).c_str());
+  }
+
+  std::printf(
+      "\nNote how the exact methods land on the planted similarity while "
+      "the approximate ones fall slightly short, and how MinMax "
+      "outruns the Baseline nested loop.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// All-pairs brand similarity matrix (paper case ii.b at catalog scale):
+// the platform compares EVERY pair of brand communities with the
+// screen-then-refine pipeline and derives the broadcast schedule from the
+// resulting ranking.
+//
+//   ./similarity_matrix [--size N] [--brands K] [--seed S]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "pipeline/screening.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("size", "1200", "subscribers per brand");
+  flags.Define("brands", "6", "number of brand communities");
+  flags.Define("seed", "17", "dataset seed");
+  if (!flags.Parse(argc, argv)) return 1;
+  const auto size = static_cast<uint32_t>(flags.GetInt("size"));
+  const auto brands = static_cast<uint32_t>(flags.GetInt("brands"));
+  csj::util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  // A small catalog: two clusters of genuinely related brands plus noise.
+  // Brands inside a cluster share a slice of audience (planted against
+  // the cluster's anchor), across clusters they share nothing.
+  const csj::data::Category categories[] = {
+      csj::data::Category::kSport, csj::data::Category::kFoodRecipes,
+      csj::data::Category::kMusic, csj::data::Category::kAnimals,
+      csj::data::Category::kTourismLeisure, csj::data::Category::kMedia};
+  std::vector<csj::Community> catalog;
+  catalog.reserve(brands);
+  for (uint32_t i = 0; i < brands; ++i) {
+    const csj::data::Category category = categories[i % 6];
+    csj::data::VkLikeGenerator gen(category);
+    if (i % 3 == 0 || catalog.empty()) {
+      // Cluster anchor: independent audience.
+      catalog.push_back(csj::data::MakeCommunity(gen, size, rng));
+    } else {
+      // Cluster member: shares 20-35% of the previous anchor's audience.
+      const csj::Community& anchor = catalog[(i / 3) * 3];
+      csj::data::CoupleSpec spec;
+      spec.size_b = size;
+      spec.eps = 1;
+      spec.target_similarity = 0.20 + 0.05 * (i % 3);
+      catalog.push_back(
+          csj::data::PlantCommunityAgainst(anchor, gen, spec, rng));
+    }
+    catalog.back().set_name("brand_" + std::to_string(i));
+  }
+
+  std::vector<const csj::Community*> pointers;
+  for (const csj::Community& c : catalog) pointers.push_back(&c);
+
+  csj::pipeline::PipelineOptions options;
+  options.screen_method = csj::Method::kApSuperEgo;
+  options.refine_method = csj::Method::kExMinMax;
+  options.screen_threshold = 0.12;
+  options.join.eps = 1;
+  options.join.superego_norm_max = csj::data::kVkMaxCounter;
+  const csj::pipeline::PipelineReport report =
+      ScreenAndRefineAllPairs(pointers, options);
+
+  std::printf(
+      "All-pairs pipeline over %u brands (%u couples screened, %u refined, "
+      "%u bound-pruned) in %s\n\n",
+      brands, report.screened, report.refined, report.bound_pruned,
+      csj::util::SecondsCell(report.total_seconds).c_str());
+
+  std::printf("Similar brand pairs (exact similarity >= %s):\n",
+              csj::util::Percent(options.screen_threshold).c_str());
+  int printed = 0;
+  for (const csj::pipeline::PipelineEntry& entry : report.entries) {
+    if (!entry.refined) continue;
+    std::printf("  %-24s %s\n", entry.candidate_name.c_str(),
+                csj::util::Percent(entry.refined_similarity).c_str());
+    ++printed;
+  }
+  if (printed == 0) std::printf("  (none)\n");
+
+  std::printf(
+      "\nBroadcast schedule: for each pair above, recommend each brand to "
+      "the other's followers in priority order — the paper's Nike/Adidas/"
+      "Puma scenario automated over the whole catalog.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/epsilon_predicate.h"
+#include "matching/matcher.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace csj {
+
+JoinResult ApBaselineJoin(const Community& b, const Community& a,
+                          const JoinOptions& options) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ap-Baseline";
+  result.size_b = b.size();
+
+  const uint32_t nb = b.size();
+  const uint32_t na = a.size();
+  std::vector<bool> used_a(na, false);
+  uint32_t offset = 0;
+  for (UserId ib = 0; ib < nb; ++ib) {
+    const std::span<const Count> vb = b.User(ib);
+    bool skip = true;
+    for (UserId ia = offset; ia < na; ++ia) {
+      if (used_a[ia]) {
+        // A contiguous prefix of matched users can be skipped for every
+        // later b; once an unmatched a has been seen (skip == false) the
+        // offset is pinned behind it.
+        if (skip) offset = ia + 1;
+        continue;
+      }
+      skip = false;
+      const Event event = EpsilonMatches(vb, a.User(ia), options.eps)
+                              ? Event::kMatch
+                              : Event::kNoMatch;
+      result.stats.Count(event);
+      if (options.event_log != nullptr) options.event_log->Add(event, ib, ia);
+      if (event == Event::kMatch) {
+        result.pairs.push_back(MatchedPair{ib, ia});
+        used_a[ia] = true;
+        break;  // approximate rule: first match ends this b's processing
+      }
+    }
+  }
+
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+JoinResult ExBaselineJoin(const Community& b, const Community& a,
+                          const JoinOptions& options) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ex-Baseline";
+  result.size_b = b.size();
+
+  const uint32_t nb = b.size();
+  const uint32_t na = a.size();
+
+  // Candidate collection partitions B's rows; chunk-local buffers are
+  // concatenated in chunk order so any thread count yields the serial
+  // result. Event logging pins the run to one chunk.
+  const uint32_t threads =
+      options.event_log != nullptr ? 1 : std::max<uint32_t>(options.threads, 1);
+  const uint32_t chunks = util::ParallelChunks(0, nb, threads);
+  std::vector<std::vector<MatchedPair>> chunk_candidates(chunks);
+  std::vector<JoinStats> chunk_stats(chunks);
+  util::ParallelFor(
+      0, nb, threads,
+      [&](uint32_t chunk_begin, uint32_t chunk_end, uint32_t chunk) {
+        std::vector<MatchedPair>& local = chunk_candidates[chunk];
+        JoinStats& stats = chunk_stats[chunk];
+        for (UserId ib = chunk_begin; ib < chunk_end; ++ib) {
+          const std::span<const Count> vb = b.User(ib);
+          for (UserId ia = 0; ia < na; ++ia) {
+            const Event event = EpsilonMatches(vb, a.User(ia), options.eps)
+                                    ? Event::kMatch
+                                    : Event::kNoMatch;
+            stats.Count(event);
+            if (options.event_log != nullptr) {
+              options.event_log->Add(event, ib, ia);
+            }
+            if (event == Event::kMatch) local.push_back(MatchedPair{ib, ia});
+          }
+        }
+      });
+
+  std::vector<MatchedPair> candidates;
+  for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
+    result.stats.Merge(chunk_stats[chunk]);
+    candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),
+                      chunk_candidates[chunk].end());
+  }
+
+  result.stats.candidate_pairs = candidates.size();
+  result.stats.csf_flushes = 1;
+  result.pairs = matching::RunMatcher(options.matcher, candidates);
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace csj

@@ -1,0 +1,26 @@
+#ifndef CSJ_CORE_BASELINE_H_
+#define CSJ_CORE_BASELINE_H_
+
+#include "core/community.h"
+#include "core/join_options.h"
+#include "core/join_result.h"
+
+namespace csj {
+
+/// Ap-Baseline (paper §5.1): nested-loop join, outer over B, inner over A,
+/// committing the first eps-match of each b (the approximate rule). As in
+/// Ap-MinMax, a `skip`/`offset` pair lets the inner loop start past the
+/// contiguous prefix of A users that are already matched — the only
+/// prefix-skippable entries in an unsorted nested loop.
+JoinResult ApBaselineJoin(const Community& b, const Community& a,
+                          const JoinOptions& options);
+
+/// Ex-Baseline (paper §5.1): nested loop that first finds ALL eps-matching
+/// pairs between B and A, then runs the configured one-to-one matcher
+/// (paper: CSF) exactly once on the full candidate graph.
+JoinResult ExBaselineJoin(const Community& b, const Community& a,
+                          const JoinOptions& options);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_BASELINE_H_

@@ -1,0 +1,37 @@
+#include "core/community.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace csj {
+
+Community::Community(Dim d, std::string name) : d_(d), name_(std::move(name)) {
+  CSJ_CHECK_GE(d, 1u);
+}
+
+Community::Community(Dim d, std::vector<Count> flat_counts, std::string name)
+    : d_(d), counts_(std::move(flat_counts)), name_(std::move(name)) {
+  CSJ_CHECK_GE(d, 1u);
+  CSJ_CHECK_EQ(counts_.size() % d, 0u);
+}
+
+UserId Community::AddUser(std::span<const Count> vec) {
+  CSJ_CHECK_EQ(vec.size(), d_);
+  const UserId id = size();
+  counts_.insert(counts_.end(), vec.begin(), vec.end());
+  return id;
+}
+
+Count Community::MaxCounter() const {
+  if (counts_.empty()) return 0;
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+bool SizesAdmissible(uint32_t size_b, uint32_t size_a) {
+  if (size_b > size_a) return false;
+  const uint32_t ceil_half = (size_a + 1) / 2;
+  return size_b >= ceil_half;
+}
+
+}  // namespace csj

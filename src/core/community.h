@@ -1,0 +1,77 @@
+#ifndef CSJ_CORE_COMMUNITY_H_
+#define CSJ_CORE_COMMUNITY_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace csj {
+
+/// A community (brand page): the set of its subscribers' d-dimensional
+/// preference vectors, stored row-major in one contiguous buffer for cache
+/// friendliness — the join inner loops stream over raw counter rows.
+///
+/// Users are addressed by their row index (`UserId`); the paper's
+/// `real_ID` is exactly this index.
+class Community {
+ public:
+  /// Creates an empty community of dimensionality `d >= 1`.
+  explicit Community(Dim d, std::string name = "");
+
+  /// Creates a community from `users * d` row-major counters.
+  Community(Dim d, std::vector<Count> flat_counts, std::string name = "");
+
+  Community(const Community&) = default;
+  Community& operator=(const Community&) = default;
+  Community(Community&&) = default;
+  Community& operator=(Community&&) = default;
+
+  /// Appends one user; `vec.size()` must equal `d()`.
+  UserId AddUser(std::span<const Count> vec);
+
+  /// Read-only view of one user's counters.
+  std::span<const Count> User(UserId id) const {
+    return {counts_.data() + static_cast<size_t>(id) * d_, d_};
+  }
+
+  /// Mutable view of one user's counters (used by the planting sampler).
+  std::span<Count> MutableUser(UserId id) {
+    return {counts_.data() + static_cast<size_t>(id) * d_, d_};
+  }
+
+  Dim d() const { return d_; }
+  uint32_t size() const {
+    return static_cast<uint32_t>(counts_.size() / d_);
+  }
+  bool empty() const { return counts_.empty(); }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// The whole row-major buffer; exposed for the normalizer and I/O.
+  const std::vector<Count>& flat() const { return counts_; }
+
+  /// Largest counter over all users and dimensions (0 when empty).
+  Count MaxCounter() const;
+
+  /// Reserves storage for `users` rows.
+  void Reserve(uint32_t users) {
+    counts_.reserve(static_cast<size_t>(users) * d_);
+  }
+
+ private:
+  Dim d_;
+  std::vector<Count> counts_;
+  std::string name_;
+};
+
+/// True when the CSJ similarity is meaningful per the problem statement:
+/// ceil(|A|/2) <= |B| <= |A| (B is the less-followed community). A smaller
+/// B would be a near-subset of A, which the paper excludes (§3).
+bool SizesAdmissible(uint32_t size_b, uint32_t size_a);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_COMMUNITY_H_

@@ -1,0 +1,146 @@
+#include "core/encoding.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace csj {
+
+Encoder::Encoder(Dim d, Epsilon eps, uint32_t parts) : d_(d), eps_(eps) {
+  CSJ_CHECK_GE(d, 1u);
+  const uint32_t p = std::clamp<uint32_t>(parts, 1, d);
+  // Figure 1 splits d=27 into 6|7|7|7: the first parts take floor(d/p)
+  // dimensions and the last (d mod p) parts take one extra.
+  const Dim base = d / p;
+  const Dim extra = d % p;
+  part_begin_.resize(p + 1);
+  part_begin_[0] = 0;
+  for (uint32_t i = 0; i < p; ++i) {
+    const Dim width = base + (i >= p - extra ? 1 : 0);
+    part_begin_[i + 1] = part_begin_[i] + width;
+  }
+  CSJ_CHECK_EQ(part_begin_[p], d);
+}
+
+std::vector<uint64_t> Encoder::PartSums(std::span<const Count> vec) const {
+  CSJ_CHECK_EQ(vec.size(), d_);
+  const uint32_t p = parts();
+  std::vector<uint64_t> sums(p, 0);
+  for (uint32_t part = 0; part < p; ++part) {
+    uint64_t sum = 0;
+    for (Dim i = part_begin_[part]; i < part_begin_[part + 1]; ++i) {
+      sum += vec[i];
+    }
+    sums[part] = sum;
+  }
+  return sums;
+}
+
+uint64_t Encoder::EncodedId(std::span<const Count> vec) const {
+  CSJ_CHECK_EQ(vec.size(), d_);
+  uint64_t id = 0;
+  for (const Count c : vec) id += c;
+  return id;
+}
+
+void Encoder::PartRanges(std::span<const Count> vec, std::vector<uint64_t>* lo,
+                         std::vector<uint64_t>* hi) const {
+  CSJ_CHECK_EQ(vec.size(), d_);
+  const uint32_t p = parts();
+  lo->assign(p, 0);
+  hi->assign(p, 0);
+  for (uint32_t part = 0; part < p; ++part) {
+    uint64_t sum_lo = 0;
+    uint64_t sum_hi = 0;
+    for (Dim i = part_begin_[part]; i < part_begin_[part + 1]; ++i) {
+      sum_lo += vec[i] >= eps_ ? vec[i] - eps_ : 0;
+      sum_hi += static_cast<uint64_t>(vec[i]) + eps_;
+    }
+    (*lo)[part] = sum_lo;
+    (*hi)[part] = sum_hi;
+  }
+}
+
+namespace {
+
+/// Sort permutation of 0..n-1 by (key[i], i): stable within equal keys so
+/// traces are deterministic.
+std::vector<uint32_t> SortPermutation(const std::vector<uint64_t>& keys) {
+  std::vector<uint32_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    if (keys[x] != keys[y]) return keys[x] < keys[y];
+    return x < y;
+  });
+  return perm;
+}
+
+}  // namespace
+
+EncodedB::EncodedB(const Community& b, const Encoder& encoder)
+    : parts_(encoder.parts()) {
+  const uint32_t n = b.size();
+  std::vector<uint64_t> unsorted_ids(n);
+  for (UserId u = 0; u < n; ++u) {
+    unsorted_ids[u] = encoder.EncodedId(b.User(u));
+  }
+  const std::vector<uint32_t> perm = SortPermutation(unsorted_ids);
+
+  ids_.resize(n);
+  real_.resize(n);
+  sums_.resize(static_cast<size_t>(n) * parts_);
+  for (uint32_t i = 0; i < n; ++i) {
+    const UserId u = perm[i];
+    ids_[i] = unsorted_ids[u];
+    real_[i] = u;
+    const std::vector<uint64_t> sums = encoder.PartSums(b.User(u));
+    std::copy(sums.begin(), sums.end(),
+              sums_.begin() + static_cast<size_t>(i) * parts_);
+  }
+}
+
+EncodedA::EncodedA(const Community& a, const Encoder& encoder)
+    : parts_(encoder.parts()) {
+  const uint32_t n = a.size();
+  std::vector<uint64_t> unsorted_mins(n);
+  std::vector<uint64_t> unsorted_maxs(n);
+  std::vector<uint64_t> unsorted_lo(static_cast<size_t>(n) * parts_);
+  std::vector<uint64_t> unsorted_hi(static_cast<size_t>(n) * parts_);
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  for (UserId u = 0; u < n; ++u) {
+    encoder.PartRanges(a.User(u), &lo, &hi);
+    uint64_t min_sum = 0;
+    uint64_t max_sum = 0;
+    for (uint32_t p = 0; p < parts_; ++p) {
+      min_sum += lo[p];
+      max_sum += hi[p];
+      unsorted_lo[static_cast<size_t>(u) * parts_ + p] = lo[p];
+      unsorted_hi[static_cast<size_t>(u) * parts_ + p] = hi[p];
+    }
+    unsorted_mins[u] = min_sum;
+    unsorted_maxs[u] = max_sum;
+  }
+  const std::vector<uint32_t> perm = SortPermutation(unsorted_mins);
+
+  mins_.resize(n);
+  maxs_.resize(n);
+  real_.resize(n);
+  lo_.resize(static_cast<size_t>(n) * parts_);
+  hi_.resize(static_cast<size_t>(n) * parts_);
+  for (uint32_t i = 0; i < n; ++i) {
+    const UserId u = perm[i];
+    mins_[i] = unsorted_mins[u];
+    maxs_[i] = unsorted_maxs[u];
+    real_[i] = u;
+    for (uint32_t p = 0; p < parts_; ++p) {
+      lo_[static_cast<size_t>(i) * parts_ + p] =
+          unsorted_lo[static_cast<size_t>(u) * parts_ + p];
+      hi_[static_cast<size_t>(i) * parts_ + p] =
+          unsorted_hi[static_cast<size_t>(u) * parts_ + p];
+    }
+  }
+}
+
+}  // namespace csj

@@ -1,0 +1,43 @@
+#ifndef CSJ_CORE_EPSILON_PREDICATE_H_
+#define CSJ_CORE_EPSILON_PREDICATE_H_
+
+#include <span>
+
+#include "core/types.h"
+
+namespace csj {
+
+/// The CSJ match condition (paper §3): two users match iff
+/// |b_i - a_i| <= eps for EVERY dimension i — an L-infinity test, not an
+/// aggregated distance. Short-circuits on the first violating dimension,
+/// which is what makes the NO MATCH event cheap in practice.
+inline bool EpsilonMatches(std::span<const Count> b, std::span<const Count> a,
+                           Epsilon eps) {
+  const size_t d = b.size();
+  for (size_t i = 0; i < d; ++i) {
+    const Count lo = b[i] < a[i] ? b[i] : a[i];
+    const Count hi = b[i] < a[i] ? a[i] : b[i];
+    if (hi - lo > eps) return false;
+  }
+  return true;
+}
+
+/// Chebyshev (L-infinity) distance between two counter vectors; the CSJ
+/// condition is exactly `ChebyshevDistance(b, a) <= eps`. Used by tests as
+/// an independent oracle for EpsilonMatches.
+inline Count ChebyshevDistance(std::span<const Count> b,
+                               std::span<const Count> a) {
+  Count worst = 0;
+  const size_t d = b.size();
+  for (size_t i = 0; i < d; ++i) {
+    const Count lo = b[i] < a[i] ? b[i] : a[i];
+    const Count hi = b[i] < a[i] ? a[i] : b[i];
+    const Count diff = hi - lo;
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_EPSILON_PREDICATE_H_

@@ -1,0 +1,223 @@
+#include "core/hybrid_method.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/epsilon_predicate.h"
+#include "core/leaf_tasks.h"
+#include "ego/dimension_reorder.h"
+#include "ego/ego_join.h"
+#include "ego/integer_grid.h"
+#include "matching/matcher.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace csj {
+
+namespace {
+
+/// Everything both hybrid variants share: the integer grids, their
+/// segment trees, and the MinMax encoded-filter sidecars aligned to grid
+/// row order. The encoding is computed over the PERMUTED dimensions —
+/// both sides use the same permutation, so the per-dimension matching
+/// guarantee (and thus the filter's no-false-dismissal property) is
+/// unaffected.
+struct HybridPrepared {
+  ego::IntegerGridData b;
+  ego::IntegerGridData a;
+  ego::SegmentTree tree_b;
+  ego::SegmentTree tree_a;
+  uint32_t parts = 0;
+
+  // Per B row: encoded id and part sums (rows * parts).
+  std::vector<uint64_t> b_id;
+  std::vector<uint64_t> b_sums;
+  // Per A row: encoded min/max and part ranges (rows * parts).
+  std::vector<uint64_t> a_min;
+  std::vector<uint64_t> a_max;
+  std::vector<uint64_t> a_lo;
+  std::vector<uint64_t> a_hi;
+
+  /// The MinMax filter for one (B row, A row) pair.
+  bool EncodedFilterPasses(uint32_t rb, uint32_t ra) const {
+    const uint64_t id = b_id[rb];
+    if (id < a_min[ra] || id > a_max[ra]) return false;
+    const size_t bo = static_cast<size_t>(rb) * parts;
+    const size_t ao = static_cast<size_t>(ra) * parts;
+    for (uint32_t p = 0; p < parts; ++p) {
+      const uint64_t sum = b_sums[bo + p];
+      if (sum < a_lo[ao + p] || sum > a_hi[ao + p]) return false;
+    }
+    return true;
+  }
+};
+
+HybridPrepared PrepareHybrid(const Community& b, const Community& a,
+                             const JoinOptions& options) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  const Epsilon eps = std::max<Epsilon>(options.eps, 1);
+  Count max_count = std::max(b.MaxCounter(), a.MaxCounter());
+  if (max_count == 0) max_count = 1;
+  const std::vector<Dim> order =
+      options.superego_reorder_dims
+          ? ego::ComputeDimensionOrder(b, a, eps, max_count)
+          : ego::IdentityOrder(b.d());
+
+  ego::IntegerGridData grid_b = ego::BuildIntegerGrid(b, eps, order);
+  ego::IntegerGridData grid_a = ego::BuildIntegerGrid(a, eps, order);
+  const uint32_t threshold = std::max<uint32_t>(options.superego_threshold, 2);
+  ego::SegmentTree tree_b(ego::CellsOf(grid_b), threshold);
+  ego::SegmentTree tree_a(ego::CellsOf(grid_a), threshold);
+
+  HybridPrepared prep{std::move(grid_b), std::move(grid_a),
+                      std::move(tree_b), std::move(tree_a),
+                      /*parts=*/0,       {}, {}, {}, {}, {}, {}};
+
+  if (options.hybrid_encoded_leaf) {
+    const Encoder encoder(b.d(), options.eps, options.encoding_parts);
+    prep.parts = encoder.parts();
+    const uint32_t nb = prep.b.size();
+    prep.b_id.resize(nb);
+    prep.b_sums.resize(static_cast<size_t>(nb) * prep.parts);
+    for (uint32_t row = 0; row < nb; ++row) {
+      const std::span<const Count> vec = prep.b.Row(row);
+      prep.b_id[row] = encoder.EncodedId(vec);
+      const std::vector<uint64_t> sums = encoder.PartSums(vec);
+      std::copy(sums.begin(), sums.end(),
+                prep.b_sums.begin() + static_cast<size_t>(row) * prep.parts);
+    }
+    const uint32_t na = prep.a.size();
+    prep.a_min.resize(na);
+    prep.a_max.resize(na);
+    prep.a_lo.resize(static_cast<size_t>(na) * prep.parts);
+    prep.a_hi.resize(static_cast<size_t>(na) * prep.parts);
+    std::vector<uint64_t> lo;
+    std::vector<uint64_t> hi;
+    for (uint32_t row = 0; row < na; ++row) {
+      encoder.PartRanges(prep.a.Row(row), &lo, &hi);
+      uint64_t min_sum = 0;
+      uint64_t max_sum = 0;
+      const size_t offset = static_cast<size_t>(row) * prep.parts;
+      for (uint32_t p = 0; p < prep.parts; ++p) {
+        min_sum += lo[p];
+        max_sum += hi[p];
+        prep.a_lo[offset + p] = lo[p];
+        prep.a_hi[offset + p] = hi[p];
+      }
+      prep.a_min[row] = min_sum;
+      prep.a_max[row] = max_sum;
+    }
+  }
+  return prep;
+}
+
+}  // namespace
+
+JoinResult ApMinMaxEgoJoin(const Community& b, const Community& a,
+                           const JoinOptions& options) {
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ap-MinMaxEGO";
+  result.size_b = b.size();
+
+  const HybridPrepared prep = PrepareHybrid(b, a, options);
+  const bool use_filter = options.hybrid_encoded_leaf;
+  const Epsilon eps = options.eps;
+  std::vector<bool> matched_b(prep.b.size(), false);
+  std::vector<bool> used_a(prep.a.size(), false);
+
+  ego::EgoStats ego_stats;
+  ego::EgoJoin(
+      prep.tree_b, prep.tree_a,
+      [&](uint32_t b_lo, uint32_t b_hi, uint32_t a_lo, uint32_t a_hi) {
+        for (uint32_t rb = b_lo; rb < b_hi; ++rb) {
+          if (matched_b[rb]) continue;
+          const std::span<const Count> vb = prep.b.Row(rb);
+          for (uint32_t ra = a_lo; ra < a_hi; ++ra) {
+            if (used_a[ra]) continue;
+            if (use_filter && !prep.EncodedFilterPasses(rb, ra)) {
+              result.stats.Count(Event::kNoOverlap);
+              continue;
+            }
+            const bool match = EpsilonMatches(vb, prep.a.Row(ra), eps);
+            result.stats.Count(match ? Event::kMatch : Event::kNoMatch);
+            if (match) {
+              matched_b[rb] = true;
+              used_a[ra] = true;
+              result.pairs.push_back(
+                  MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
+              break;
+            }
+          }
+        }
+      },
+      &ego_stats);
+
+  result.stats.min_prunes = ego_stats.strategy_prunes;
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
+                           const JoinOptions& options) {
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ex-MinMaxEGO";
+  result.size_b = b.size();
+
+  const HybridPrepared prep = PrepareHybrid(b, a, options);
+  const bool use_filter = options.hybrid_encoded_leaf;
+  const Epsilon eps = options.eps;
+
+  // Like Ex-SuperEGO: prune with the recursion, then scan the surviving
+  // leaves in parallel chunks merged in task order.
+  ego::EgoStats ego_stats;
+  const std::vector<internal::LeafTask> tasks =
+      internal::CollectLeafTasks(prep.tree_b, prep.tree_a, &ego_stats);
+  const uint32_t threads = std::max<uint32_t>(options.threads, 1);
+  const auto num_tasks = static_cast<uint32_t>(tasks.size());
+  const uint32_t chunks = util::ParallelChunks(0, num_tasks, threads);
+  std::vector<std::vector<MatchedPair>> chunk_candidates(chunks);
+  std::vector<JoinStats> chunk_stats(chunks);
+  util::ParallelFor(
+      0, num_tasks, threads,
+      [&](uint32_t task_begin, uint32_t task_end, uint32_t chunk) {
+        std::vector<MatchedPair>& local = chunk_candidates[chunk];
+        JoinStats& stats = chunk_stats[chunk];
+        for (uint32_t t = task_begin; t < task_end; ++t) {
+          const internal::LeafTask& task = tasks[t];
+          for (uint32_t rb = task.b_lo; rb < task.b_hi; ++rb) {
+            const std::span<const Count> vb = prep.b.Row(rb);
+            for (uint32_t ra = task.a_lo; ra < task.a_hi; ++ra) {
+              if (use_filter && !prep.EncodedFilterPasses(rb, ra)) {
+                stats.Count(Event::kNoOverlap);
+                continue;
+              }
+              const bool match = EpsilonMatches(vb, prep.a.Row(ra), eps);
+              stats.Count(match ? Event::kMatch : Event::kNoMatch);
+              if (match) {
+                local.push_back(MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
+              }
+            }
+          }
+        }
+      });
+
+  std::vector<MatchedPair> candidates;
+  for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
+    result.stats.Merge(chunk_stats[chunk]);
+    candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),
+                      chunk_candidates[chunk].end());
+  }
+
+  result.stats.min_prunes = ego_stats.strategy_prunes;
+  result.stats.candidate_pairs = candidates.size();
+  result.stats.csf_flushes = 1;
+  result.pairs = matching::RunMatcher(options.matcher, candidates);
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace csj

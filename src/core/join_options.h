@@ -1,0 +1,64 @@
+#ifndef CSJ_CORE_JOIN_OPTIONS_H_
+#define CSJ_CORE_JOIN_OPTIONS_H_
+
+#include <cstdint>
+
+#include "core/join_result.h"
+#include "core/types.h"
+#include "matching/matcher.h"
+
+namespace csj {
+
+/// Knobs shared by all six CSJ methods. Defaults reproduce the paper's
+/// configuration (4 encoding parts, CSF matcher, serial SuperEGO).
+struct JoinOptions {
+  /// The per-dimension absolute-difference threshold (paper: 1 for VK,
+  /// 15000 for Synthetic).
+  Epsilon eps = 1;
+
+  /// Number of parts in the MinMax encoding (paper §4: 4 is the best
+  /// time/space tradeoff; bench_ablation_parts sweeps this).
+  uint32_t encoding_parts = 4;
+
+  /// One-to-one matcher used by the exact methods. kCsf is the paper's
+  /// algorithm; kMaxMatching upgrades to Hopcroft-Karp (an extension).
+  matching::MatcherKind matcher = matching::MatcherKind::kCsf;
+
+  /// SuperEGO recursion threshold `t`: segments smaller than this are
+  /// joined with the nested loop.
+  uint32_t superego_threshold = 256;
+
+  /// Enable SuperEGO's data-driven dimension reordering.
+  bool superego_reorder_dims = true;
+
+  /// Normalization denominator for SuperEGO (the paper divides by the
+  /// dataset-wide maximum counter: 152,532 for VK, 500,000 for Synthetic).
+  /// 0 means "use the couple's own maximum counter".
+  Count superego_norm_max = 0;
+
+  /// For the GridHash methods: how many (most selective) dimensions the
+  /// epsilon-grid hash indexes. Probe cost grows as 3^dims; pruning power
+  /// saturates quickly on skewed data.
+  uint32_t gridhash_dims = 3;
+
+  /// For the MinMaxEGO hybrid methods: apply the MinMax encoded filter
+  /// (encoded-id window + part-range overlap) inside each EGO leaf before
+  /// the d-dimensional comparison. false degenerates to a plain
+  /// integer-grid SuperEGO, the other arm of bench_ablation_hybrid.
+  bool hybrid_encoded_leaf = true;
+
+  /// Worker threads for the candidate-collection phase of Ex-Baseline,
+  /// Ex-SuperEGO and Ex-MinMaxEGO (the paper notes SuperEGO parallelizes;
+  /// its evaluation pinned 1 thread for fairness, and so does our
+  /// default). Chunked statically, so results are identical to the serial
+  /// run. The approximate methods and Ex-MinMax are order-dependent scans
+  /// and always run serially; event logging also forces serial execution.
+  uint32_t threads = 1;
+
+  /// Optional event recorder (MinMax/Baseline only); null on the fast path.
+  EventLog* event_log = nullptr;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_JOIN_OPTIONS_H_

@@ -1,0 +1,16 @@
+#include "core/join_result.h"
+
+namespace csj {
+
+const char* EventName(Event event) {
+  switch (event) {
+    case Event::kMinPrune: return "MIN PRUNE";
+    case Event::kMaxPrune: return "MAX PRUNE";
+    case Event::kNoOverlap: return "NO OVERLAP";
+    case Event::kNoMatch: return "NO MATCH";
+    case Event::kMatch: return "MATCH";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace csj

@@ -1,0 +1,110 @@
+#ifndef CSJ_CORE_JOIN_RESULT_H_
+#define CSJ_CORE_JOIN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace csj {
+
+/// The five events a MinMax/Baseline pairing loop can emit per user-pair
+/// examination (paper §4). Kept in one enum so the trace tests can assert
+/// the exact event sequences of the paper's Figures 2 and 3.
+enum class Event : uint8_t {
+  kMinPrune = 0,   ///< current b cannot match this or any later a
+  kMaxPrune = 1,   ///< current a cannot match this or any later b
+  kNoOverlap = 2,  ///< part/range filter rejected the pair (no d-dim compare)
+  kNoMatch = 3,    ///< d-dimensional compare ran and failed
+  kMatch = 4,      ///< d-dimensional compare ran and succeeded
+};
+
+/// Human-readable event name, matching the paper's capitalized spelling.
+const char* EventName(Event event);
+
+/// One emitted event together with the users involved (indices into B/A).
+/// `a` is meaningless for kMinPrune beyond "the a that triggered it".
+struct EventRecord {
+  Event event;
+  UserId b;
+  UserId a;
+
+  friend bool operator==(const EventRecord&, const EventRecord&) = default;
+};
+
+/// Optional event-sequence recorder. Joins accept a null pointer on the
+/// fast path; the examples and trace tests pass one to replay Figures 2-3.
+struct EventLog {
+  std::vector<EventRecord> records;
+
+  void Add(Event event, UserId b, UserId a) {
+    records.push_back(EventRecord{event, b, a});
+  }
+};
+
+/// Aggregate statistics of one join execution. Event counters are always
+/// maintained (they are a handful of increments next to a d-dimensional
+/// compare); `dimension_compares` counts full EpsilonMatches evaluations.
+struct JoinStats {
+  uint64_t min_prunes = 0;
+  uint64_t max_prunes = 0;
+  uint64_t no_overlaps = 0;
+  uint64_t no_matches = 0;
+  uint64_t matches = 0;
+  uint64_t dimension_compares = 0;  ///< == no_matches + matches
+  uint64_t candidate_pairs = 0;     ///< pairs handed to the matcher (exact)
+  uint64_t csf_flushes = 0;         ///< CSF invocations (Ex-MinMax segments)
+  double seconds = 0.0;             ///< wall-clock of the whole join
+
+  void Count(Event event) {
+    switch (event) {
+      case Event::kMinPrune: ++min_prunes; break;
+      case Event::kMaxPrune: ++max_prunes; break;
+      case Event::kNoOverlap: ++no_overlaps; break;
+      case Event::kNoMatch: ++no_matches; ++dimension_compares; break;
+      case Event::kMatch: ++matches; ++dimension_compares; break;
+    }
+  }
+
+  /// Folds another chunk's counters into this one (parallel joins merge
+  /// their per-chunk stats; `seconds` is wall-clock and left untouched).
+  void Merge(const JoinStats& other) {
+    min_prunes += other.min_prunes;
+    max_prunes += other.max_prunes;
+    no_overlaps += other.no_overlaps;
+    no_matches += other.no_matches;
+    matches += other.matches;
+    dimension_compares += other.dimension_compares;
+    candidate_pairs += other.candidate_pairs;
+    csf_flushes += other.csf_flushes;
+  }
+};
+
+/// One matched user pair <b, a> (indices into B and A respectively).
+struct MatchedPair {
+  UserId b;
+  UserId a;
+
+  friend bool operator==(const MatchedPair&, const MatchedPair&) = default;
+  friend auto operator<=>(const MatchedPair&, const MatchedPair&) = default;
+};
+
+/// Outcome of running one CSJ method on a couple <B, A>.
+struct JoinResult {
+  std::string method;               ///< e.g. "Ex-MinMax"
+  std::vector<MatchedPair> pairs;   ///< the one-to-one matching found
+  uint32_t size_b = 0;              ///< |B| at execution time
+  JoinStats stats;
+
+  /// similarity(B, A) = |matched_user_pairs| / |B|  (Eq. 1, p = 1; the
+  /// approximate methods realize p < 1 implicitly by finding fewer pairs).
+  double Similarity() const {
+    if (size_b == 0) return 0.0;
+    return static_cast<double>(pairs.size()) / static_cast<double>(size_b);
+  }
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_JOIN_RESULT_H_

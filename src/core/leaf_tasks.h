@@ -1,0 +1,39 @@
+#ifndef CSJ_CORE_LEAF_TASKS_H_
+#define CSJ_CORE_LEAF_TASKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ego/ego_join.h"
+
+namespace csj::internal {
+
+/// One surviving EGO leaf pair: the row ranges an exact leaf join must
+/// scan. Materializing the task list (instead of joining inside the
+/// recursion callback) lets the exact EGO-based methods fan the leaf work
+/// out across threads with deterministic, chunk-ordered merging.
+struct LeafTask {
+  uint32_t b_lo;
+  uint32_t b_hi;
+  uint32_t a_lo;
+  uint32_t a_hi;
+};
+
+/// Runs the EGO recursion purely as a pruner and returns the surviving
+/// leaf pairs in visit order (deterministic).
+inline std::vector<LeafTask> CollectLeafTasks(const ego::SegmentTree& tree_b,
+                                              const ego::SegmentTree& tree_a,
+                                              ego::EgoStats* stats) {
+  std::vector<LeafTask> tasks;
+  ego::EgoJoin(
+      tree_b, tree_a,
+      [&tasks](uint32_t b_lo, uint32_t b_hi, uint32_t a_lo, uint32_t a_hi) {
+        tasks.push_back(LeafTask{b_lo, b_hi, a_lo, a_hi});
+      },
+      stats);
+  return tasks;
+}
+
+}  // namespace csj::internal
+
+#endif  // CSJ_CORE_LEAF_TASKS_H_

@@ -1,0 +1,72 @@
+#include "core/method.h"
+
+#include "core/baseline.h"
+#include "core/gridhash_method.h"
+#include "core/hybrid_method.h"
+#include "core/minmax.h"
+#include "core/superego_method.h"
+
+namespace csj {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kApBaseline: return "Ap-Baseline";
+    case Method::kExBaseline: return "Ex-Baseline";
+    case Method::kApMinMax: return "Ap-MinMax";
+    case Method::kExMinMax: return "Ex-MinMax";
+    case Method::kApSuperEgo: return "Ap-SuperEGO";
+    case Method::kExSuperEgo: return "Ex-SuperEGO";
+    case Method::kApMinMaxEgo: return "Ap-MinMaxEGO";
+    case Method::kExMinMaxEgo: return "Ex-MinMaxEGO";
+    case Method::kApGridHash: return "Ap-GridHash";
+    case Method::kExGridHash: return "Ex-GridHash";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<Method> ParseMethod(const std::string& name) {
+  for (const Method method : kAllMethods) {
+    if (name == MethodName(method)) return method;
+  }
+  for (const Method method : kExtensionMethods) {
+    if (name == MethodName(method)) return method;
+  }
+  return std::nullopt;
+}
+
+bool IsExact(Method method) {
+  switch (method) {
+    case Method::kExBaseline:
+    case Method::kExMinMax:
+    case Method::kExSuperEgo:
+    case Method::kExMinMaxEgo:
+    case Method::kExGridHash:
+      return true;
+    case Method::kApBaseline:
+    case Method::kApMinMax:
+    case Method::kApSuperEgo:
+    case Method::kApMinMaxEgo:
+    case Method::kApGridHash:
+      return false;
+  }
+  return false;
+}
+
+JoinResult RunMethod(Method method, const Community& b, const Community& a,
+                     const JoinOptions& options) {
+  switch (method) {
+    case Method::kApBaseline: return ApBaselineJoin(b, a, options);
+    case Method::kExBaseline: return ExBaselineJoin(b, a, options);
+    case Method::kApMinMax: return ApMinMaxJoin(b, a, options);
+    case Method::kExMinMax: return ExMinMaxJoin(b, a, options);
+    case Method::kApSuperEgo: return ApSuperEgoJoin(b, a, options);
+    case Method::kExSuperEgo: return ExSuperEgoJoin(b, a, options);
+    case Method::kApMinMaxEgo: return ApMinMaxEgoJoin(b, a, options);
+    case Method::kExMinMaxEgo: return ExMinMaxEgoJoin(b, a, options);
+    case Method::kApGridHash: return ApGridHashJoin(b, a, options);
+    case Method::kExGridHash: return ExGridHashJoin(b, a, options);
+  }
+  return {};
+}
+
+}  // namespace csj

@@ -1,0 +1,63 @@
+#ifndef CSJ_CORE_METHOD_H_
+#define CSJ_CORE_METHOD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/community.h"
+#include "core/join_options.h"
+#include "core/join_result.h"
+
+namespace csj {
+
+/// The paper's six CSJ methods (§4-§5) plus two extension families: the
+/// MinMaxEGO hybrid §6.2 hypothesizes (integer-grid SuperEGO recursion
+/// with MinMax-encoded leaves; hybrid_method.h) and the GridHash spatial
+/// hash-join baseline (gridhash_method.h).
+enum class Method {
+  kApBaseline,
+  kExBaseline,
+  kApMinMax,
+  kExMinMax,
+  kApSuperEgo,
+  kExSuperEgo,
+  kApMinMaxEgo,
+  kExMinMaxEgo,
+  kApGridHash,
+  kExGridHash,
+};
+
+/// The paper's methods, in its presentation order.
+inline constexpr Method kAllMethods[] = {
+    Method::kApBaseline, Method::kExBaseline, Method::kApMinMax,
+    Method::kExMinMax,   Method::kApSuperEgo, Method::kExSuperEgo,
+};
+
+/// The hybrid extension methods (not part of the paper's evaluation).
+inline constexpr Method kExtensionMethods[] = {
+    Method::kApMinMaxEgo,
+    Method::kExMinMaxEgo,
+    Method::kApGridHash,
+    Method::kExGridHash,
+};
+
+/// The paper's spelling, e.g. "Ex-MinMax".
+const char* MethodName(Method method);
+
+/// Parses a method name (exact, case-sensitive, paper spelling). Returns
+/// nullopt for unknown names.
+std::optional<Method> ParseMethod(const std::string& name);
+
+/// True for Ex-*, false for Ap-*.
+bool IsExact(Method method);
+
+/// Dispatches to the selected method's join implementation. `b` and `a`
+/// may have any sizes here; the similarity front door in similarity.h is
+/// where the paper's ceil(|A|/2) <= |B| <= |A| admissibility rule lives.
+JoinResult RunMethod(Method method, const Community& b, const Community& a,
+                     const JoinOptions& options);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_METHOD_H_

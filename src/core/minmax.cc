@@ -1,0 +1,172 @@
+#include "core/minmax.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/epsilon_predicate.h"
+#include "matching/matcher.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace csj {
+
+namespace {
+
+/// Emits `event` into the stats and, when tracing, into the event log with
+/// the ORIGINAL user ids (the figures label users in sorted-buffer order;
+/// the trace tests construct inputs where the two orders coincide).
+void Emit(Event event, UserId real_b, UserId real_a, JoinStats* stats,
+          EventLog* log) {
+  stats->Count(event);
+  if (log != nullptr) log->Add(event, real_b, real_a);
+}
+
+}  // namespace
+
+JoinResult ApMinMaxJoin(const Community& b, const Community& a,
+                        const JoinOptions& options) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ap-MinMax";
+  result.size_b = b.size();
+
+  const Encoder encoder(b.d(), options.eps, options.encoding_parts);
+  const EncodedB encd_b(b, encoder);
+  const EncodedA encd_a(a, encoder);
+  const uint32_t nb = encd_b.size();
+  const uint32_t na = encd_a.size();
+
+  std::vector<bool> used_a(na, false);
+  uint32_t offset = 0;
+  for (uint32_t ib = 0; ib < nb; ++ib) {
+    const uint64_t id = encd_b.encoded_id(ib);
+    const UserId real_b = encd_b.real_id(ib);
+    bool skip = true;
+    for (uint32_t ia = offset; ia < na; ++ia) {
+      const UserId real_a = encd_a.real_id(ia);
+      if (used_a[ia]) {
+        // Matched A users are out of the join; while skip is active they
+        // extend the permanently skippable prefix.
+        if (skip) offset = ia + 1;
+        continue;
+      }
+      if (id < encd_a.encoded_min(ia)) {
+        Emit(Event::kMinPrune, real_b, real_a, &result.stats,
+             options.event_log);
+        break;  // encoded_min only grows with ia: b is done
+      }
+      if (id <= encd_a.encoded_max(ia)) {
+        skip = false;  // a comparison (even part/range) pins the offset
+        if (!PartsOverlap(encd_b, ib, encd_a, ia)) {
+          Emit(Event::kNoOverlap, real_b, real_a, &result.stats,
+               options.event_log);
+          continue;
+        }
+        if (EpsilonMatches(b.User(real_b), a.User(real_a), options.eps)) {
+          Emit(Event::kMatch, real_b, real_a, &result.stats,
+               options.event_log);
+          result.pairs.push_back(MatchedPair{real_b, real_a});
+          used_a[ia] = true;
+          break;  // approximate rule: first match ends this b
+        }
+        Emit(Event::kNoMatch, real_b, real_a, &result.stats,
+             options.event_log);
+        continue;
+      }
+      // id > encoded_max: this a is unreachable for every later b too.
+      Emit(Event::kMaxPrune, real_b, real_a, &result.stats,
+           options.event_log);
+      if (skip) offset = ia + 1;
+    }
+  }
+
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+JoinResult ExMinMaxJoin(const Community& b, const Community& a,
+                        const JoinOptions& options) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ex-MinMax";
+  result.size_b = b.size();
+
+  const Encoder encoder(b.d(), options.eps, options.encoding_parts);
+  const EncodedB encd_b(b, encoder);
+  const EncodedA encd_a(a, encoder);
+  const uint32_t nb = encd_b.size();
+  const uint32_t na = encd_a.size();
+
+  // Open segment: candidate edges (original ids) plus maxV, the largest
+  // encoded_max over the A users those edges touch.
+  std::vector<MatchedPair> segment;
+  uint64_t max_v = 0;
+
+  auto flush_segment = [&]() {
+    if (segment.empty()) {
+      max_v = 0;
+      return;
+    }
+    result.stats.candidate_pairs += segment.size();
+    ++result.stats.csf_flushes;
+    std::vector<MatchedPair> matched =
+        matching::RunMatcher(options.matcher, segment);
+    result.pairs.insert(result.pairs.end(), matched.begin(), matched.end());
+    segment.clear();
+    max_v = 0;
+  };
+
+  uint32_t offset = 0;
+  for (uint32_t ib = 0; ib < nb; ++ib) {
+    const uint64_t id = encd_b.encoded_id(ib);
+    const UserId real_b = encd_b.real_id(ib);
+    bool skip = true;
+    for (uint32_t ia = offset; ia < na; ++ia) {
+      const UserId real_a = encd_a.real_id(ia);
+      if (id < encd_a.encoded_min(ia)) {
+        Emit(Event::kMinPrune, real_b, real_a, &result.stats,
+             options.event_log);
+        break;
+      }
+      if (id <= encd_a.encoded_max(ia)) {
+        skip = false;
+        if (!PartsOverlap(encd_b, ib, encd_a, ia)) {
+          Emit(Event::kNoOverlap, real_b, real_a, &result.stats,
+               options.event_log);
+          continue;
+        }
+        if (EpsilonMatches(b.User(real_b), a.User(real_a), options.eps)) {
+          Emit(Event::kMatch, real_b, real_a, &result.stats,
+               options.event_log);
+          segment.push_back(MatchedPair{real_b, real_a});
+          if (encd_a.encoded_max(ia) > max_v) max_v = encd_a.encoded_max(ia);
+          // Exact rule: keep scanning — b may match further A users.
+          continue;
+        }
+        Emit(Event::kNoMatch, real_b, real_a, &result.stats,
+             options.event_log);
+        continue;
+      }
+      Emit(Event::kMaxPrune, real_b, real_a, &result.stats,
+           options.event_log);
+      if (skip) offset = ia + 1;
+    }
+
+    // Segment-close check (Figure 3 performs it whether the scan ended by
+    // MIN PRUNE or by exhausting Encd_A): if the next b's encoded_id
+    // exceeds maxV, no later b can reach any matched a, and every
+    // collected b has finished its scan, so CSF is safe.
+    const uint64_t next_id =
+        ib + 1 < nb ? encd_b.encoded_id(ib + 1) : UINT64_MAX;
+    if (next_id > max_v) flush_segment();
+  }
+  flush_segment();  // defensive: loop above already flushed at ib == nb-1
+
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace csj

@@ -1,0 +1,23 @@
+#include "core/similarity.h"
+
+namespace csj {
+
+std::optional<JoinResult> ComputeSimilarity(Method method, const Community& b,
+                                            const Community& a,
+                                            const JoinOptions& options) {
+  if (b.empty() || a.empty()) return std::nullopt;
+  if (b.d() != a.d()) return std::nullopt;
+  if (!SizesAdmissible(b.size(), a.size())) return std::nullopt;
+  return RunMethod(method, b, a, options);
+}
+
+std::optional<JoinResult> ComputeSimilarityAutoOrder(
+    Method method, const Community& x, const Community& y,
+    const JoinOptions& options) {
+  const bool x_is_b = x.size() <= y.size();
+  const Community& b = x_is_b ? x : y;
+  const Community& a = x_is_b ? y : x;
+  return ComputeSimilarity(method, b, a, options);
+}
+
+}  // namespace csj

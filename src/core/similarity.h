@@ -1,0 +1,41 @@
+#ifndef CSJ_CORE_SIMILARITY_H_
+#define CSJ_CORE_SIMILARITY_H_
+
+#include <optional>
+
+#include "core/community.h"
+#include "core/join_options.h"
+#include "core/join_result.h"
+#include "core/method.h"
+
+namespace csj {
+
+/// The library's front door: computes similarity(B, A) per the CSJ
+/// definition (§3), enforcing its admissibility rule.
+///
+/// `b` must be the LESS-followed community and satisfy
+/// ceil(|A|/2) <= |B| <= |A|; otherwise the similarity is not meaningful
+/// (B would be a near-subset of A) and nullopt is returned. Both
+/// communities must be non-empty and share the same dimensionality.
+///
+/// Typical use:
+///   csj::JoinOptions options;
+///   options.eps = 1;
+///   auto report = csj::ComputeSimilarity(csj::Method::kExMinMax, b, a,
+///                                        options);
+///   if (report) std::cout << report->Similarity();
+std::optional<JoinResult> ComputeSimilarity(Method method, const Community& b,
+                                            const Community& a,
+                                            const JoinOptions& options);
+
+/// Convenience overload ordering the couple automatically: the smaller
+/// community plays B. Still returns nullopt when even the reordered couple
+/// violates the size rule.
+std::optional<JoinResult> ComputeSimilarityAutoOrder(Method method,
+                                                     const Community& x,
+                                                     const Community& y,
+                                                     const JoinOptions& options);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_SIMILARITY_H_

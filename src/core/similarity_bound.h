@@ -1,0 +1,35 @@
+#ifndef CSJ_CORE_SIMILARITY_BOUND_H_
+#define CSJ_CORE_SIMILARITY_BOUND_H_
+
+#include <cstdint>
+
+#include "core/community.h"
+#include "core/types.h"
+
+namespace csj {
+
+/// Cheap upper bound on the EXACT CSJ matched-pair count — no
+/// d-dimensional comparisons, no candidate graph.
+///
+/// Every eps-match <b, a> satisfies encoded_id(b) ∈ [encoded_min(a),
+/// encoded_max(a)] (the MinMax window invariant), so the exact matching
+/// can never exceed the maximum matching of the interval-point graph
+/// {(b, a) : id_b ∈ window_a}. That relaxation is solvable exactly with a
+/// classic greedy in O(n log n): process A's windows by ascending
+/// encoded_max and give each the smallest unassigned id inside it.
+///
+/// Use: catalog pruning. A brand comparing against thousands of candidate
+/// communities can discard every couple whose bound is already below the
+/// interesting similarity band before running ANY join — the pipeline's
+/// `use_upper_bound_prune` does exactly this.
+uint32_t MatchingUpperBound(const Community& b, const Community& a,
+                            Epsilon eps);
+
+/// MatchingUpperBound / |B| — an upper bound on similarity(B, A). 0 when
+/// B is empty.
+double SimilarityUpperBound(const Community& b, const Community& a,
+                            Epsilon eps);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_SIMILARITY_BOUND_H_

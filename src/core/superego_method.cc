@@ -1,0 +1,159 @@
+#include "core/superego_method.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/leaf_tasks.h"
+#include "ego/dimension_reorder.h"
+#include "ego/ego_join.h"
+#include "ego/normalized.h"
+#include "matching/matcher.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace csj {
+
+namespace {
+
+/// Everything both SuperEGO variants share: normalization, optional
+/// dimension reorder, EGO sort and segment-tree construction.
+struct Prepared {
+  ego::NormalizedData b;
+  ego::NormalizedData a;
+  ego::SegmentTree tree_b;
+  ego::SegmentTree tree_a;
+};
+
+Prepared PrepareSuperEgo(const Community& b, const Community& a,
+                         const JoinOptions& options) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  CSJ_CHECK_GT(options.eps, 0u);
+  Count max_count = options.superego_norm_max;
+  if (max_count == 0) {
+    max_count = std::max(b.MaxCounter(), a.MaxCounter());
+    if (max_count == 0) max_count = 1;  // all-zero data still normalizes
+  }
+  const std::vector<Dim> order =
+      options.superego_reorder_dims
+          ? ego::ComputeDimensionOrder(b, a, options.eps, max_count)
+          : ego::IdentityOrder(b.d());
+  ego::NormalizedData norm_b = ego::Normalize(b, max_count, options.eps, order);
+  ego::NormalizedData norm_a = ego::Normalize(a, max_count, options.eps, order);
+  const uint32_t threshold = std::max<uint32_t>(options.superego_threshold, 2);
+  ego::SegmentTree tree_b(ego::CellsOf(norm_b), threshold);
+  ego::SegmentTree tree_a(ego::CellsOf(norm_a), threshold);
+  return Prepared{std::move(norm_b), std::move(norm_a), std::move(tree_b),
+                  std::move(tree_a)};
+}
+
+void FoldEgoStats(const ego::EgoStats& ego_stats, JoinStats* stats) {
+  // The EGO strategy plays the pruning role MIN/MAX PRUNE play in MinMax;
+  // surface its activity through the same counters so the benches can
+  // print one uniform stats row per method.
+  stats->min_prunes = ego_stats.strategy_prunes;
+  stats->csf_flushes += ego_stats.leaf_joins;
+}
+
+}  // namespace
+
+JoinResult ApSuperEgoJoin(const Community& b, const Community& a,
+                          const JoinOptions& options) {
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ap-SuperEGO";
+  result.size_b = b.size();
+
+  const Prepared prep = PrepareSuperEgo(b, a, options);
+  std::vector<bool> matched_b(prep.b.size(), false);
+  std::vector<bool> used_a(prep.a.size(), false);
+
+  ego::EgoStats ego_stats;
+  const float eps_norm = prep.b.eps_norm;
+  ego::EgoJoin(
+      prep.tree_b, prep.tree_a,
+      [&](uint32_t b_lo, uint32_t b_hi, uint32_t a_lo, uint32_t a_hi) {
+        for (uint32_t rb = b_lo; rb < b_hi; ++rb) {
+          if (matched_b[rb]) continue;
+          const std::span<const float> vb = prep.b.Row(rb);
+          for (uint32_t ra = a_lo; ra < a_hi; ++ra) {
+            if (used_a[ra]) continue;
+            const bool match =
+                ego::EpsMatchesFloat(vb, prep.a.Row(ra), eps_norm);
+            result.stats.Count(match ? Event::kMatch : Event::kNoMatch);
+            if (match) {
+              matched_b[rb] = true;
+              used_a[ra] = true;
+              result.pairs.push_back(
+                  MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
+              break;  // Ap-Baseline leaf rule: first match ends this b
+            }
+          }
+        }
+      },
+      &ego_stats);
+
+  FoldEgoStats(ego_stats, &result.stats);
+  result.stats.csf_flushes = 0;  // approximate: no matcher runs
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
+                          const JoinOptions& options) {
+  util::Timer timer;
+  JoinResult result;
+  result.method = "Ex-SuperEGO";
+  result.size_b = b.size();
+
+  const Prepared prep = PrepareSuperEgo(b, a, options);
+  ego::EgoStats ego_stats;
+  const float eps_norm = prep.b.eps_norm;
+
+  // The recursion only prunes; the surviving leaves are scanned in
+  // parallel chunks whose outputs merge in task order (serial-identical
+  // results for any thread count).
+  const std::vector<internal::LeafTask> tasks =
+      internal::CollectLeafTasks(prep.tree_b, prep.tree_a, &ego_stats);
+  const uint32_t threads = std::max<uint32_t>(options.threads, 1);
+  const auto num_tasks = static_cast<uint32_t>(tasks.size());
+  const uint32_t chunks = util::ParallelChunks(0, num_tasks, threads);
+  std::vector<std::vector<MatchedPair>> chunk_candidates(chunks);
+  std::vector<JoinStats> chunk_stats(chunks);
+  util::ParallelFor(
+      0, num_tasks, threads,
+      [&](uint32_t task_begin, uint32_t task_end, uint32_t chunk) {
+        std::vector<MatchedPair>& local = chunk_candidates[chunk];
+        JoinStats& stats = chunk_stats[chunk];
+        for (uint32_t t = task_begin; t < task_end; ++t) {
+          const internal::LeafTask& task = tasks[t];
+          for (uint32_t rb = task.b_lo; rb < task.b_hi; ++rb) {
+            const std::span<const float> vb = prep.b.Row(rb);
+            for (uint32_t ra = task.a_lo; ra < task.a_hi; ++ra) {
+              const bool match =
+                  ego::EpsMatchesFloat(vb, prep.a.Row(ra), eps_norm);
+              stats.Count(match ? Event::kMatch : Event::kNoMatch);
+              if (match) {
+                local.push_back(MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
+              }
+            }
+          }
+        }
+      });
+
+  std::vector<MatchedPair> candidates;
+  for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
+    result.stats.Merge(chunk_stats[chunk]);
+    candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),
+                      chunk_candidates[chunk].end());
+  }
+
+  FoldEgoStats(ego_stats, &result.stats);
+  result.stats.candidate_pairs = candidates.size();
+  result.stats.csf_flushes = 1;  // one matcher call after the recursion
+  result.pairs = matching::RunMatcher(options.matcher, candidates);
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace csj

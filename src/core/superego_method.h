@@ -1,0 +1,32 @@
+#ifndef CSJ_CORE_SUPEREGO_METHOD_H_
+#define CSJ_CORE_SUPEREGO_METHOD_H_
+
+#include "core/community.h"
+#include "core/join_options.h"
+#include "core/join_result.h"
+
+namespace csj {
+
+/// Ap-SuperEGO (paper §5.2): the SuperEGO recursive framework with the
+/// NestedLoopJoin leaf replaced by Ap-Baseline's first-match rule, shared
+/// across leaves via global matched-b / used-a bitmaps so the one-to-one
+/// constraint holds over the whole join.
+///
+/// As in the paper, the data is normalized to [0,1]^d (float32, dividing
+/// by `options.superego_norm_max` or, when that is 0, the couple's maximum
+/// counter) and eps becomes eps_norm = eps / max. The per-dimension
+/// condition is evaluated in normalized float32 space — faithful to the
+/// paper's adaptation, including its boundary-precision accuracy loss on
+/// counter-scale data (DESIGN.md §6).
+JoinResult ApSuperEgoJoin(const Community& b, const Community& a,
+                          const JoinOptions& options);
+
+/// Ex-SuperEGO (paper §5.2): same framework; leaves collect ALL matching
+/// pairs and the configured matcher (paper: CSF) runs once after the
+/// recursion ends.
+JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
+                          const JoinOptions& options);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_SUPEREGO_METHOD_H_

@@ -1,0 +1,26 @@
+#ifndef CSJ_CORE_TYPES_H_
+#define CSJ_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace csj {
+
+/// An aggregate preference counter: the number of likes a user gave to
+/// posts of one category (paper §1.1). Counters only grow as users consume
+/// content, hence unsigned; the paper's real dataset tops out at 152,532
+/// likes in one dimension, far below the 32-bit limit.
+using Count = uint32_t;
+
+/// Index of a user inside its community (the paper's `real_ID`).
+using UserId = uint32_t;
+
+/// Index of a dimension/category in a user vector, `0 <= Dim < d`.
+using Dim = uint32_t;
+
+/// The per-dimension absolute-difference threshold. eps is intentionally
+/// small relative to counter magnitudes ("as minimum as possible", §3).
+using Epsilon = Count;
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_TYPES_H_

@@ -1,0 +1,145 @@
+#include "data/case_studies.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.h"
+
+namespace csj::data {
+
+namespace {
+
+using enum Category;
+
+// Tables 2-10 condensed: names/ids from Table 2, sizes from Tables 3/5,
+// exact similarities from the Ex-MinMax columns of Tables 4/6 (VK) and
+// 8/10 (Synthetic).
+constexpr std::array<CaseStudyCouple, 20> kCaseStudies = {{
+    // cid 1-10: different categories (similarity >= 15%).
+    {1, kRestaurants, kFoodRecipes, "Quick Recipes", "Salads | Best Recipes",
+     165062392, 94216909, 109176, 116016, 0.2081, 0.1774},
+    {2, kHobbies, kSport, "Happiness", "Sportshacker", 23337480, 128350290,
+     156213, 230017, 0.1546, 0.1600},
+    {3, kCultureArt, kEducation, "Moment of history",
+     "This is a fact | Science and Facts", 143826157, 45688121, 134961,
+     138199, 0.2495, 0.2415},
+    {4, kMedicine, kBeautyHealth, "Health secrets. What is said by doctors?",
+     "Fashionable girl", 55122354, 36085261, 120783, 185393, 0.1642, 0.1657},
+    {5, kMedia, kEntertainment, "First channel", "Nice line", 25380626,
+     26669118, 197415, 330944, 0.1752, 0.1549},
+    {6, kSocialPublic, kRelationshipFamily, "About women's",
+     "Successful girl", 33382046, 24036559, 118993, 131297, 0.2438, 0.2456},
+    {7, kCitiesCountries, kTourismLeisure, "The best of Saint Petersburg",
+     "Vandrouki | Travel almost free", 31516466, 63731512, 140114, 257419,
+     0.2222, 0.2213},
+    {8, kHomeRenovation, kProductsStores, "Housing problem",
+     "Business quote book", 42541008, 28556858, 167585, 182815, 0.1553,
+     0.1557},
+    {9, kCelebrity, kMusic, "Jah Khalib", "My audios", 26211015, 105999460,
+     125248, 189937, 0.1752, 0.1590},
+    {10, kJobSearch, kFinanceInsurance, "Job in Moscow", "VK Pay", 31154183,
+     166850908, 55918, 109622, 0.2156, 0.0785},
+    // cid 11-20: same categories (similarity >= 30%).
+    {11, kFoodRecipes, kFoodRecipes, "Cooking: delicious recipes",
+     "Cooking at home: delicious and easy", 42092461, 40020627, 180158,
+     196135, 0.3152, 0.3063},
+    {12, kFoodRecipes, kFoodRecipes, "Simple recipes",
+     "Best Chef's Recipes", 83935640, 18464856, 180351, 272320, 0.3210,
+     0.3057},
+    {13, kSport, kSport, "FC Barcelona", "Football Europe", 22746750,
+     23693281, 179412, 234508, 0.3954, 0.3373},
+    {14, kSport, kSport, "World Russian Premier League", "Football Europe",
+     51812607, 23693281, 184663, 234508, 0.3710, 0.3085},
+    {15, kBeautyHealth, kBeautyHealth, "World of beauty", "Fashionable girl",
+     34981365, 36085261, 163176, 185393, 0.3693, 0.3664},
+    {16, kBeautyHealth, kBeautyHealth, "Beauty | Fashion | Show Business",
+     "Fashionable girl", 32922940, 36085261, 178138, 185393, 0.3058, 0.3041},
+    {17, kRelationshipFamily, kRelationshipFamily, "More than just lines",
+     "Just love", 32651025, 28293246, 165509, 190027, 0.3535, 0.3531},
+    {18, kRelationshipFamily, kRelationshipFamily, "Modern mom", "MAMA",
+     55074079, 20249656, 147140, 175929, 0.3226, 0.3172},
+    {19, kProductsStores, kProductsStores, "Business quote book",
+     "Business Strategy | Success in life", 28556858, 30559917, 182815,
+     201038, 0.3188, 0.3148},
+    {20, kProductsStores, kProductsStores, "Smart Money | Business Magazine",
+     "Business Strategy | Success in life", 34483558, 30559917, 161991,
+     201038, 0.3350, 0.3327},
+}};
+
+// Table 11: category and the four average couple sizes.
+constexpr std::array<ScalabilityRow, 20> kScalability = {{
+    {kFoodRecipes, {124453, 200966, 332977, 417492}},
+    {kRestaurants, {27733, 50802, 71114, 111713}},
+    {kHobbies, {212071, 326951, 432853, 538492}},
+    {kSport, {107770, 156762, 199233, 248901}},
+    {kEducation, {128905, 200466, 317041, 414692}},
+    {kCultureArt, {54381, 106885, 157236, 228763}},
+    {kBeautyHealth, {149171, 211701, 256387, 318470}},
+    {kMedicine, {21290, 41438, 62333, 84311}},
+    {kEntertainment, {445364, 651230, 841407, 1110846}},
+    {kMedia, {117231, 220804, 335845, 406973}},
+    {kRelationshipFamily, {121910, 169862, 212582, 283532}},
+    {kSocialPublic, {80552, 135060, 182865, 269604}},
+    {kTourismLeisure, {104403, 147984, 204376, 248205}},
+    {kCitiesCountries, {53271, 94130, 133765, 163201}},
+    {kProductsStores, {112425, 157593, 219171, 265760}},
+    {kHomeRenovation, {101381, 149484, 188986, 274326}},
+    {kCelebrity, {105339, 160277, 206374, 255239}},
+    {kMusic, {110695, 158516, 201757, 251919}},
+    {kFinanceInsurance, {24620, 49505, 70196, 108028}},
+    {kJobSearch, {16728, 30787, 45597, 62418}},
+}};
+
+}  // namespace
+
+std::span<const CaseStudyCouple> AllCaseStudies() { return kCaseStudies; }
+
+std::span<const CaseStudyCouple> DifferentCategoryCouples() {
+  return std::span<const CaseStudyCouple>(kCaseStudies).subspan(0, 10);
+}
+
+std::span<const CaseStudyCouple> SameCategoryCouples() {
+  return std::span<const CaseStudyCouple>(kCaseStudies).subspan(10, 10);
+}
+
+CoupleSpec SpecFor(const CaseStudyCouple& couple, DatasetFamily family,
+                   uint32_t scale) {
+  CSJ_CHECK_GE(scale, 1u);
+  CoupleSpec spec;
+  spec.size_b = std::max<uint32_t>(couple.size_b / scale, 16);
+  spec.size_a = std::max<uint32_t>(couple.size_a / scale, spec.size_b);
+  spec.eps = family == DatasetFamily::kVk ? kVkEpsilon : kSyntheticEpsilon;
+  spec.target_similarity = family == DatasetFamily::kVk
+                               ? couple.target_vk
+                               : couple.target_synthetic;
+  return spec;
+}
+
+Couple MaterializeCouple(const CaseStudyCouple& couple, DatasetFamily family,
+                         uint32_t scale, uint64_t seed) {
+  const CoupleSpec spec = SpecFor(couple, family, scale);
+  // Distinct deterministic stream per (couple, family, scale, seed).
+  uint64_t mix = seed;
+  mix ^= static_cast<uint64_t>(couple.cid) * uint64_t{0x9E3779B97F4A7C15};
+  mix ^= (family == DatasetFamily::kVk ? 1ULL : 2ULL) << 32;
+  mix ^= static_cast<uint64_t>(scale) << 40;
+  util::Rng rng(mix);
+
+  Couple result{Community(kNumCategories), Community(kNumCategories)};
+  if (family == DatasetFamily::kVk) {
+    VkLikeGenerator gen_b(couple.category_b);
+    VkLikeGenerator gen_a(couple.category_a);
+    result = PlantCouple(gen_b, gen_a, spec, rng);
+  } else {
+    UniformGenerator gen_b(kNumCategories, kSyntheticMaxCounter);
+    UniformGenerator gen_a(kNumCategories, kSyntheticMaxCounter);
+    result = PlantCouple(gen_b, gen_a, spec, rng);
+  }
+  result.b.set_name(couple.name_b);
+  result.a.set_name(couple.name_a);
+  return result;
+}
+
+std::span<const ScalabilityRow> ScalabilityStudy() { return kScalability; }
+
+}  // namespace csj::data

@@ -1,0 +1,66 @@
+#ifndef CSJ_DATA_CASE_STUDIES_H_
+#define CSJ_DATA_CASE_STUDIES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/categories.h"
+#include "data/community_sampler.h"
+
+namespace csj::data {
+
+/// One of the paper's 20 case-study community pairs (Table 2): the named
+/// VK pages, their VK page ids, the categories they belong to, the
+/// community sizes the paper reports (Tables 3-10), and the exact
+/// similarity the paper measured on each dataset family (the Ex-MinMax
+/// columns of Tables 4/6 for VK and 8/10 for Synthetic) — the planting
+/// targets our generators aim for.
+struct CaseStudyCouple {
+  int cid;                 ///< the paper's couple id, 1-20
+  Category category_b;
+  Category category_a;
+  const char* name_b;      ///< VK page name (Table 2)
+  const char* name_a;
+  uint64_t vk_id_b;        ///< VK page id (https://vk.com/public<ID>)
+  uint64_t vk_id_a;
+  uint32_t size_b;         ///< paper community sizes (full scale)
+  uint32_t size_a;
+  double target_vk;        ///< exact similarity on VK (fraction)
+  double target_synthetic; ///< exact similarity on Synthetic (fraction)
+};
+
+/// All 20 couples: cid 1-10 are the different-category studies
+/// (similarity >= 15%), cid 11-20 the same-category studies (>= 30%).
+std::span<const CaseStudyCouple> AllCaseStudies();
+std::span<const CaseStudyCouple> DifferentCategoryCouples();
+std::span<const CaseStudyCouple> SameCategoryCouples();
+
+/// Which dataset family a bench materializes a couple for.
+enum class DatasetFamily { kVk, kSynthetic };
+
+/// Builds the CoupleSpec for one case study at a size reduction of
+/// `scale` (sizes divided by `scale`; 1 reproduces the paper's full
+/// sizes). Picks the family's eps and similarity target.
+CoupleSpec SpecFor(const CaseStudyCouple& couple, DatasetFamily family,
+                   uint32_t scale);
+
+/// Materializes the couple: VK family uses the two categories' VkLike
+/// generators, Synthetic uses the uniform generator, per the paper §6.1.
+/// Deterministic in (couple.cid, family, scale, seed).
+Couple MaterializeCouple(const CaseStudyCouple& couple, DatasetFamily family,
+                         uint32_t scale, uint64_t seed);
+
+/// One row of the paper's Table 11 scalability study: a category and the
+/// four average couple sizes measured for it.
+struct ScalabilityRow {
+  Category category;
+  uint32_t sizes[4];
+};
+
+/// The 20 categories x 4 sizes of Table 11.
+std::span<const ScalabilityRow> ScalabilityStudy();
+
+}  // namespace csj::data
+
+#endif  // CSJ_DATA_CASE_STUDIES_H_

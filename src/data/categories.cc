@@ -1,0 +1,72 @@
+#include "data/categories.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace csj::data {
+
+namespace {
+
+constexpr std::array<const char*, kNumCategories> kNames = {
+    "Entertainment",
+    "Hobbies",
+    "Relationship_family",
+    "Beauty_health",
+    "Media",
+    "Social_public",
+    "Sport",
+    "Internet",
+    "Education",
+    "Celebrity",
+    "Animals",
+    "Music",
+    "Culture_art",
+    "Food_recipes",
+    "Tourism_leisure",
+    "Auto_motor",
+    "Products_stores",
+    "Home_renovation",
+    "Cities_countries",
+    "Professional_Services",
+    "Medicine",
+    "Finance_insurance",
+    "Restaurants",
+    "Job_search",
+    "Transportation_Services",
+    "Consumer_Services",
+    "Communication_Services",
+};
+
+// Table 1, VK column, in enum (== rank) order.
+constexpr std::array<uint64_t, kNumCategories> kVkTotals = {
+    2111519450ULL, 602445614ULL, 384993747ULL, 318695199ULL, 296466970ULL,
+    255007945ULL,  245830867ULL, 206085821ULL, 197289902ULL, 167468242ULL,
+    159569729ULL,  153686427ULL, 141107189ULL, 140212548ULL, 140054637ULL,
+    136991765ULL,  131752523ULL, 120091854ULL, 74006530ULL,  33024545ULL,
+    32135820ULL,   30961892ULL,  6473240ULL,   1853720ULL,   1385538ULL,
+    810889ULL,     474492ULL,
+};
+
+}  // namespace
+
+const char* CategoryName(Category category) {
+  const auto index = static_cast<size_t>(category);
+  CSJ_CHECK_LT(index, kNumCategories);
+  return kNames[index];
+}
+
+std::optional<Category> ParseCategory(const std::string& name) {
+  for (uint32_t i = 0; i < kNumCategories; ++i) {
+    if (name == kNames[i]) return static_cast<Category>(i);
+  }
+  return std::nullopt;
+}
+
+uint64_t VkTotalLikes(Category category) {
+  const auto index = static_cast<size_t>(category);
+  CSJ_CHECK_LT(index, kNumCategories);
+  return kVkTotals[index];
+}
+
+}  // namespace csj::data

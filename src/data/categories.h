@@ -1,0 +1,73 @@
+#ifndef CSJ_DATA_CATEGORIES_H_
+#define CSJ_DATA_CATEGORIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/types.h"
+
+namespace csj::data {
+
+/// The 27 VK categories of the paper (Table 1). Every user vector has one
+/// dimension per category; dimension index == enum value.
+enum class Category : uint8_t {
+  kEntertainment = 0,
+  kHobbies,
+  kRelationshipFamily,
+  kBeautyHealth,
+  kMedia,
+  kSocialPublic,
+  kSport,
+  kInternet,
+  kEducation,
+  kCelebrity,
+  kAnimals,
+  kMusic,
+  kCultureArt,
+  kFoodRecipes,
+  kTourismLeisure,
+  kAutoMotor,
+  kProductsStores,
+  kHomeRenovation,
+  kCitiesCountries,
+  kProfessionalServices,
+  kMedicine,
+  kFinanceInsurance,
+  kRestaurants,
+  kJobSearch,
+  kTransportationServices,
+  kConsumerServices,
+  kCommunicationServices,
+};
+
+inline constexpr uint32_t kNumCategories = 27;
+
+/// Dimension index of a category (identity by construction, spelled out
+/// for readability at call sites).
+inline Dim DimOf(Category category) { return static_cast<Dim>(category); }
+
+/// Table 1 spelling, e.g. "Relationship_family".
+const char* CategoryName(Category category);
+
+/// Inverse of CategoryName; nullopt for unknown names.
+std::optional<Category> ParseCategory(const std::string& name);
+
+/// Total likes VK accumulated per category in the paper's crawl
+/// (Table 1, VK column, rank order by these values). These calibrate the
+/// VK-like generator's category weights so the regenerated Table 1
+/// reproduces the paper's ranking.
+uint64_t VkTotalLikes(Category category);
+
+/// Largest single counter in the paper's datasets (§6.1); the VK-like
+/// generator clamps to this and SuperEGO normalizes by it.
+inline constexpr Count kVkMaxCounter = 152532;
+inline constexpr Count kSyntheticMaxCounter = 500000;
+
+/// The paper's epsilon per dataset family (§6.1).
+inline constexpr Epsilon kVkEpsilon = 1;
+inline constexpr Epsilon kSyntheticEpsilon = 15000;
+
+}  // namespace csj::data
+
+#endif  // CSJ_DATA_CATEGORIES_H_

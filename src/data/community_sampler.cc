@@ -1,0 +1,199 @@
+#include "data/community_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace csj::data {
+
+namespace {
+
+/// Perturbs each dimension of `vec` with probability `dim_probability` by
+/// a uniform step in [-eps, +eps] (clamped at zero): the result is a
+/// guaranteed eps-match of the source.
+void PerturbWithinEps(std::span<Count> vec, Epsilon eps,
+                      double dim_probability, util::Rng& rng) {
+  if (eps == 0) return;
+  for (Count& v : vec) {
+    if (!rng.Bernoulli(dim_probability)) continue;
+    const auto step = static_cast<int64_t>(rng.Between(0, 2 * eps)) -
+                      static_cast<int64_t>(eps);
+    const int64_t moved = static_cast<int64_t>(v) + step;
+    v = moved < 0 ? 0 : static_cast<Count>(moved);
+  }
+}
+
+}  // namespace
+
+Community PlantCommunityAgainst(const Community& a,
+                                UserVectorGenerator& gen_b,
+                                const CoupleSpec& spec, util::Rng& rng) {
+  CSJ_CHECK_EQ(gen_b.d(), a.d());
+  CSJ_CHECK_GT(spec.size_b, 0u);
+  const Dim d = a.d();
+
+  const auto planted = static_cast<uint32_t>(std::llround(
+      spec.target_similarity * static_cast<double>(spec.size_b)));
+  CSJ_CHECK_LE(planted, a.size())
+      << "target similarity needs more A users than |a| provides";
+
+  std::vector<uint32_t> slots(a.size());
+  std::iota(slots.begin(), slots.end(), 0u);
+  util::Shuffle(slots, rng);
+
+  Community b(d);
+  b.Reserve(spec.size_b);
+  std::vector<Count> scratch;
+  for (uint32_t i = 0; i < planted; ++i) {
+    scratch.assign(a.User(slots[i]).begin(), a.User(slots[i]).end());
+    if (!rng.Bernoulli(spec.exact_copy_fraction)) {
+      PerturbWithinEps(scratch, spec.eps, spec.perturb_dim_probability, rng);
+    }
+    b.AddUser(scratch);
+  }
+  std::vector<Count> flat;
+  for (uint32_t i = planted; i < spec.size_b; ++i) {
+    flat.clear();
+    gen_b.Generate(rng, &flat);
+    b.AddUser(flat);
+  }
+
+  std::vector<uint32_t> perm(b.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  util::Shuffle(perm, rng);
+  Community shuffled(d);
+  shuffled.Reserve(b.size());
+  for (const uint32_t row : perm) shuffled.AddUser(b.User(row));
+  return shuffled;
+}
+
+Couple PlantCouple(UserVectorGenerator& gen_b, UserVectorGenerator& gen_a,
+                   const CoupleSpec& spec, util::Rng& rng) {
+  CSJ_CHECK_EQ(gen_b.d(), gen_a.d());
+  CSJ_CHECK_GT(spec.size_b, 0u);
+  CSJ_CHECK_LE(spec.size_b, spec.size_a);
+  CSJ_CHECK_GE(spec.target_similarity, 0.0);
+  CSJ_CHECK_LE(spec.target_similarity, 1.0);
+  const Dim d = gen_a.d();
+
+  Couple couple{Community(d), Community(d)};
+  couple.a = MakeCommunity(gen_a, spec.size_a, rng);
+
+  // How many of B's users are planted matches, and how many of those come
+  // in contention clusters (2 planted pairs each).
+  const auto planted = static_cast<uint32_t>(std::llround(
+      spec.target_similarity * static_cast<double>(spec.size_b)));
+  uint32_t clusters = static_cast<uint32_t>(std::llround(
+      spec.contention_fraction * static_cast<double>(planted) / 2.0));
+  // Each cluster consumes two A slots and two B slots; keep totals legal.
+  clusters = std::min(clusters, planted / 2);
+  const uint32_t simple_twins = planted - 2 * clusters;
+  const uint32_t a_slots_needed = simple_twins + 2 * clusters;
+  CSJ_CHECK_LE(a_slots_needed, spec.size_a)
+      << "target similarity needs more A users than size_a provides";
+
+  // Distinct random A slots for the plants.
+  std::vector<uint32_t> slots(spec.size_a);
+  std::iota(slots.begin(), slots.end(), 0u);
+  util::Shuffle(slots, rng);
+  slots.resize(a_slots_needed);
+
+  couple.b.Reserve(spec.size_b);
+  std::vector<Count> scratch;
+  uint32_t next_slot = 0;
+
+  // Simple twins: B user = (usually exact, sometimes perturbed) copy of a
+  // distinct A user.
+  for (uint32_t i = 0; i < simple_twins; ++i) {
+    const uint32_t slot = slots[next_slot++];
+    scratch.assign(couple.a.User(slot).begin(), couple.a.User(slot).end());
+    if (!rng.Bernoulli(spec.exact_copy_fraction)) {
+      PerturbWithinEps(scratch, spec.eps, spec.perturb_dim_probability, rng);
+    }
+    couple.b.AddUser(scratch);
+  }
+
+  // Contention clusters: with base vector v (an existing A user) and a
+  // random dimension t,
+  //   a1 = v,            a2 = v + 2*eps*e_t   (overwrites a second A slot),
+  //   b1                 (matches BOTH a1 and a2),
+  //   b2                 (matches a1 only).
+  // An exact matcher pairs <b1,a2>,<b2,a1>; a greedy scan that commits b1
+  // to a1 before b2 arrives strands b2 — the approximate methods' accuracy
+  // loss. Two orientations:
+  //   plain:       b1 = v + m*e_t, b2 = v. b2's smaller encoded_id makes
+  //                the MinMax scan resolve it first (no loss there); only
+  //                storage-order scans like Ap-Baseline's can err.
+  //   minmax trap: b1 = v + m*e_t - m*e_u, b2 = v + m*e_u (needs a
+  //                dimension u != t with v_u >= m). Now b1 precedes b2
+  //                in encoded_id order while a1 precedes a2 in encoded_min
+  //                order, so Ap-MinMax commits b1 to a1 and strands b2.
+  // The match offset m is eps-1 when eps >= 3 (keeping cluster pairs OFF
+  // the exact eps boundary, so SuperEGO's float32 predicate keeps them —
+  // the Synthetic tables show no SuperEGO accuracy loss) and eps otherwise
+  // (with integer counters and eps = 1 every non-identical match IS a
+  // boundary pair; that is precisely the VK regime where the paper reports
+  // the loss).
+  const Epsilon eps = std::max<Epsilon>(spec.eps, 1);
+  const Count m = eps >= 3 ? eps - 1 : eps;
+  const Count sep = 2 * m;  // a1-a2 separation; > eps in both regimes
+  for (uint32_t c = 0; c < clusters; ++c) {
+    const uint32_t slot1 = slots[next_slot++];
+    const uint32_t slot2 = slots[next_slot++];
+    const Dim t = static_cast<Dim>(rng.Below(d));
+    scratch.assign(couple.a.User(slot1).begin(), couple.a.User(slot1).end());
+
+    std::span<Count> a2 = couple.a.MutableUser(slot2);
+    std::copy(scratch.begin(), scratch.end(), a2.begin());
+    a2[t] += sep;
+
+    Dim u = d;  // candidate second dimension for the trap orientation
+    if (rng.Bernoulli(spec.minmax_trap_fraction)) {
+      const Dim start = static_cast<Dim>(rng.Below(d));
+      for (Dim step = 0; step < d; ++step) {
+        const Dim candidate = static_cast<Dim>((start + step) % d);
+        if (candidate != t && scratch[candidate] >= m) {
+          u = candidate;
+          break;
+        }
+      }
+    }
+
+    std::vector<Count> b1 = scratch;
+    std::vector<Count> b2 = scratch;
+    b1[t] += m;
+    if (u < d) {
+      b1[u] -= m;
+      b2[u] += m;
+    }
+    couple.b.AddUser(b1);
+    couple.b.AddUser(b2);
+  }
+
+  // Fillers from B's own category model.
+  std::vector<Count> flat;
+  for (uint32_t i = planted; i < spec.size_b; ++i) {
+    flat.clear();
+    gen_b.Generate(rng, &flat);
+    couple.b.AddUser(flat);
+  }
+
+  // Shuffle B's row order so plants and fillers interleave: the scan-order
+  // dependence of the approximate methods stays realistic.
+  std::vector<uint32_t> perm(couple.b.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  util::Shuffle(perm, rng);
+  Community shuffled(d);
+  shuffled.Reserve(couple.b.size());
+  for (const uint32_t row : perm) shuffled.AddUser(couple.b.User(row));
+  couple.b = std::move(shuffled);
+
+  couple.planted_pairs = planted;
+  couple.planted_clusters = clusters;
+  return couple;
+}
+
+}  // namespace csj::data

@@ -1,0 +1,107 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace csj::data {
+
+namespace {
+
+/// Standard normal via Box-Muller on the deterministic Rng.
+double SampleStandardNormal(util::Rng& rng) {
+  double u1 = rng.NextDouble();
+  while (u1 <= 0.0) u1 = rng.NextDouble();
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+VkLikeGenerator::VkLikeGenerator(Category home, Params params)
+    : home_(home), params_(params) {
+  CSJ_CHECK_GE(params_.home_affinity, 0.0);
+  CSJ_CHECK_LE(params_.home_affinity, 1.0);
+  CSJ_CHECK_GE(params_.taste_log_sigma, 0.0);
+  global_weights_.resize(kNumCategories);
+  double total = 0.0;
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    global_weights_[c] =
+        static_cast<double>(VkTotalLikes(static_cast<Category>(c)));
+    total += global_weights_[c];
+  }
+  for (double& w : global_weights_) w /= total;
+}
+
+void VkLikeGenerator::Generate(util::Rng& rng, std::vector<Count>* out) {
+  const size_t base = out->size();
+  out->resize(base + kNumCategories, 0);
+  Count* vec = out->data() + base;
+
+  // Heavy-tailed total activity: a floor of always-counted subscriptions
+  // plus a log-normal tail of power likers.
+  const double log_activity = params_.activity_log_mean +
+                              params_.activity_log_sigma *
+                                  SampleStandardNormal(rng);
+  const double raw_activity =
+      static_cast<double>(params_.min_activity) + std::exp(log_activity);
+  const auto activity = static_cast<uint64_t>(std::min(
+      raw_activity, static_cast<double>(params_.max_counter)));
+
+  // This user's individual taste: the global category weights perturbed
+  // multiplicatively, then renormalized into a per-user CDF. The home
+  // devotion also varies per user — some subscribers live on the page,
+  // others barely visit — which keeps same-category subscribers' home
+  // counters from clustering.
+  std::array<double, kNumCategories> cdf;
+  double total = 0.0;
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    const double tilt =
+        std::exp(params_.taste_log_sigma * SampleStandardNormal(rng));
+    total += global_weights_[c] * tilt;
+    cdf[c] = total;
+  }
+  for (double& v : cdf) v /= total;
+  cdf.back() = 1.0;
+  const double home_affinity = std::clamp(
+      params_.home_affinity +
+          params_.home_affinity_sigma * SampleStandardNormal(rng),
+      0.35, 0.9);
+
+  for (uint64_t like = 0; like < activity; ++like) {
+    Category category = home_;
+    if (!rng.Bernoulli(home_affinity)) {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      category = static_cast<Category>(it - cdf.begin());
+    }
+    Count& counter = vec[DimOf(category)];
+    if (counter < params_.max_counter) ++counter;
+  }
+}
+
+UniformGenerator::UniformGenerator(Dim d, Count max_value)
+    : d_(d), max_value_(max_value) {
+  CSJ_CHECK_GE(d, 1u);
+}
+
+void UniformGenerator::Generate(util::Rng& rng, std::vector<Count>* out) {
+  const size_t base = out->size();
+  out->resize(base + d_, 0);
+  Count* vec = out->data() + base;
+  for (Dim k = 0; k < d_; ++k) {
+    vec[k] = static_cast<Count>(rng.Below(static_cast<uint64_t>(max_value_) + 1));
+  }
+}
+
+Community MakeCommunity(UserVectorGenerator& generator, uint32_t size,
+                        util::Rng& rng, std::string name) {
+  std::vector<Count> flat;
+  flat.reserve(static_cast<size_t>(size) * generator.d());
+  for (uint32_t i = 0; i < size; ++i) generator.Generate(rng, &flat);
+  return Community(generator.d(), std::move(flat), std::move(name));
+}
+
+}  // namespace csj::data

@@ -1,0 +1,132 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace csj::data {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'J', 'B'};
+constexpr uint32_t kVersion = 1;
+
+bool WriteU32(std::ofstream& out, uint32_t value) {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFF);
+  }
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+  return out.good();
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* value) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in.good()) return false;
+  *value = 0;
+  for (int i = 0; i < 4; ++i) {
+    *value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveCommunityCsv(const Community& community, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "# csj community d=" << community.d() << " name=" << community.name()
+      << "\n";
+  for (UserId u = 0; u < community.size(); ++u) {
+    const std::span<const Count> row = community.User(u);
+    for (Dim k = 0; k < community.d(); ++k) {
+      if (k != 0) out << ',';
+      out << row[k];
+    }
+    out << '\n';
+  }
+  return out.good();
+}
+
+std::optional<Community> LoadCommunityCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+
+  std::string name;
+  std::vector<Count> flat;
+  Dim d = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const size_t name_pos = line.find("name=");
+      if (name_pos != std::string::npos) name = line.substr(name_pos + 5);
+      continue;
+    }
+    std::vector<Count> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(cell.c_str(), &end, 10);
+      if (end == cell.c_str() || value > UINT32_MAX) return std::nullopt;
+      row.push_back(static_cast<Count>(value));
+    }
+    if (row.empty()) return std::nullopt;
+    if (d == 0) {
+      d = static_cast<Dim>(row.size());
+    } else if (row.size() != d) {
+      return std::nullopt;  // ragged rows
+    }
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  if (d == 0) return std::nullopt;
+  return Community(d, std::move(flat), std::move(name));
+}
+
+bool SaveCommunityBinary(const Community& community, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+  out.write(kMagic, 4);
+  if (!WriteU32(out, kVersion)) return false;
+  if (!WriteU32(out, community.d())) return false;
+  if (!WriteU32(out, community.size())) return false;
+  const auto name_len = static_cast<uint32_t>(community.name().size());
+  if (!WriteU32(out, name_len)) return false;
+  out.write(community.name().data(),
+            static_cast<std::streamsize>(name_len));
+  for (const Count c : community.flat()) {
+    if (!WriteU32(out, c)) return false;
+  }
+  return out.good();
+}
+
+std::optional<Community> LoadCommunityBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
+  uint32_t version = 0;
+  uint32_t d = 0;
+  uint32_t n = 0;
+  uint32_t name_len = 0;
+  if (!ReadU32(in, &version) || version != kVersion) return std::nullopt;
+  if (!ReadU32(in, &d) || d == 0) return std::nullopt;
+  if (!ReadU32(in, &n)) return std::nullopt;
+  if (!ReadU32(in, &name_len) || name_len > (1u << 20)) return std::nullopt;
+  std::string name(name_len, '\0');
+  in.read(name.data(), static_cast<std::streamsize>(name_len));
+  if (!in.good() && name_len > 0) return std::nullopt;
+  std::vector<Count> flat(static_cast<size_t>(n) * d);
+  for (Count& c : flat) {
+    if (!ReadU32(in, &c)) return std::nullopt;
+  }
+  return Community(static_cast<Dim>(d), std::move(flat), std::move(name));
+}
+
+}  // namespace csj::data

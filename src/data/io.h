@@ -1,0 +1,32 @@
+#ifndef CSJ_DATA_IO_H_
+#define CSJ_DATA_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/community.h"
+
+namespace csj::data {
+
+/// Persists a community as CSV: a header line `# csj community d=<d>
+/// name=<name>` followed by one comma-separated counter row per user.
+/// Human-inspectable; intended for small exports and interchange.
+/// Returns false on I/O failure.
+bool SaveCommunityCsv(const Community& community, const std::string& path);
+
+/// Loads a CSV produced by SaveCommunityCsv (or any headerless CSV of
+/// equal-length unsigned rows). Returns nullopt on parse or I/O failure.
+std::optional<Community> LoadCommunityCsv(const std::string& path);
+
+/// Persists a community in the compact binary format: magic "CSJB", then
+/// little-endian u32 {version, d, n, name length}, the name bytes, and
+/// n*d little-endian u32 counters. The fast path for large datasets.
+bool SaveCommunityBinary(const Community& community, const std::string& path);
+
+/// Loads the binary format; validates magic/version/sizes. Returns nullopt
+/// on any inconsistency.
+std::optional<Community> LoadCommunityBinary(const std::string& path);
+
+}  // namespace csj::data
+
+#endif  // CSJ_DATA_IO_H_

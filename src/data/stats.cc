@@ -1,0 +1,70 @@
+#include "data/stats.h"
+
+#include <algorithm>
+
+#include "data/generator.h"
+
+namespace csj::data {
+
+std::vector<CategoryTotal> RankCategories(const Community& population) {
+  std::vector<CategoryTotal> totals(kNumCategories);
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    totals[c] = CategoryTotal{static_cast<Category>(c), 0};
+  }
+  for (UserId u = 0; u < population.size(); ++u) {
+    const std::span<const Count> row = population.User(u);
+    for (Dim k = 0; k < population.d() && k < kNumCategories; ++k) {
+      totals[k].total_likes += row[k];
+    }
+  }
+  std::sort(totals.begin(), totals.end(),
+            [](const CategoryTotal& x, const CategoryTotal& y) {
+              if (x.total_likes != y.total_likes) {
+                return x.total_likes > y.total_likes;
+              }
+              return x.category < y.category;
+            });
+  return totals;
+}
+
+Community GenerateVkPopulation(uint32_t users, util::Rng& rng) {
+  // Home category ~ Table 1 VK totals: popular categories have more
+  // subscribers, which is what concentrates their like totals further.
+  std::vector<double> cdf(kNumCategories);
+  double total = 0.0;
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    total += static_cast<double>(VkTotalLikes(static_cast<Category>(c)));
+    cdf[c] = total;
+  }
+  for (double& v : cdf) v /= total;
+  cdf.back() = 1.0;
+
+  // One generator per home category, created lazily.
+  std::vector<std::unique_ptr<VkLikeGenerator>> generators(kNumCategories);
+  std::vector<Count> flat;
+  flat.reserve(static_cast<size_t>(users) * kNumCategories);
+  for (uint32_t i = 0; i < users; ++i) {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto home = static_cast<uint32_t>(it - cdf.begin());
+    if (generators[home] == nullptr) {
+      generators[home] =
+          std::make_unique<VkLikeGenerator>(static_cast<Category>(home));
+    }
+    generators[home]->Generate(rng, &flat);
+  }
+  return Community(kNumCategories, std::move(flat), "vk_population");
+}
+
+Community GenerateSyntheticPopulation(uint32_t users, util::Rng& rng) {
+  UniformGenerator generator(kNumCategories, kSyntheticMaxCounter);
+  Community population = MakeCommunity(generator, users, rng);
+  population.set_name("synthetic_population");
+  return population;
+}
+
+Count MaxCounterOf(const Community& population) {
+  return population.MaxCounter();
+}
+
+}  // namespace csj::data

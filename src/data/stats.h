@@ -1,0 +1,42 @@
+#ifndef CSJ_DATA_STATS_H_
+#define CSJ_DATA_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/community.h"
+#include "data/categories.h"
+#include "util/rng.h"
+
+namespace csj::data {
+
+/// Per-category aggregate of a generated population, ordered like Table 1
+/// (descending by total likes).
+struct CategoryTotal {
+  Category category;
+  uint64_t total_likes;
+};
+
+/// Sums each dimension over every user of `population` and returns the
+/// categories ranked descending by total — the regenerated Table 1 column.
+std::vector<CategoryTotal> RankCategories(const Community& population);
+
+/// Generates a `users`-strong population of the VK family: each user's
+/// home category is drawn with probability proportional to the paper's
+/// Table 1 VK totals (popular categories attract more subscribers), then
+/// the user's likes follow the VkLikeGenerator model. This is the
+/// population whose RankCategories() reproduces Table 1's VK ranking.
+Community GenerateVkPopulation(uint32_t users, util::Rng& rng);
+
+/// Generates a `users`-strong population of the Synthetic family (uniform
+/// counters in [0, kSyntheticMaxCounter]), whose category totals come out
+/// near-equal like Table 1's Synthetic column.
+Community GenerateSyntheticPopulation(uint32_t users, util::Rng& rng);
+
+/// Largest counter across the population (the paper reports 152,532 for
+/// VK and 500,000 for Synthetic).
+Count MaxCounterOf(const Community& population);
+
+}  // namespace csj::data
+
+#endif  // CSJ_DATA_STATS_H_

@@ -1,0 +1,48 @@
+#include "ego/dimension_reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/histogram.h"
+#include "util/logging.h"
+
+namespace csj::ego {
+
+std::vector<Dim> ComputeDimensionOrder(const Community& b, const Community& a,
+                                       Epsilon eps, Count max_count,
+                                       uint32_t max_buckets) {
+  CSJ_CHECK_EQ(b.d(), a.d());
+  CSJ_CHECK_GT(max_count, 0u);
+  const Dim d = b.d();
+
+  // One bucket per epsilon cell, capped: with the cap the buckets are
+  // coarser than a cell, which only makes the failure-probability estimate
+  // pessimistic uniformly across dimensions — the relative order survives.
+  const double cells = static_cast<double>(max_count) / std::max<double>(eps, 1);
+  const uint32_t buckets = static_cast<uint32_t>(
+      std::clamp<double>(std::ceil(cells), 1.0, max_buckets));
+
+  std::vector<double> failure(d, 1.0);
+  for (Dim dim = 0; dim < d; ++dim) {
+    util::Histogram histogram(0.0, 1.0, buckets);
+    const double inv_max = 1.0 / static_cast<double>(max_count);
+    for (UserId u = 0; u < b.size(); ++u) {
+      histogram.Add(static_cast<double>(b.User(u)[dim]) * inv_max);
+    }
+    for (UserId u = 0; u < a.size(); ++u) {
+      histogram.Add(static_cast<double>(a.User(u)[dim]) * inv_max);
+    }
+    failure[dim] = histogram.AdjacencyCollisionProbability();
+  }
+
+  std::vector<Dim> order(d);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](Dim x, Dim y) {
+    if (failure[x] != failure[y]) return failure[x] < failure[y];
+    return x < y;
+  });
+  return order;
+}
+
+}  // namespace csj::ego

@@ -1,0 +1,118 @@
+#include "ego/ego_join.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace csj::ego {
+
+SegmentTree::SegmentTree(const CellMatrix& cells, uint32_t threshold)
+    : d_(cells.d) {
+  CSJ_CHECK_GE(threshold, 2u);
+  if (cells.size() == 0) return;
+  Build(cells, threshold, 0, cells.size());
+}
+
+int32_t SegmentTree::Build(const CellMatrix& cells, uint32_t threshold,
+                           uint32_t lo, uint32_t hi) {
+  const auto id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{lo, hi, -1, -1});
+  boxes_.resize(boxes_.size() + 2 * d_);
+
+  const uint32_t size = hi - lo;
+  if (size < threshold) {
+    // Leaf: scan rows for the cell-space bounding box.
+    int32_t* min_cells = boxes_.data() + static_cast<size_t>(id) * 2 * d_;
+    int32_t* max_cells = min_cells + d_;
+    std::fill_n(min_cells, d_, std::numeric_limits<int32_t>::max());
+    std::fill_n(max_cells, d_, std::numeric_limits<int32_t>::min());
+    for (uint32_t row = lo; row < hi; ++row) {
+      for (Dim k = 0; k < d_; ++k) {
+        const int32_t cell = cells.Cell(row, k);
+        min_cells[k] = std::min(min_cells[k], cell);
+        max_cells[k] = std::max(max_cells[k], cell);
+      }
+    }
+    return id;
+  }
+
+  const uint32_t mid = lo + size / 2;
+  const int32_t left = Build(cells, threshold, lo, mid);
+  const int32_t right = Build(cells, threshold, mid, hi);
+  nodes_[static_cast<size_t>(id)].left = left;
+  nodes_[static_cast<size_t>(id)].right = right;
+
+  // Internal box = union of child boxes. Children were built after this
+  // node so their boxes are final here.
+  int32_t* min_cells = boxes_.data() + static_cast<size_t>(id) * 2 * d_;
+  int32_t* max_cells = min_cells + d_;
+  const int32_t* left_min = MinCells(left);
+  const int32_t* left_max = MaxCells(left);
+  const int32_t* right_min = MinCells(right);
+  const int32_t* right_max = MaxCells(right);
+  for (Dim k = 0; k < d_; ++k) {
+    min_cells[k] = std::min(left_min[k], right_min[k]);
+    max_cells[k] = std::max(left_max[k], right_max[k]);
+  }
+  return id;
+}
+
+bool EgoStrategySeparated(const SegmentTree& tree_b, int32_t node_b,
+                          const SegmentTree& tree_a, int32_t node_a) {
+  const Dim d = tree_b.d();
+  const int32_t* b_min = tree_b.MinCells(node_b);
+  const int32_t* b_max = tree_b.MaxCells(node_b);
+  const int32_t* a_min = tree_a.MinCells(node_a);
+  const int32_t* a_max = tree_a.MaxCells(node_a);
+  for (Dim k = 0; k < d; ++k) {
+    // Separation by >= 2 cells: even the closest cells in this dimension
+    // cannot hold an eps-matching pair.
+    if (b_min[k] > a_max[k] + 1 || a_min[k] > b_max[k] + 1) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void JoinRecursive(const SegmentTree& tree_b, int32_t node_b,
+                   const SegmentTree& tree_a, int32_t node_a,
+                   const LeafJoinFn& leaf_join, EgoStats* stats) {
+  ++stats->node_pair_visits;
+  if (EgoStrategySeparated(tree_b, node_b, tree_a, node_a)) {
+    ++stats->strategy_prunes;
+    return;
+  }
+  const SegmentTree::Node& nb = tree_b.node(node_b);
+  const SegmentTree::Node& na = tree_a.node(node_a);
+  if (nb.IsLeaf() && na.IsLeaf()) {
+    ++stats->leaf_joins;
+    leaf_join(nb.lo, nb.hi, na.lo, na.hi);
+    return;
+  }
+  if (nb.IsLeaf()) {
+    JoinRecursive(tree_b, node_b, tree_a, na.left, leaf_join, stats);
+    JoinRecursive(tree_b, node_b, tree_a, na.right, leaf_join, stats);
+    return;
+  }
+  if (na.IsLeaf()) {
+    JoinRecursive(tree_b, nb.left, tree_a, node_a, leaf_join, stats);
+    JoinRecursive(tree_b, nb.right, tree_a, node_a, leaf_join, stats);
+    return;
+  }
+  JoinRecursive(tree_b, nb.left, tree_a, na.left, leaf_join, stats);
+  JoinRecursive(tree_b, nb.left, tree_a, na.right, leaf_join, stats);
+  JoinRecursive(tree_b, nb.right, tree_a, na.left, leaf_join, stats);
+  JoinRecursive(tree_b, nb.right, tree_a, na.right, leaf_join, stats);
+}
+
+}  // namespace
+
+void EgoJoin(const SegmentTree& tree_b, const SegmentTree& tree_a,
+             const LeafJoinFn& leaf_join, EgoStats* stats) {
+  if (tree_b.empty() || tree_a.empty()) return;
+  JoinRecursive(tree_b, tree_b.root(), tree_a, tree_a.root(), leaf_join,
+                stats);
+}
+
+}  // namespace csj::ego

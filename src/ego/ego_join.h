@@ -1,0 +1,87 @@
+#ifndef CSJ_EGO_EGO_JOIN_H_
+#define CSJ_EGO_EGO_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ego/normalized.h"
+
+namespace csj::ego {
+
+/// Counters describing one EGO-join execution.
+struct EgoStats {
+  uint64_t node_pair_visits = 0;   ///< recursion (B-node, A-node) visits
+  uint64_t strategy_prunes = 0;    ///< pairs cut by the EGO strategy
+  uint64_t leaf_joins = 0;         ///< nested-loop leaf invocations
+};
+
+/// Binary segment tree over the rows of an EGO-sorted dataset, with each
+/// node's bounding box in epsilon-cell space. This materializes Algorithm
+/// SuperEGO's recursive Split(): node == segment, children == halves,
+/// leaves == segments smaller than the threshold t. Precomputing boxes
+/// bottom-up lets the EGO strategy test any (B-segment, A-segment) pair in
+/// O(d) without rescanning rows. Works over any CellMatrix — the float
+/// grid of the paper's SuperEGO and the integer grid of the hybrid
+/// extension alike.
+class SegmentTree {
+ public:
+  /// Builds the tree; segments of fewer than `threshold` rows become
+  /// leaves (`threshold` is the paper's parameter t, >= 2).
+  SegmentTree(const CellMatrix& cells, uint32_t threshold);
+
+  struct Node {
+    uint32_t lo;        ///< first row (inclusive)
+    uint32_t hi;        ///< last row (exclusive)
+    int32_t left = -1;  ///< child node ids; -1 for leaves
+    int32_t right = -1;
+
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  bool empty() const { return nodes_.empty(); }
+  const Node& node(int32_t id) const { return nodes_[static_cast<size_t>(id)]; }
+  int32_t root() const { return 0; }
+
+  /// Per-dimension cell bounds of node `id`.
+  const int32_t* MinCells(int32_t id) const {
+    return boxes_.data() + static_cast<size_t>(id) * 2 * d_;
+  }
+  const int32_t* MaxCells(int32_t id) const {
+    return boxes_.data() + (static_cast<size_t>(id) * 2 + 1) * d_;
+  }
+
+  Dim d() const { return d_; }
+
+ private:
+  int32_t Build(const CellMatrix& cells, uint32_t threshold, uint32_t lo,
+                uint32_t hi);
+
+  Dim d_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> boxes_;  // per node: d min-cells then d max-cells
+};
+
+/// The EGO strategy: true when the two boxes are separated by at least two
+/// cells in some dimension, certifying that no cross pair can eps-match
+/// (a match implies cell distance <= 1 in every dimension).
+bool EgoStrategySeparated(const SegmentTree& tree_b, int32_t node_b,
+                          const SegmentTree& tree_a, int32_t node_a);
+
+/// Callback joining one leaf pair: row ranges [b_lo, b_hi) x [a_lo, a_hi).
+using LeafJoinFn =
+    std::function<void(uint32_t b_lo, uint32_t b_hi, uint32_t a_lo,
+                       uint32_t a_hi)>;
+
+/// Algorithm SuperEGO's divide-and-conquer driver: recursively descends
+/// the two segment trees, applying the EGO strategy at every node pair and
+/// invoking `leaf_join` on surviving leaf pairs (the NestedLoopJoin role —
+/// the approximate and exact CSJ adapters plug in different bodies).
+/// Leaf pairs are visited in (B-range, A-range) lexicographic order, which
+/// fixes the approximate variant's greedy outcome deterministically.
+void EgoJoin(const SegmentTree& tree_b, const SegmentTree& tree_a,
+             const LeafJoinFn& leaf_join, EgoStats* stats);
+
+}  // namespace csj::ego
+
+#endif  // CSJ_EGO_EGO_JOIN_H_

@@ -1,0 +1,62 @@
+#include "ego/integer_grid.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace csj::ego {
+
+IntegerGridData BuildIntegerGrid(const Community& community, Epsilon eps,
+                                 const std::vector<Dim>& dim_order) {
+  CSJ_CHECK_GE(eps, 1u);
+  CSJ_CHECK_EQ(dim_order.size(), community.d());
+
+  IntegerGridData out;
+  out.d = community.d();
+  out.eps = eps;
+
+  const uint32_t n = community.size();
+  std::vector<Count> unsorted(static_cast<size_t>(n) * out.d);
+  for (UserId u = 0; u < n; ++u) {
+    const std::span<const Count> row = community.User(u);
+    Count* dst = unsorted.data() + static_cast<size_t>(u) * out.d;
+    for (Dim k = 0; k < out.d; ++k) dst[k] = row[dim_order[k]];
+  }
+
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const Dim d = out.d;
+  std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    const Count* rx = unsorted.data() + static_cast<size_t>(x) * d;
+    const Count* ry = unsorted.data() + static_cast<size_t>(y) * d;
+    for (Dim k = 0; k < d; ++k) {
+      const int32_t cx = IntegerCellOf(rx[k], eps);
+      const int32_t cy = IntegerCellOf(ry[k], eps);
+      if (cx != cy) return cx < cy;
+    }
+    return x < y;
+  });
+
+  out.flat.resize(unsorted.size());
+  out.ids.resize(n);
+  for (uint32_t row = 0; row < n; ++row) {
+    const uint32_t u = perm[row];
+    out.ids[row] = u;
+    std::copy_n(unsorted.data() + static_cast<size_t>(u) * d, d,
+                out.flat.data() + static_cast<size_t>(row) * d);
+  }
+  return out;
+}
+
+CellMatrix CellsOf(const IntegerGridData& data) {
+  CellMatrix matrix;
+  matrix.d = data.d;
+  matrix.cells.resize(data.flat.size());
+  for (size_t i = 0; i < data.flat.size(); ++i) {
+    matrix.cells[i] = IntegerCellOf(data.flat[i], data.eps);
+  }
+  return matrix;
+}
+
+}  // namespace csj::ego

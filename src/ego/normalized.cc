@@ -1,0 +1,74 @@
+#include "ego/normalized.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace csj::ego {
+
+std::vector<Dim> IdentityOrder(Dim d) {
+  std::vector<Dim> order(d);
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+NormalizedData Normalize(const Community& community, Count max_count,
+                         Epsilon eps, const std::vector<Dim>& dim_order) {
+  CSJ_CHECK_GT(max_count, 0u);
+  CSJ_CHECK_GT(eps, 0u);
+  CSJ_CHECK_EQ(dim_order.size(), community.d());
+
+  NormalizedData out;
+  out.d = community.d();
+  const float inv_max = 1.0f / static_cast<float>(max_count);
+  out.eps_norm = static_cast<float>(eps) * inv_max;
+
+  const uint32_t n = community.size();
+  std::vector<float> unsorted(static_cast<size_t>(n) * out.d);
+  for (UserId u = 0; u < n; ++u) {
+    const std::span<const Count> row = community.User(u);
+    float* dst = unsorted.data() + static_cast<size_t>(u) * out.d;
+    for (Dim k = 0; k < out.d; ++k) {
+      dst[k] = static_cast<float>(row[dim_order[k]]) * inv_max;
+    }
+  }
+
+  // Epsilon Grid Order: lexicographic by per-dimension cell index.
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const float eps_norm = out.eps_norm;
+  const Dim d = out.d;
+  std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+    const float* rx = unsorted.data() + static_cast<size_t>(x) * d;
+    const float* ry = unsorted.data() + static_cast<size_t>(y) * d;
+    for (Dim k = 0; k < d; ++k) {
+      const int32_t cx = CellOf(rx[k], eps_norm);
+      const int32_t cy = CellOf(ry[k], eps_norm);
+      if (cx != cy) return cx < cy;
+    }
+    return x < y;
+  });
+
+  out.flat.resize(unsorted.size());
+  out.ids.resize(n);
+  for (uint32_t row = 0; row < n; ++row) {
+    const uint32_t u = perm[row];
+    out.ids[row] = u;
+    std::copy_n(unsorted.data() + static_cast<size_t>(u) * d, d,
+                out.flat.data() + static_cast<size_t>(row) * d);
+  }
+  return out;
+}
+
+CellMatrix CellsOf(const NormalizedData& data) {
+  CellMatrix matrix;
+  matrix.d = data.d;
+  matrix.cells.resize(data.flat.size());
+  for (size_t i = 0; i < data.flat.size(); ++i) {
+    matrix.cells[i] = CellOf(data.flat[i], data.eps_norm);
+  }
+  return matrix;
+}
+
+}  // namespace csj::ego

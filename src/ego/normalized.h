@@ -1,0 +1,84 @@
+#ifndef CSJ_EGO_NORMALIZED_H_
+#define CSJ_EGO_NORMALIZED_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/community.h"
+#include "core/types.h"
+
+namespace csj::ego {
+
+/// A community converted for SuperEGO consumption: float32 values in
+/// [0,1]^d (counters divided by a dataset-wide maximum), dimensions
+/// permuted by the reorder step, rows sorted in Epsilon Grid Order.
+///
+/// float32 is deliberate: it mirrors the paper's "normalized data
+/// conversion" whose precision loss is the source of the SuperEGO accuracy
+/// gap on VK-like data (counters up to 152,532 with eps = 1 give
+/// eps_norm ~ 6.6e-6, so pairs at the exact eps boundary round out of
+/// range). See DESIGN.md §6.
+struct NormalizedData {
+  Dim d = 0;
+  float eps_norm = 0.0f;
+  std::vector<float> flat;    ///< row-major, n*d, EGO-sorted
+  std::vector<UserId> ids;    ///< row -> original user id
+
+  uint32_t size() const { return static_cast<uint32_t>(ids.size()); }
+  std::span<const float> Row(uint32_t row) const {
+    return {flat.data() + static_cast<size_t>(row) * d, d};
+  }
+};
+
+/// Epsilon-grid cell index of a normalized coordinate: floor(x/eps_norm).
+/// |x - y| <= eps_norm implies the cells differ by at most 1, so a
+/// separation of >= 2 cells certifies a non-match — the EGO-strategy test.
+inline int32_t CellOf(float x, float eps_norm) {
+  return static_cast<int32_t>(x / eps_norm);  // x >= 0: truncation == floor
+}
+
+/// SuperEGO's adapted per-dimension join predicate, evaluated entirely in
+/// float32 like the original implementation.
+inline bool EpsMatchesFloat(std::span<const float> b, std::span<const float> a,
+                            float eps_norm) {
+  const size_t d = b.size();
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = b[i] > a[i] ? b[i] - a[i] : a[i] - b[i];
+    if (diff > eps_norm) return false;
+  }
+  return true;
+}
+
+/// Normalizes `community` by `max_count`, permutes dimensions by
+/// `dim_order` (dim_order[k] = source dimension of output dimension k) and
+/// EGO-sorts the rows (lexicographic by cell coordinates, ties by original
+/// id for determinism).
+NormalizedData Normalize(const Community& community, Count max_count,
+                         Epsilon eps, const std::vector<Dim>& dim_order);
+
+/// Row-major matrix of epsilon-grid cell indices — the common currency of
+/// the EGO machinery. Both grid flavours produce one: the float grid
+/// (cells of normalized float32 coordinates) and the integer grid (cells
+/// of raw counters, no normalization). SegmentTree consumes it.
+struct CellMatrix {
+  Dim d = 0;
+  std::vector<int32_t> cells;  ///< n*d, row-major
+
+  uint32_t size() const {
+    return d == 0 ? 0 : static_cast<uint32_t>(cells.size() / d);
+  }
+  int32_t Cell(uint32_t row, Dim k) const {
+    return cells[static_cast<size_t>(row) * d + k];
+  }
+};
+
+/// Cell indices of an EGO-sorted normalized dataset.
+CellMatrix CellsOf(const NormalizedData& data);
+
+/// Identity dimension order of size d.
+std::vector<Dim> IdentityOrder(Dim d);
+
+}  // namespace csj::ego
+
+#endif  // CSJ_EGO_NORMALIZED_H_

@@ -1,0 +1,188 @@
+#include "incremental/incremental_csj.h"
+
+#include <algorithm>
+
+#include "core/epsilon_predicate.h"
+#include "util/logging.h"
+
+namespace csj::incremental {
+
+IncrementalCsj::IncrementalCsj(const Community& a, const JoinOptions& options)
+    : a_(a),
+      eps_(options.eps),
+      encoder_(a.d(), options.eps, options.encoding_parts),
+      encd_a_(a_, encoder_),
+      initial_a_(a.size()),
+      alive_a_(a.size(), true),
+      match_a_(a.size(), kFree),
+      adj_a_(a.size()),
+      live_a_users_(a.size()) {}
+
+std::vector<UserId> IncrementalCsj::FindCandidates(
+    std::span<const Count> vec) const {
+  CSJ_CHECK_EQ(vec.size(), a_.d());
+  const uint64_t id = encoder_.EncodedId(vec);
+  const std::vector<uint64_t> sums = encoder_.PartSums(vec);
+
+  std::vector<UserId> candidates;
+  // Initial A block: MinMax-filtered scan over the encoded buffer.
+  const uint32_t na = encd_a_.size();
+  for (uint32_t ia = 0; ia < na; ++ia) {
+    if (id < encd_a_.encoded_min(ia)) break;  // MIN PRUNE: sorted by min
+    if (id > encd_a_.encoded_max(ia)) continue;
+    const std::span<const uint64_t> lo = encd_a_.range_lo(ia);
+    const std::span<const uint64_t> hi = encd_a_.range_hi(ia);
+    bool overlap = true;
+    for (size_t p = 0; p < sums.size() && overlap; ++p) {
+      overlap = sums[p] >= lo[p] && sums[p] <= hi[p];
+    }
+    if (!overlap) continue;
+    const UserId real_a = encd_a_.real_id(ia);
+    if (!alive_a_[real_a]) continue;
+    if (EpsilonMatches(vec, a_.User(real_a), eps_)) {
+      candidates.push_back(real_a);
+    }
+  }
+  // Appended A users: brute force (rare, see AddAUser's contract).
+  for (UserId real_a = initial_a_; real_a < a_.size(); ++real_a) {
+    if (!alive_a_[real_a]) continue;
+    if (EpsilonMatches(vec, a_.User(real_a), eps_)) {
+      candidates.push_back(real_a);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+bool IncrementalCsj::TryAugment(uint32_t b, std::vector<bool>& visited_a) {
+  for (const UserId a : candidates_[b]) {
+    if (!alive_a_[a] || visited_a[a]) continue;
+    visited_a[a] = true;
+    const uint32_t holder = match_a_[a];
+    if (holder == kFree || TryAugment(holder, visited_a)) {
+      match_b_[b] = a;
+      match_a_[a] = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncrementalCsj::TryMatchA(UserId a, std::vector<bool>& visited_b) {
+  for (const uint32_t b : adj_a_[a]) {
+    if (!alive_[b] || visited_b[b]) continue;
+    visited_b[b] = true;
+    const uint32_t other_a = match_b_[b];
+    if (other_a == kFree || TryMatchA(other_a, visited_b)) {
+      match_b_[b] = a;
+      match_a_[a] = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+IncrementalCsj::Handle IncrementalCsj::AddUser(std::span<const Count> vec) {
+  const auto handle = static_cast<Handle>(candidates_.size());
+  candidates_.push_back(FindCandidates(vec));
+  vectors_.emplace_back(vec.begin(), vec.end());
+  alive_.push_back(true);
+  match_b_.push_back(kFree);
+  for (const UserId a : candidates_[handle]) {
+    adj_a_[a].push_back(handle);
+  }
+  ++live_users_;
+
+  std::vector<bool> visited_a(a_.size(), false);
+  if (TryAugment(handle, visited_a)) ++matched_pairs_;
+  return handle;
+}
+
+bool IncrementalCsj::RemoveUser(Handle handle) {
+  if (handle >= alive_.size() || !alive_[handle]) return false;
+  alive_[handle] = false;
+  --live_users_;
+
+  const uint32_t freed_a = match_b_[handle];
+  // adj_a_ entries for this handle are removed lazily (alive_ checks).
+  candidates_[handle].clear();
+  candidates_[handle].shrink_to_fit();
+  vectors_[handle].clear();
+  vectors_[handle].shrink_to_fit();
+  match_b_[handle] = kFree;
+  if (freed_a == kFree) return true;
+
+  match_a_[freed_a] = kFree;
+  --matched_pairs_;
+
+  // Restore maximality: the only A user whose exposure changed is
+  // freed_a, so any new augmenting path ENDS there. Searching the
+  // alternating paths from freed_a's side finds it if it exists.
+  std::vector<bool> visited_b(alive_.size(), false);
+  if (TryMatchA(freed_a, visited_b)) ++matched_pairs_;
+  return true;
+}
+
+UserId IncrementalCsj::AddAUser(std::span<const Count> vec) {
+  const UserId a = a_.AddUser(vec);
+  alive_a_.push_back(true);
+  match_a_.push_back(kFree);
+  adj_a_.emplace_back();
+  ++live_a_users_;
+
+  // Extend every live B user's candidate list that eps-matches the new A
+  // user (adjacency must stay complete for future alternating searches).
+  for (uint32_t b = 0; b < alive_.size(); ++b) {
+    if (!alive_[b]) continue;
+    if (!EpsilonMatches(vectors_[b], a_.User(a), eps_)) continue;
+    candidates_[b].push_back(a);  // ids grow, so the list stays sorted
+    adj_a_[a].push_back(b);
+  }
+
+  std::vector<bool> visited_b(alive_.size(), false);
+  if (TryMatchA(a, visited_b)) ++matched_pairs_;
+  return a;
+}
+
+bool IncrementalCsj::RemoveAUser(UserId a) {
+  if (a >= alive_a_.size() || !alive_a_[a]) return false;
+  alive_a_[a] = false;
+  --live_a_users_;
+  adj_a_[a].clear();
+  adj_a_[a].shrink_to_fit();
+
+  const uint32_t freed_b = match_a_[a];
+  match_a_[a] = kFree;
+  if (freed_b == kFree) return true;
+
+  match_b_[freed_b] = kFree;
+  --matched_pairs_;
+  std::vector<bool> visited_a(a_.size(), false);
+  if (TryAugment(freed_b, visited_a)) ++matched_pairs_;
+  return true;
+}
+
+double IncrementalCsj::Similarity() const {
+  if (live_users_ == 0) return 0.0;
+  return static_cast<double>(matched_pairs_) /
+         static_cast<double>(live_users_);
+}
+
+std::optional<UserId> IncrementalCsj::MatchOf(Handle handle) const {
+  if (handle >= alive_.size() || !alive_[handle]) return std::nullopt;
+  if (match_b_[handle] == kFree) return std::nullopt;
+  return match_b_[handle];
+}
+
+bool IncrementalCsj::SizesAdmissible() const {
+  return csj::SizesAdmissible(live_users_, live_a_users_);
+}
+
+uint32_t IncrementalCsj::CandidateCount(Handle handle) const {
+  if (handle >= alive_.size() || !alive_[handle]) return 0;
+  uint32_t count = 0;
+  for (const UserId a : candidates_[handle]) count += alive_a_[a] ? 1u : 0u;
+  return count;
+}
+
+}  // namespace csj::incremental

@@ -1,0 +1,61 @@
+#include "matching/candidate_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace csj::matching {
+
+namespace {
+
+/// Sorted unique ids appearing on one side of the edge list.
+std::vector<UserId> CollectIds(const std::vector<MatchedPair>& edges,
+                               bool b_side) {
+  std::vector<UserId> ids;
+  ids.reserve(edges.size());
+  for (const MatchedPair& e : edges) ids.push_back(b_side ? e.b : e.a);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+uint32_t LocalIndex(const std::vector<UserId>& ids, UserId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  return static_cast<uint32_t>(it - ids.begin());
+}
+
+}  // namespace
+
+CandidateGraph::CandidateGraph(const std::vector<MatchedPair>& edges)
+    : b_ids_(CollectIds(edges, /*b_side=*/true)),
+      a_ids_(CollectIds(edges, /*b_side=*/false)),
+      adj_b_(b_ids_.size()),
+      adj_a_(a_ids_.size()) {
+  for (const MatchedPair& e : edges) {
+    const uint32_t lb = LocalIndex(b_ids_, e.b);
+    const uint32_t la = LocalIndex(a_ids_, e.a);
+    adj_b_[lb].push_back(la);
+  }
+  for (uint32_t lb = 0; lb < adj_b_.size(); ++lb) {
+    std::vector<uint32_t>& adj = adj_b_[lb];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    num_edges_ += adj.size();
+    for (const uint32_t la : adj) adj_a_[la].push_back(lb);
+  }
+  // adj_a_ entries arrive in ascending lb order already (outer loop order).
+}
+
+std::vector<MatchedPair> CandidateGraph::ToOriginalIds(
+    const std::vector<MatchedPair>& local_pairs) const {
+  std::vector<MatchedPair> out;
+  out.reserve(local_pairs.size());
+  for (const MatchedPair& p : local_pairs) {
+    CSJ_CHECK_LT(p.b, b_ids_.size());
+    CSJ_CHECK_LT(p.a, a_ids_.size());
+    out.push_back(MatchedPair{b_ids_[p.b], a_ids_[p.a]});
+  }
+  return out;
+}
+
+}  // namespace csj::matching

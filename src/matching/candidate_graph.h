@@ -1,0 +1,53 @@
+#ifndef CSJ_MATCHING_CANDIDATE_GRAPH_H_
+#define CSJ_MATCHING_CANDIDATE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join_result.h"
+#include "core/types.h"
+
+namespace csj::matching {
+
+/// Bipartite graph of candidate pairs: an edge <b, a> exists iff the two
+/// users eps-match. Exact CSJ methods collect these edges (globally in
+/// Ex-Baseline / Ex-SuperEGO, per safe segment in Ex-MinMax) and hand them
+/// to a one-to-one matcher.
+///
+/// User ids are compressed to dense local indices so matchers can use flat
+/// arrays regardless of which slice of B/A the edges touch; `BId`/`AId`
+/// recover the original ids for the final result.
+class CandidateGraph {
+ public:
+  /// Builds the graph from raw candidate edges. Duplicate edges are
+  /// tolerated (deduplicated) since recursive joins may re-derive a pair.
+  explicit CandidateGraph(const std::vector<MatchedPair>& edges);
+
+  uint32_t num_b() const { return static_cast<uint32_t>(b_ids_.size()); }
+  uint32_t num_a() const { return static_cast<uint32_t>(a_ids_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Adjacency (local a-indices, ascending) of local b-index `b`.
+  const std::vector<uint32_t>& AdjB(uint32_t b) const { return adj_b_[b]; }
+  /// Adjacency (local b-indices, ascending) of local a-index `a`.
+  const std::vector<uint32_t>& AdjA(uint32_t a) const { return adj_a_[a]; }
+
+  /// Original user id of local b-index / a-index.
+  UserId BId(uint32_t b) const { return b_ids_[b]; }
+  UserId AId(uint32_t a) const { return a_ids_[a]; }
+
+  /// Translates a matching over local indices back to original user ids.
+  std::vector<MatchedPair> ToOriginalIds(
+      const std::vector<MatchedPair>& local_pairs) const;
+
+ private:
+  std::vector<UserId> b_ids_;             // local b-index -> original id
+  std::vector<UserId> a_ids_;             // local a-index -> original id
+  std::vector<std::vector<uint32_t>> adj_b_;
+  std::vector<std::vector<uint32_t>> adj_a_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace csj::matching
+
+#endif  // CSJ_MATCHING_CANDIDATE_GRAPH_H_

@@ -1,0 +1,133 @@
+#include "matching/csf.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace csj::matching {
+
+namespace {
+
+/// One side's bookkeeping: remaining degree per vertex, alive flags, and a
+/// bucket queue (degree -> stack of vertex indices) with lazy deletion:
+/// stale entries are skipped when popped by re-checking the live degree.
+struct Side {
+  std::vector<uint32_t> degree;
+  std::vector<bool> alive;
+  std::vector<std::vector<uint32_t>> buckets;
+
+  explicit Side(uint32_t n) : degree(n, 0), alive(n, true) {}
+
+  void InitBuckets(uint32_t max_degree) {
+    buckets.assign(max_degree + 1, {});
+    for (uint32_t v = 0; v < degree.size(); ++v) {
+      if (degree[v] > 0) buckets[degree[v]].push_back(v);
+    }
+  }
+
+  void Decrement(uint32_t v) {
+    CSJ_CHECK_GT(degree[v], 0u);
+    --degree[v];
+    if (degree[v] > 0) buckets[degree[v]].push_back(v);
+  }
+
+  /// Pops the alive vertex whose current degree equals `bucket`, skipping
+  /// stale entries. Returns false when that bucket is exhausted.
+  bool PopFromBucket(uint32_t bucket, uint32_t* v_out) {
+    auto& stack = buckets[bucket];
+    while (!stack.empty()) {
+      const uint32_t v = stack.back();
+      stack.pop_back();
+      if (alive[v] && degree[v] == bucket) {
+        *v_out = v;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<MatchedPair> CoverSmallestFirst(const CandidateGraph& graph) {
+  Side b_side(graph.num_b());
+  Side a_side(graph.num_a());
+  uint32_t max_degree = 1;
+  for (uint32_t b = 0; b < graph.num_b(); ++b) {
+    b_side.degree[b] = static_cast<uint32_t>(graph.AdjB(b).size());
+    max_degree = std::max(max_degree, b_side.degree[b]);
+  }
+  for (uint32_t a = 0; a < graph.num_a(); ++a) {
+    a_side.degree[a] = static_cast<uint32_t>(graph.AdjA(a).size());
+    max_degree = std::max(max_degree, a_side.degree[a]);
+  }
+  b_side.InitBuckets(max_degree);
+  a_side.InitBuckets(max_degree);
+
+  std::vector<MatchedPair> matched;
+  matched.reserve(std::min(graph.num_b(), graph.num_a()));
+
+  // Matching a pair decrements each surviving vertex's degree at most once
+  // (a vertex lies on one side, so it neighbors either v or v's partner,
+  // never both), so after every match the minimum alive degree can fall by
+  // at most 1; rewinding `cur_min` one step per match keeps the scan
+  // amortized O(E + V + max_degree).
+  uint32_t cur_min = 1;
+  while (cur_min <= max_degree) {
+    uint32_t v;
+    bool from_b;
+    if (b_side.PopFromBucket(cur_min, &v)) {
+      from_b = true;
+    } else if (a_side.PopFromBucket(cur_min, &v)) {
+      from_b = false;
+    } else {
+      ++cur_min;
+      continue;
+    }
+
+    // Partner of minimum remaining degree on the opposite side (ties:
+    // smallest local index, since adjacency lists are ascending).
+    Side& own = from_b ? b_side : a_side;
+    Side& other = from_b ? a_side : b_side;
+    const std::vector<uint32_t>& adj = from_b ? graph.AdjB(v) : graph.AdjA(v);
+    uint32_t best = UINT32_MAX;
+    uint32_t best_degree = UINT32_MAX;
+    for (const uint32_t u : adj) {
+      if (!other.alive[u]) continue;
+      if (other.degree[u] < best_degree) {
+        best_degree = other.degree[u];
+        best = u;
+        if (best_degree == 1) break;  // paper: "break if single match"
+      }
+    }
+    CSJ_CHECK_NE(best, UINT32_MAX);  // degree was cur_min >= 1
+
+    own.alive[v] = false;
+    other.alive[best] = false;
+    matched.push_back(from_b ? MatchedPair{v, best} : MatchedPair{best, v});
+
+    // Removing v and best invalidates one candidate of each of their alive
+    // neighbors.
+    for (const uint32_t u : adj) {
+      if (other.alive[u]) other.Decrement(u);
+    }
+    const std::vector<uint32_t>& best_adj =
+        from_b ? graph.AdjA(best) : graph.AdjB(best);
+    for (const uint32_t u : best_adj) {
+      if (own.alive[u]) own.Decrement(u);
+    }
+    if (cur_min > 1) --cur_min;
+  }
+
+  return matched;
+}
+
+std::vector<MatchedPair> CoverSmallestFirst(
+    const std::vector<MatchedPair>& edges) {
+  if (edges.empty()) return {};
+  const CandidateGraph graph(edges);
+  return graph.ToOriginalIds(CoverSmallestFirst(graph));
+}
+
+}  // namespace csj::matching

@@ -1,0 +1,35 @@
+#ifndef CSJ_MATCHING_CSF_H_
+#define CSJ_MATCHING_CSF_H_
+
+#include <vector>
+
+#include "core/join_result.h"
+#include "matching/candidate_graph.h"
+
+namespace csj::matching {
+
+/// CoverSmallestFirst (paper's Function CSF): a minimum-degree-first greedy
+/// one-to-one matcher over the candidate-pair graph.
+///
+/// Repeatedly takes the alive vertex with the fewest remaining candidates
+/// (ties: B side first, then smallest local index — the paper scans
+/// `sortedM_B` before `sortedM_A`), pairs it with its candidate that has
+/// the fewest candidates on the opposite side, removes both, and updates
+/// degrees. Covering the most constrained users first leaves the largest
+/// pool of options for the rest, which is why CSF tracks the true maximum
+/// matching closely (see bench_ablation_csf); it is not guaranteed optimal
+/// — HopcroftKarp() in this module is the exact reference.
+///
+/// Returns pairs over the graph's LOCAL indices; use
+/// CandidateGraph::ToOriginalIds to translate. Runs in
+/// O(E + V * max_degree) with bucketed lazy-deletion degree queues.
+std::vector<MatchedPair> CoverSmallestFirst(const CandidateGraph& graph);
+
+/// Convenience wrapper: builds the graph from raw edges and returns the
+/// CSF matching in ORIGINAL user ids.
+std::vector<MatchedPair> CoverSmallestFirst(
+    const std::vector<MatchedPair>& edges);
+
+}  // namespace csj::matching
+
+#endif  // CSJ_MATCHING_CSF_H_

@@ -1,0 +1,31 @@
+#include "matching/greedy.h"
+
+#include <unordered_set>
+
+namespace csj::matching {
+
+std::vector<MatchedPair> GreedyFirstFit(
+    const std::vector<MatchedPair>& edges) {
+  std::unordered_set<UserId> used_b;
+  std::unordered_set<UserId> used_a;
+  std::vector<MatchedPair> matched;
+  for (const MatchedPair& e : edges) {
+    if (used_b.count(e.b) || used_a.count(e.a)) continue;
+    used_b.insert(e.b);
+    used_a.insert(e.a);
+    matched.push_back(e);
+  }
+  return matched;
+}
+
+bool IsOneToOne(const std::vector<MatchedPair>& pairs) {
+  std::unordered_set<UserId> seen_b;
+  std::unordered_set<UserId> seen_a;
+  for (const MatchedPair& p : pairs) {
+    if (!seen_b.insert(p.b).second) return false;
+    if (!seen_a.insert(p.a).second) return false;
+  }
+  return true;
+}
+
+}  // namespace csj::matching

@@ -1,0 +1,25 @@
+#ifndef CSJ_MATCHING_GREEDY_H_
+#define CSJ_MATCHING_GREEDY_H_
+
+#include <vector>
+
+#include "core/join_result.h"
+
+namespace csj::matching {
+
+/// Order-dependent first-fit matcher: scans `edges` in the given order and
+/// keeps an edge iff both endpoints are still free.
+///
+/// This is exactly the commit rule the approximate CSJ methods apply inline
+/// (a MATCH ends the processing of the current b), extracted as a
+/// standalone component so tests can reason about the approximation error
+/// in isolation and so benches can replay it over arbitrary edge orders.
+std::vector<MatchedPair> GreedyFirstFit(const std::vector<MatchedPair>& edges);
+
+/// Validates that `pairs` is a one-to-one matching (no user appears twice
+/// on either side). Used by property tests for every matcher.
+bool IsOneToOne(const std::vector<MatchedPair>& pairs);
+
+}  // namespace csj::matching
+
+#endif  // CSJ_MATCHING_GREEDY_H_

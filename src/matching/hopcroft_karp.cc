@@ -1,0 +1,96 @@
+#include "matching/hopcroft_karp.h"
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace csj::matching {
+
+namespace {
+
+constexpr uint32_t kFree = std::numeric_limits<uint32_t>::max();
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+
+/// Mutable solver state for one HopcroftKarp run.
+struct Solver {
+  const CandidateGraph& graph;
+  std::vector<uint32_t> match_b;  // b -> matched a, or kFree
+  std::vector<uint32_t> match_a;  // a -> matched b, or kFree
+  std::vector<uint32_t> dist;     // BFS layer per b vertex
+
+  explicit Solver(const CandidateGraph& g)
+      : graph(g),
+        match_b(g.num_b(), kFree),
+        match_a(g.num_a(), kFree),
+        dist(g.num_b(), kInf) {}
+
+  /// Layers free B vertices and alternating-path distances; returns true
+  /// when at least one augmenting path exists.
+  bool Bfs() {
+    std::queue<uint32_t> queue;
+    for (uint32_t b = 0; b < graph.num_b(); ++b) {
+      if (match_b[b] == kFree) {
+        dist[b] = 0;
+        queue.push(b);
+      } else {
+        dist[b] = kInf;
+      }
+    }
+    bool found_free_a = false;
+    while (!queue.empty()) {
+      const uint32_t b = queue.front();
+      queue.pop();
+      for (const uint32_t a : graph.AdjB(b)) {
+        const uint32_t next_b = match_a[a];
+        if (next_b == kFree) {
+          found_free_a = true;
+        } else if (dist[next_b] == kInf) {
+          dist[next_b] = dist[b] + 1;
+          queue.push(next_b);
+        }
+      }
+    }
+    return found_free_a;
+  }
+
+  /// DFS along layered alternating paths, augmenting when a free A vertex
+  /// is reached.
+  bool Dfs(uint32_t b) {
+    for (const uint32_t a : graph.AdjB(b)) {
+      const uint32_t next_b = match_a[a];
+      if (next_b == kFree || (dist[next_b] == dist[b] + 1 && Dfs(next_b))) {
+        match_b[b] = a;
+        match_a[a] = b;
+        return true;
+      }
+    }
+    dist[b] = kInf;  // dead end: prune this vertex for the current phase
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<MatchedPair> HopcroftKarp(const CandidateGraph& graph) {
+  Solver solver(graph);
+  while (solver.Bfs()) {
+    for (uint32_t b = 0; b < graph.num_b(); ++b) {
+      if (solver.match_b[b] == kFree) solver.Dfs(b);
+    }
+  }
+  std::vector<MatchedPair> matched;
+  for (uint32_t b = 0; b < graph.num_b(); ++b) {
+    if (solver.match_b[b] != kFree) {
+      matched.push_back(MatchedPair{b, solver.match_b[b]});
+    }
+  }
+  return matched;
+}
+
+std::vector<MatchedPair> HopcroftKarp(const std::vector<MatchedPair>& edges) {
+  if (edges.empty()) return {};
+  const CandidateGraph graph(edges);
+  return graph.ToOriginalIds(HopcroftKarp(graph));
+}
+
+}  // namespace csj::matching

@@ -1,0 +1,28 @@
+#ifndef CSJ_MATCHING_HOPCROFT_KARP_H_
+#define CSJ_MATCHING_HOPCROFT_KARP_H_
+
+#include <vector>
+
+#include "core/join_result.h"
+#include "matching/candidate_graph.h"
+
+namespace csj::matching {
+
+/// Hopcroft-Karp maximum bipartite matching, O(E * sqrt(V)).
+///
+/// The paper's CSF is a greedy heuristic; this is the provably maximum
+/// matcher. It serves three roles in csjoin: (1) the oracle the tests
+/// compare CSF against, (2) the opt-in `MatcherKind::kMaxMatching` backend
+/// for the exact methods, and (3) one arm of bench_ablation_csf, which
+/// quantifies how close CSF gets to the optimum on both dataset families.
+///
+/// Returns pairs over the graph's LOCAL indices; use
+/// CandidateGraph::ToOriginalIds to translate.
+std::vector<MatchedPair> HopcroftKarp(const CandidateGraph& graph);
+
+/// Convenience wrapper over raw edges, returning ORIGINAL user ids.
+std::vector<MatchedPair> HopcroftKarp(const std::vector<MatchedPair>& edges);
+
+}  // namespace csj::matching
+
+#endif  // CSJ_MATCHING_HOPCROFT_KARP_H_

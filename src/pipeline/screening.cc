@@ -1,0 +1,160 @@
+#include "pipeline/screening.h"
+
+#include <algorithm>
+
+#include "core/similarity.h"
+#include "core/similarity_bound.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace csj::pipeline {
+
+namespace {
+
+/// Outcome of attempting to screen one couple.
+enum class ScreenOutcome { kInadmissible, kBoundPruned, kScreened };
+
+/// Screens one ordered couple (after the optional upper-bound gate).
+ScreenOutcome ScreenCouple(const Community& x, const Community& y,
+                           const PipelineOptions& options,
+                           PipelineEntry* entry) {
+  if (options.use_upper_bound_prune) {
+    const Community& b = x.size() <= y.size() ? x : y;
+    const Community& a = x.size() <= y.size() ? y : x;
+    if (!SizesAdmissible(b.size(), a.size())) {
+      return ScreenOutcome::kInadmissible;
+    }
+    if (SimilarityUpperBound(b, a, options.join.eps) <
+        options.screen_threshold) {
+      return ScreenOutcome::kBoundPruned;
+    }
+  }
+  const auto screened = ComputeSimilarityAutoOrder(options.screen_method, x,
+                                                   y, options.join);
+  if (!screened.has_value()) return ScreenOutcome::kInadmissible;
+  entry->screened_similarity = screened->Similarity();
+  entry->screen_seconds = screened->stats.seconds;
+  return ScreenOutcome::kScreened;
+}
+
+/// Runs the exact phase over the survivors (already screened entries) and
+/// sorts the final ranking.
+void RefineAndRank(
+    const std::vector<std::pair<const Community*, const Community*>>& couples,
+    const PipelineOptions& options, PipelineReport* report) {
+  // Survivors in descending screened order so refine_top_k keeps the best.
+  std::vector<size_t> survivors;
+  for (size_t i = 0; i < report->entries.size(); ++i) {
+    if (report->entries[i].screened_similarity >= options.screen_threshold) {
+      survivors.push_back(i);
+    }
+  }
+  std::sort(survivors.begin(), survivors.end(), [&](size_t x, size_t y) {
+    return report->entries[x].screened_similarity >
+           report->entries[y].screened_similarity;
+  });
+  if (options.refine_top_k > 0 && survivors.size() > options.refine_top_k) {
+    survivors.resize(options.refine_top_k);
+  }
+
+  for (const size_t index : survivors) {
+    PipelineEntry& entry = report->entries[index];
+    const auto& [x, y] = couples[index];
+    const auto refined = ComputeSimilarityAutoOrder(options.refine_method,
+                                                    *x, *y, options.join);
+    CSJ_CHECK(refined.has_value());  // admissibility already screened
+    entry.refined = true;
+    entry.refined_similarity = refined->Similarity();
+    entry.refine_seconds = refined->stats.seconds;
+    ++report->refined;
+  }
+
+  std::sort(report->entries.begin(), report->entries.end(),
+            [](const PipelineEntry& x, const PipelineEntry& y) {
+              if (x.FinalSimilarity() != y.FinalSimilarity()) {
+                return x.FinalSimilarity() > y.FinalSimilarity();
+              }
+              return x.candidate_index < y.candidate_index;
+            });
+}
+
+}  // namespace
+
+PipelineReport ScreenAndRefine(const Community& pivot,
+                               const std::vector<const Community*>& candidates,
+                               const PipelineOptions& options) {
+  util::Timer timer;
+  PipelineReport report;
+  std::vector<std::pair<const Community*, const Community*>> couples;
+
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    const Community* candidate = candidates[i];
+    CSJ_CHECK(candidate != nullptr);
+    PipelineEntry entry;
+    entry.candidate_index = i;
+    entry.candidate_name = candidate->name();
+    switch (ScreenCouple(pivot, *candidate, options, &entry)) {
+      case ScreenOutcome::kInadmissible:
+        ++report.inadmissible;
+        continue;
+      case ScreenOutcome::kBoundPruned:
+        ++report.bound_pruned;
+        continue;
+      case ScreenOutcome::kScreened:
+        break;
+    }
+    ++report.screened;
+    report.entries.push_back(std::move(entry));
+    couples.emplace_back(&pivot, candidate);
+  }
+
+  RefineAndRank(couples, options, &report);
+  report.total_seconds = timer.Seconds();
+  return report;
+}
+
+PipelineReport ScreenAndRefineAllPairs(
+    const std::vector<const Community*>& communities,
+    const PipelineOptions& options) {
+  util::Timer timer;
+  PipelineReport report;
+  std::vector<std::pair<const Community*, const Community*>> couples;
+  const auto n = static_cast<uint32_t>(communities.size());
+
+  for (uint32_t i = 0; i < n; ++i) {
+    CSJ_CHECK(communities[i] != nullptr);
+    for (uint32_t j = i + 1; j < n; ++j) {
+      PipelineEntry entry;
+      entry.candidate_index = i * n + j;
+      entry.candidate_name =
+          communities[i]->name() + " | " + communities[j]->name();
+      switch (
+          ScreenCouple(*communities[i], *communities[j], options, &entry)) {
+        case ScreenOutcome::kInadmissible:
+          ++report.inadmissible;
+          continue;
+        case ScreenOutcome::kBoundPruned:
+          ++report.bound_pruned;
+          continue;
+        case ScreenOutcome::kScreened:
+          break;
+      }
+      ++report.screened;
+      report.entries.push_back(std::move(entry));
+      couples.emplace_back(communities[i], communities[j]);
+    }
+  }
+
+  RefineAndRank(couples, options, &report);
+  report.total_seconds = timer.Seconds();
+  return report;
+}
+
+void DecodePairIndex(uint32_t candidate_index, uint32_t n, uint32_t* i,
+                     uint32_t* j) {
+  CSJ_CHECK_GT(n, 0u);
+  *i = candidate_index / n;
+  *j = candidate_index % n;
+}
+
+}  // namespace csj::pipeline

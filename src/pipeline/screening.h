@@ -1,0 +1,94 @@
+#ifndef CSJ_PIPELINE_SCREENING_H_
+#define CSJ_PIPELINE_SCREENING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/community.h"
+#include "core/join_options.h"
+#include "core/method.h"
+
+namespace csj::pipeline {
+
+/// The paper's two-phase usage of CSJ (§3): "the usage of approximate
+/// method is to fast find a group of similar-enough community pairs for
+/// impending precise similarity computation. When such a group is found,
+/// the exact method applies... the time-consuming exact method uses the
+/// results of fast approximate method as input to alleviate its total
+/// execution overhead."
+///
+/// This module packages that workflow: screen every candidate couple with
+/// an approximate method, keep the ones above a threshold, refine those
+/// with an exact method, and return a ranking.
+struct PipelineOptions {
+  Method screen_method = Method::kApMinMax;
+  Method refine_method = Method::kExMinMax;
+
+  /// Couples whose screened similarity reaches this survive to the exact
+  /// phase (the paper's "similar-enough group").
+  double screen_threshold = 0.15;
+
+  /// Refine at most this many of the best-screened survivors (0 = all).
+  uint32_t refine_top_k = 0;
+
+  /// Before ANY join, discard couples whose SimilarityUpperBound (the
+  /// O(n log n) encoded-window relaxation, see core/similarity_bound.h)
+  /// is already below `screen_threshold`. Safe with respect to the exact
+  /// phase: the bound dominates the exact similarity.
+  bool use_upper_bound_prune = true;
+
+  /// Join parameters shared by both phases.
+  JoinOptions join;
+};
+
+/// One candidate comparison's outcome.
+struct PipelineEntry {
+  uint32_t candidate_index = 0;   ///< position in the input candidate list
+  std::string candidate_name;     ///< Community::name of the candidate
+  double screened_similarity = 0.0;
+  bool refined = false;           ///< did it survive the screen?
+  double refined_similarity = 0.0;  ///< valid when `refined`
+  double screen_seconds = 0.0;
+  double refine_seconds = 0.0;
+
+  /// The ranking key: exact similarity when available, else the screen.
+  double FinalSimilarity() const {
+    return refined ? refined_similarity : screened_similarity;
+  }
+};
+
+/// Aggregate outcome of one pipeline run.
+struct PipelineReport {
+  std::vector<PipelineEntry> entries;  ///< sorted by FinalSimilarity desc
+  uint32_t screened = 0;               ///< candidates screened with a join
+  uint32_t refined = 0;                ///< candidates exactly recomputed
+  uint32_t inadmissible = 0;           ///< rejected by the CSJ size rule
+  uint32_t bound_pruned = 0;           ///< discarded by the upper bound
+  double total_seconds = 0.0;
+};
+
+/// Compares `pivot` against every candidate (the brand-recommendation
+/// shape: one brand vs many potential partners). Each couple is ordered
+/// automatically (smaller side plays B); couples violating the
+/// ceil(|A|/2) <= |B| <= |A| rule are counted as inadmissible and get no
+/// entry. Candidates may be any mix of sizes; null pointers are not
+/// allowed.
+PipelineReport ScreenAndRefine(const Community& pivot,
+                               const std::vector<const Community*>& candidates,
+                               const PipelineOptions& options);
+
+/// All-pairs variant (the broadcast-recommendation shape, paper case
+/// ii.b): screens every unordered pair of `communities` and refines the
+/// survivors. `candidate_index` encodes the pair as i * n + j (i < j).
+PipelineReport ScreenAndRefineAllPairs(
+    const std::vector<const Community*>& communities,
+    const PipelineOptions& options);
+
+/// Splits an all-pairs `candidate_index` back into (i, j).
+void DecodePairIndex(uint32_t candidate_index, uint32_t n, uint32_t* i,
+                     uint32_t* j);
+
+}  // namespace csj::pipeline
+
+#endif  // CSJ_PIPELINE_SCREENING_H_

@@ -1,0 +1,84 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace csj::util {
+
+void Flags::Define(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  CSJ_CHECK(!specs_.count(name)) << "duplicate flag --" << name;
+  specs_[name] = Spec{default_value, help, default_value};
+  order_.push_back(name);
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& name : order_) {
+    const Spec& spec = specs_.at(name);
+    out += "  --" + name + " (default: " + spec.default_value + ")\n      " +
+           spec.help + "\n";
+  }
+  return out;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   Usage(argv[0]).c_str());
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name) const {
+  const auto it = specs_.find(name);
+  CSJ_CHECK(it != specs_.end()) << "undeclared flag --" << name;
+  return it->second.value;
+}
+
+int64_t Flags::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace csj::util

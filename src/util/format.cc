@@ -1,0 +1,41 @@
+#include "util/format.h"
+
+#include <cstdio>
+
+namespace csj::util {
+
+std::string WithCommas(uint64_t value) {
+  const std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      out.push_back(',');
+    }
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string Fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string Percent(double fraction) { return Fixed(fraction * 100.0, 2) + "%"; }
+
+std::string SecondsCell(double seconds) {
+  char buffer[64];
+  if (seconds >= 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "(%.0f s)", seconds);
+  } else if (seconds >= 0.1) {
+    std::snprintf(buffer, sizeof(buffer), "(%.2f s)", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "(%.2f ms)", seconds * 1e3);
+  }
+  return buffer;
+}
+
+}  // namespace csj::util

@@ -1,0 +1,26 @@
+#ifndef CSJ_UTIL_FORMAT_H_
+#define CSJ_UTIL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace csj::util {
+
+/// "1234567" -> "1,234,567" — the paper's tables print sizes and totals
+/// with thousands separators.
+std::string WithCommas(uint64_t value);
+
+/// Similarity as the paper prints it: two decimals plus a percent sign,
+/// e.g. 0.2056 -> "20.56%".
+std::string Percent(double fraction);
+
+/// Execution time as the paper prints it: "(442 s)" style when >= 10 s,
+/// more precision for the sub-second runs typical at reduced scale.
+std::string SecondsCell(double seconds);
+
+/// Fixed-point with `digits` decimals.
+std::string Fixed(double value, int digits);
+
+}  // namespace csj::util
+
+#endif  // CSJ_UTIL_FORMAT_H_

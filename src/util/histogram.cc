@@ -1,0 +1,47 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace csj::util {
+
+Histogram::Histogram(double lo, double hi, uint32_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  CSJ_CHECK_GT(buckets, 0u);
+  CSJ_CHECK_LT(lo, hi);
+  width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::Add(double value) {
+  const double offset = (value - lo_) / width_;
+  const auto raw = static_cast<int64_t>(std::floor(offset));
+  const int64_t max_index = static_cast<int64_t>(counts_.size()) - 1;
+  const int64_t index = std::clamp<int64_t>(raw, 0, max_index);
+  ++counts_[static_cast<size_t>(index)];
+  ++total_;
+}
+
+double Histogram::Fraction(uint32_t index) const {
+  CSJ_CHECK_LT(index, counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[index]) / static_cast<double>(total_);
+}
+
+double Histogram::AdjacencyCollisionProbability() const {
+  if (total_ == 0) return 1.0;
+  double p = 0.0;
+  const auto n = static_cast<uint32_t>(counts_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    const double fi = Fraction(i);
+    if (fi == 0.0) continue;
+    double neighborhood = fi;
+    if (i > 0) neighborhood += Fraction(i - 1);
+    if (i + 1 < n) neighborhood += Fraction(i + 1);
+    p += fi * neighborhood;
+  }
+  return p;
+}
+
+}  // namespace csj::util

@@ -1,0 +1,47 @@
+#ifndef CSJ_UTIL_HISTOGRAM_H_
+#define CSJ_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace csj::util {
+
+/// Equal-width histogram over [lo, hi]. Two consumers: dataset statistics
+/// (Table 1 style summaries) and SuperEGO's data-driven dimension
+/// reordering, which estimates per-dimension pruning power from the value
+/// distribution.
+class Histogram {
+ public:
+  /// `buckets >= 1`; values outside [lo, hi] are clamped into the edge
+  /// buckets so callers never lose mass to range mismatches.
+  Histogram(double lo, double hi, uint32_t buckets);
+
+  void Add(double value);
+
+  uint64_t total_count() const { return total_; }
+  uint32_t bucket_count() const { return static_cast<uint32_t>(counts_.size()); }
+  uint64_t bucket(uint32_t index) const { return counts_[index]; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Fraction of observed mass in `index`; 0 when the histogram is empty.
+  double Fraction(uint32_t index) const;
+
+  /// Probability that two independent draws from this empirical
+  /// distribution land in the same or adjacent buckets — the chance an
+  /// epsilon-grid filter with cell width == bucket width FAILS to prune a
+  /// random pair on this dimension. SuperEGO orders dimensions by
+  /// ascending failure probability (most selective first).
+  double AdjacencyCollisionProbability() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace csj::util
+
+#endif  // CSJ_UTIL_HISTOGRAM_H_

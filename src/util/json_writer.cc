@@ -1,0 +1,125 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace csj::util {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already handled separators
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back() == 1) out_.push_back(',');
+    needs_comma_.back() = 1;
+  }
+}
+
+void JsonWriter::Escape(const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ += buffer;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  needs_comma_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  CSJ_CHECK(!needs_comma_.empty());
+  CSJ_CHECK(!pending_key_) << "dangling key before EndObject";
+  needs_comma_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  needs_comma_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  CSJ_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(const std::string& name) {
+  CSJ_CHECK(!pending_key_) << "two keys in a row";
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back() == 1) out_.push_back(',');
+    needs_comma_.back() = 1;
+  }
+  out_.push_back('"');
+  Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_.push_back('"');
+  Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  out_ += buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::Take() {
+  CSJ_CHECK(needs_comma_.empty()) << "unbalanced JSON nesting";
+  CSJ_CHECK(!pending_key_);
+  std::string result = std::move(out_);
+  out_.clear();
+  return result;
+}
+
+}  // namespace csj::util

@@ -1,0 +1,56 @@
+#ifndef CSJ_UTIL_JSON_WRITER_H_
+#define CSJ_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace csj::util {
+
+/// Minimal streaming JSON writer for machine-readable experiment output
+/// (the bench binaries' --json mode and the CLI tool). Produces compact,
+/// valid JSON; no reading, no DOM. Keys and string values are escaped.
+///
+/// Usage:
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("method"); json.String("Ex-MinMax");
+///   json.Key("similarity"); json.Double(0.2081);
+///   json.Key("pairs"); json.BeginArray();
+///   json.BeginObject(); ... json.EndObject();
+///   json.EndArray();
+///   json.EndObject();
+///   std::string out = json.Take();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Returns the JSON text; the writer must be at nesting depth 0.
+  std::string Take();
+
+ private:
+  void BeforeValue();
+  void Escape(const std::string& text);
+
+  std::string out_;
+  // Comma bookkeeping per nesting level: true when the next element needs
+  // a leading comma. Depth is bounded in practice; a byte per level.
+  std::string needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace csj::util
+
+#endif  // CSJ_UTIL_JSON_WRITER_H_

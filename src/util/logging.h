@@ -1,0 +1,70 @@
+#ifndef CSJ_UTIL_LOGGING_H_
+#define CSJ_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace csj::util {
+
+/// Terminates the process with a formatted message. Used by the CHECK
+/// macros below; exposed so callers can report fatal conditions with the
+/// same file:line prefix.
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const std::string& message) {
+  std::fprintf(stderr, "[csj fatal] %s:%d: %s\n", file, line,
+               message.c_str());
+  std::abort();
+}
+
+namespace internal_logging {
+
+/// Stream-collecting helper that aborts when destroyed. Enables the
+/// `CSJ_CHECK(cond) << "detail"` syntax without heap allocation on the
+/// non-failing fast path (the object is only constructed on failure).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "check failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() { FatalError(file_, line_, stream_.str()); }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace csj::util
+
+/// Aborts with a diagnostic when `condition` is false. Active in all build
+/// types: the checked invariants guard algorithm correctness, not debugging
+/// conveniences, and their cost is negligible next to the joins themselves.
+#define CSJ_CHECK(condition)                                            \
+  if (condition) {                                                      \
+  } else /* NOLINT */                                                   \
+    ::csj::util::internal_logging::FatalMessage(__FILE__, __LINE__,     \
+                                                #condition)
+
+#define CSJ_CHECK_EQ(a, b) CSJ_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CSJ_CHECK_NE(a, b) CSJ_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CSJ_CHECK_LE(a, b) CSJ_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CSJ_CHECK_LT(a, b) CSJ_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CSJ_CHECK_GE(a, b) CSJ_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CSJ_CHECK_GT(a, b) CSJ_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // CSJ_UTIL_LOGGING_H_

@@ -1,0 +1,43 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace csj::util {
+
+uint32_t ParallelChunks(uint32_t begin, uint32_t end, uint32_t threads) {
+  if (end <= begin) return 0;
+  return std::min(std::max<uint32_t>(threads, 1), end - begin);
+}
+
+void ParallelFor(uint32_t begin, uint32_t end, uint32_t threads,
+                 const std::function<void(uint32_t, uint32_t, uint32_t)>&
+                     body) {
+  const uint32_t chunks = ParallelChunks(begin, end, threads);
+  if (chunks == 0) return;
+  const uint32_t total = end - begin;
+  if (chunks == 1) {
+    body(begin, end, 0);
+    return;
+  }
+
+  const uint32_t base = total / chunks;
+  const uint32_t extra = total % chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  uint32_t chunk_begin = begin;
+  for (uint32_t c = 0; c < chunks; ++c) {
+    const uint32_t width = base + (c < extra ? 1 : 0);
+    const uint32_t chunk_end = chunk_begin + width;
+    workers.emplace_back(
+        [&body, chunk_begin, chunk_end, c]() { body(chunk_begin, chunk_end, c); });
+    chunk_begin = chunk_end;
+  }
+  CSJ_CHECK_EQ(chunk_begin, end);
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace csj::util

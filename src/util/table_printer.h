@@ -1,0 +1,39 @@
+#ifndef CSJ_UTIL_TABLE_PRINTER_H_
+#define CSJ_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace csj::util {
+
+/// Column-aligned plain-text table writer used by every paper-table bench
+/// so the regenerated tables visually line up with the paper's.
+///
+/// Usage:
+///   TablePrinter t({"cID", "Ap-Baseline", "Ap-MinMax"});
+///   t.AddRow({"1", "20.56% (442 s)", "20.58% (116 s)"});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the header, a separator rule and all rows to `out`.
+  void Print(std::FILE* out) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csj::util
+
+#endif  // CSJ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,32 @@
+#ifndef CSJ_UTIL_TIMER_H_
+#define CSJ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace csj::util {
+
+/// Monotonic wall-clock stopwatch. The paper reports per-couple execution
+/// time in seconds; every method run is wrapped in one of these.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csj::util
+
+#endif  // CSJ_UTIL_TIMER_H_

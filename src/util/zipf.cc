@@ -1,0 +1,34 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace csj::util {
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double s) : s_(s) {
+  CSJ_CHECK_GT(n, 0u);
+  CSJ_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    total += std::pow(static_cast<double>(rank) + 1.0, -s);
+    cdf_[rank] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+uint32_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint32_t rank) const {
+  CSJ_CHECK_LT(rank, cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace csj::util

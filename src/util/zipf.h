@@ -1,0 +1,41 @@
+#ifndef CSJ_UTIL_ZIPF_H_
+#define CSJ_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace csj::util {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+///
+/// Used by the VK-like generator to model the heavy-tailed popularity of
+/// categories and the heavy-tailed activity of users observed in the
+/// paper's Table 1 (total likes per category span four orders of
+/// magnitude). Sampling is O(log n) via binary search on the precomputed
+/// cumulative distribution.
+class ZipfDistribution {
+ public:
+  /// Builds the CDF for `n` ranks with exponent `s >= 0`. `s == 0`
+  /// degenerates to the uniform distribution; larger `s` concentrates mass
+  /// on the smallest ranks.
+  ZipfDistribution(uint32_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint32_t Sample(Rng& rng) const;
+
+  /// Probability mass of `rank`.
+  double Pmf(uint32_t rank) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.
+};
+
+}  // namespace csj::util
+
+#endif  // CSJ_UTIL_ZIPF_H_

@@ -1,0 +1,140 @@
+// Tests for Ap-Baseline / Ex-Baseline, including the §3 worked example
+// where the approximate method can halve the similarity.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/community.h"
+#include "matching/greedy.h"
+
+namespace csj {
+namespace {
+
+// The §3 example: eps=1, d=3, B={b1,b2}, A={a1,a2,a3}. b1 matches a2 and
+// a3; b2 matches only a3.
+Community ExampleB() {
+  Community b(3);
+  b.AddUser(std::vector<Count>{3, 4, 2});
+  b.AddUser(std::vector<Count>{2, 2, 3});
+  return b;
+}
+
+Community ExampleA() {
+  Community a(3);
+  a.AddUser(std::vector<Count>{2, 3, 5});
+  a.AddUser(std::vector<Count>{2, 3, 1});
+  a.AddUser(std::vector<Count>{3, 3, 3});
+  return a;
+}
+
+TEST(ExBaselineTest, Section3ExampleFindsFullSimilarity) {
+  JoinOptions options;
+  options.eps = 1;
+  const JoinResult result = ExBaselineJoin(ExampleB(), ExampleA(), options);
+  // Exact: <b1,a2> and <b2,a3> -> similarity 100%.
+  EXPECT_EQ(result.pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.Similarity(), 1.0);
+  EXPECT_TRUE(matching::IsOneToOne(result.pairs));
+  EXPECT_EQ(result.stats.candidate_pairs, 3u);
+}
+
+TEST(ApBaselineTest, Section3ExampleIsOrderDependent) {
+  JoinOptions options;
+  options.eps = 1;
+  const JoinResult result = ApBaselineJoin(ExampleB(), ExampleA(), options);
+  // Scanning A in order, b1 commits to a2 (its first match), which leaves
+  // a3 for b2: this scan order happens to recover 100%.
+  EXPECT_EQ(result.pairs.size(), 2u);
+
+  // Reorder A so a3 comes first: b1 greedily takes a3 and b2 is stranded —
+  // the paper's 50% approximate outcome.
+  Community a_reordered(3);
+  a_reordered.AddUser(std::vector<Count>{3, 3, 3});  // a3 first
+  a_reordered.AddUser(std::vector<Count>{2, 3, 5});
+  a_reordered.AddUser(std::vector<Count>{2, 3, 1});
+  const JoinResult swapped = ApBaselineJoin(ExampleB(), a_reordered, options);
+  EXPECT_EQ(swapped.pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(swapped.Similarity(), 0.5);
+}
+
+TEST(ApBaselineTest, OffsetSkipsMatchedPrefix) {
+  // All B users match the single leading A user; only the first gets it.
+  Community b(1);
+  b.AddUser(std::vector<Count>{5});
+  b.AddUser(std::vector<Count>{5});
+  b.AddUser(std::vector<Count>{5});
+  Community a(1);
+  a.AddUser(std::vector<Count>{5});
+  a.AddUser(std::vector<Count>{100});
+  JoinOptions options;
+  options.eps = 1;
+  const JoinResult result = ApBaselineJoin(b, a, options);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], (MatchedPair{0, 0}));
+  // After b0 consumes a0, later b's start from the offset past it and only
+  // compare with a1: 1 match compare for b0, +1 failing compare each for
+  // b1 and b2 against a1 only.
+  EXPECT_EQ(result.stats.dimension_compares, 3u);
+}
+
+TEST(ExBaselineTest, ComparesEveryPair) {
+  Community b(2);
+  b.AddUser(std::vector<Count>{0, 0});
+  b.AddUser(std::vector<Count>{9, 9});
+  Community a(2);
+  a.AddUser(std::vector<Count>{0, 0});
+  a.AddUser(std::vector<Count>{9, 9});
+  JoinOptions options;
+  options.eps = 1;
+  const JoinResult result = ExBaselineJoin(b, a, options);
+  EXPECT_EQ(result.stats.dimension_compares, 4u);  // full nested loop
+  EXPECT_EQ(result.pairs.size(), 2u);
+}
+
+TEST(BaselineTest, EmptyCommunities) {
+  const Community empty(4);
+  Community one(4);
+  one.AddUser(std::vector<Count>{1, 2, 3, 4});
+  JoinOptions options;
+  options.eps = 1;
+  EXPECT_TRUE(ApBaselineJoin(empty, one, options).pairs.empty());
+  EXPECT_TRUE(ExBaselineJoin(empty, one, options).pairs.empty());
+  EXPECT_TRUE(ApBaselineJoin(one, empty, options).pairs.empty());
+  EXPECT_TRUE(ExBaselineJoin(one, empty, options).pairs.empty());
+}
+
+TEST(BaselineTest, MatcherKindUpgradesExact) {
+  // b0 -> {a0, a1}, b1 -> {a0}: CSF and HK both find 2 here, but verify
+  // the kMaxMatching plumbing works end to end.
+  Community b(1);
+  b.AddUser(std::vector<Count>{1});
+  b.AddUser(std::vector<Count>{0});
+  Community a(1);
+  a.AddUser(std::vector<Count>{0});
+  a.AddUser(std::vector<Count>{2});
+  JoinOptions options;
+  options.eps = 1;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  const JoinResult result = ExBaselineJoin(b, a, options);
+  EXPECT_EQ(result.pairs.size(), 2u);
+}
+
+TEST(BaselineTest, EventLogRecordsComparisons) {
+  JoinOptions options;
+  options.eps = 1;
+  EventLog log;
+  options.event_log = &log;
+  (void)ExBaselineJoin(ExampleB(), ExampleA(), options);
+  // 2x3 full nested loop: six records, three of them matches.
+  ASSERT_EQ(log.records.size(), 6u);
+  int match_events = 0;
+  for (const EventRecord& r : log.records) {
+    match_events += r.event == Event::kMatch ? 1 : 0;
+  }
+  EXPECT_EQ(match_events, 3);
+}
+
+}  // namespace
+}  // namespace csj

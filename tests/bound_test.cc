@@ -1,0 +1,131 @@
+// Tests for the encoded-window similarity upper bound and its use as the
+// pipeline's pre-join prune.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/community.h"
+#include "core/similarity_bound.h"
+#include "data/generator.h"
+#include "matching/hopcroft_karp.h"
+#include "pipeline/screening.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
+  util::Rng rng(seed);
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+TEST(SimilarityBoundTest, EmptyCommunities) {
+  const Community empty(3);
+  Community one(3);
+  one.AddUser(std::vector<Count>{1, 2, 3});
+  EXPECT_EQ(MatchingUpperBound(empty, one, 1), 0u);
+  EXPECT_EQ(MatchingUpperBound(one, empty, 1), 0u);
+  EXPECT_DOUBLE_EQ(SimilarityUpperBound(empty, one, 1), 0.0);
+}
+
+TEST(SimilarityBoundTest, IdenticalCommunitiesBoundIsOne) {
+  const Community c = RandomCommunity(5, 50, 20, 1);
+  EXPECT_EQ(MatchingUpperBound(c, c, 1), 50u);
+  EXPECT_DOUBLE_EQ(SimilarityUpperBound(c, c, 1), 1.0);
+}
+
+TEST(SimilarityBoundTest, DisjointIdRangesBoundIsZero) {
+  Community b(2);
+  b.AddUser(std::vector<Count>{0, 0});     // id 0
+  b.AddUser(std::vector<Count>{1, 1});     // id 2
+  Community a(2);
+  a.AddUser(std::vector<Count>{100, 100}); // window [198, 202] at eps 1
+  EXPECT_EQ(MatchingUpperBound(b, a, 1), 0u);
+}
+
+TEST(SimilarityBoundTest, OneToOneOverWindows) {
+  // Two A windows overlap one B id: only one can claim it.
+  Community b(1);
+  b.AddUser(std::vector<Count>{10});
+  Community a(1);
+  a.AddUser(std::vector<Count>{10});
+  a.AddUser(std::vector<Count>{11});
+  EXPECT_EQ(MatchingUpperBound(b, a, 1), 1u);
+}
+
+TEST(SimilarityBoundTest, GreedyIsOptimalOnIntervalGraphs) {
+  // d = 1 makes the relaxation graph explicit: compare the greedy count
+  // with Hopcroft-Karp over the id-in-window edges.
+  util::Rng rng(7);
+  for (uint64_t trial = 0; trial < 50; ++trial) {
+    const Community b = RandomCommunity(1, 40, 60, 100 + trial);
+    const Community a = RandomCommunity(1, 50, 60, 200 + trial);
+    const Epsilon eps = static_cast<Epsilon>(1 + rng.Below(6));
+
+    std::vector<MatchedPair> edges;
+    for (UserId ib = 0; ib < b.size(); ++ib) {
+      const uint64_t id = b.User(ib)[0];
+      for (UserId ia = 0; ia < a.size(); ++ia) {
+        const uint64_t v = a.User(ia)[0];
+        const uint64_t lo = v >= eps ? v - eps : 0;
+        const uint64_t hi = v + eps;
+        if (id >= lo && id <= hi) edges.push_back(MatchedPair{ib, ia});
+      }
+    }
+    const size_t oracle = matching::HopcroftKarp(edges).size();
+    EXPECT_EQ(MatchingUpperBound(b, a, eps), oracle) << "trial " << trial;
+  }
+}
+
+TEST(SimilarityBoundTest, DominatesExactSimilarityOnRandomSweeps) {
+  for (const uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const Community b = RandomCommunity(8, 80, 10, seed);
+    const Community a = RandomCommunity(8, 100, 10, seed + 50);
+    JoinOptions options;
+    options.eps = 2;
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    const JoinResult exact = ExBaselineJoin(b, a, options);
+    EXPECT_GE(MatchingUpperBound(b, a, options.eps), exact.pairs.size())
+        << "seed " << seed;
+  }
+}
+
+TEST(SimilarityBoundTest, PipelinePruneDropsHopelessCandidates) {
+  data::VkLikeGenerator gen(data::Category::kMusic);
+  util::Rng rng(3);
+  const Community pivot = data::MakeCommunity(gen, 300, rng, "pivot");
+
+  // A candidate with wildly different encoded ids: every user far heavier
+  // than anything in the pivot, so even the relaxation cannot pair them.
+  Community heavy(data::kNumCategories, "heavy");
+  std::vector<Count> vec(data::kNumCategories, 100000);
+  for (int i = 0; i < 300; ++i) heavy.AddUser(vec);
+
+  pipeline::PipelineOptions options;
+  options.screen_threshold = 0.15;
+  options.join.eps = 1;
+  options.use_upper_bound_prune = true;
+  const pipeline::PipelineReport report =
+      ScreenAndRefine(pivot, {&heavy}, options);
+  EXPECT_EQ(report.bound_pruned, 1u);
+  EXPECT_EQ(report.screened, 0u);
+  EXPECT_TRUE(report.entries.empty());
+
+  // With the prune disabled the candidate is screened (and scores ~0).
+  options.use_upper_bound_prune = false;
+  const pipeline::PipelineReport unpruned =
+      ScreenAndRefine(pivot, {&heavy}, options);
+  EXPECT_EQ(unpruned.screened, 1u);
+  EXPECT_EQ(unpruned.bound_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,170 @@
+// Unit tests for the core problem types: Community, the size rule, and the
+// epsilon predicate (including the paper's §3 worked example).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/epsilon_predicate.h"
+#include "core/join_result.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+TEST(CommunityTest, AddAndReadUsers) {
+  Community c(3, "test");
+  const std::vector<Count> u0 = {1, 2, 3};
+  const std::vector<Count> u1 = {4, 5, 6};
+  EXPECT_EQ(c.AddUser(u0), 0u);
+  EXPECT_EQ(c.AddUser(u1), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.d(), 3u);
+  EXPECT_EQ(c.name(), "test");
+  EXPECT_EQ(c.User(0)[1], 2u);
+  EXPECT_EQ(c.User(1)[2], 6u);
+}
+
+TEST(CommunityTest, FlatConstructorAndMutation) {
+  Community c(2, std::vector<Count>{1, 2, 3, 4});
+  EXPECT_EQ(c.size(), 2u);
+  c.MutableUser(1)[0] = 9;
+  EXPECT_EQ(c.User(1)[0], 9u);
+  EXPECT_EQ(c.MaxCounter(), 9u);
+}
+
+TEST(CommunityTest, EmptyCommunity) {
+  const Community c(5);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.MaxCounter(), 0u);
+}
+
+TEST(SizesAdmissibleTest, PaperRule) {
+  // ceil(|A|/2) <= |B| <= |A|.
+  EXPECT_TRUE(SizesAdmissible(2, 3));   // ceil(3/2)=2
+  EXPECT_TRUE(SizesAdmissible(3, 3));
+  EXPECT_FALSE(SizesAdmissible(1, 3));  // B too small
+  EXPECT_FALSE(SizesAdmissible(4, 3));  // B larger than A
+  EXPECT_TRUE(SizesAdmissible(5, 10));
+  EXPECT_FALSE(SizesAdmissible(4, 10));
+  EXPECT_TRUE(SizesAdmissible(1, 1));
+  EXPECT_TRUE(SizesAdmissible(1, 2));   // ceil(2/2)=1
+}
+
+TEST(EpsilonPredicateTest, ExactBoundary) {
+  const std::vector<Count> b = {5, 5, 5};
+  const std::vector<Count> within = {6, 4, 5};
+  const std::vector<Count> outside = {7, 5, 5};
+  EXPECT_TRUE(EpsilonMatches(b, within, 1));
+  EXPECT_FALSE(EpsilonMatches(b, outside, 1));
+  EXPECT_TRUE(EpsilonMatches(b, outside, 2));
+}
+
+TEST(EpsilonPredicateTest, EpsZeroRequiresEquality) {
+  const std::vector<Count> x = {3, 0, 7};
+  const std::vector<Count> y = {3, 0, 7};
+  const std::vector<Count> z = {3, 1, 7};
+  EXPECT_TRUE(EpsilonMatches(x, y, 0));
+  EXPECT_FALSE(EpsilonMatches(x, z, 0));
+}
+
+TEST(EpsilonPredicateTest, SymmetricAndReflexive) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Count> x(8);
+    std::vector<Count> y(8);
+    for (int k = 0; k < 8; ++k) {
+      x[static_cast<size_t>(k)] = static_cast<Count>(rng.Below(20));
+      y[static_cast<size_t>(k)] = static_cast<Count>(rng.Below(20));
+    }
+    const Epsilon eps = static_cast<Epsilon>(rng.Below(5));
+    EXPECT_EQ(EpsilonMatches(x, y, eps), EpsilonMatches(y, x, eps));
+    EXPECT_TRUE(EpsilonMatches(x, x, eps));
+  }
+}
+
+TEST(EpsilonPredicateTest, AgreesWithChebyshevOracle) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Count> x(5);
+    std::vector<Count> y(5);
+    for (int k = 0; k < 5; ++k) {
+      x[static_cast<size_t>(k)] = static_cast<Count>(rng.Below(30));
+      y[static_cast<size_t>(k)] = static_cast<Count>(rng.Below(30));
+    }
+    const Epsilon eps = static_cast<Epsilon>(rng.Below(8));
+    EXPECT_EQ(EpsilonMatches(x, y, eps), ChebyshevDistance(x, y) <= eps);
+  }
+}
+
+TEST(EpsilonPredicateTest, LargeCountersNoOverflow) {
+  const std::vector<Count> x = {4294967295u};
+  const std::vector<Count> y = {0u};
+  EXPECT_FALSE(EpsilonMatches(x, y, 1000));
+  EXPECT_TRUE(EpsilonMatches(x, x, 0));
+}
+
+TEST(CommunityDeathTest, MisuseAborts) {
+  Community c(3);
+  EXPECT_DEATH(c.AddUser(std::vector<Count>{1, 2}), "check failed");
+  EXPECT_DEATH(Community(0), "check failed");
+  EXPECT_DEATH(Community(2, std::vector<Count>{1, 2, 3}), "check failed");
+}
+
+TEST(JoinStatsTest, CountAndMergeBookkeeping) {
+  JoinStats x;
+  x.Count(Event::kMatch);
+  x.Count(Event::kNoMatch);
+  x.Count(Event::kNoOverlap);
+  x.Count(Event::kMinPrune);
+  x.Count(Event::kMaxPrune);
+  EXPECT_EQ(x.matches, 1u);
+  EXPECT_EQ(x.no_matches, 1u);
+  EXPECT_EQ(x.dimension_compares, 2u);  // only full compares count
+  EXPECT_EQ(x.no_overlaps, 1u);
+  EXPECT_EQ(x.min_prunes, 1u);
+  EXPECT_EQ(x.max_prunes, 1u);
+
+  JoinStats y;
+  y.Count(Event::kMatch);
+  y.candidate_pairs = 7;
+  y.seconds = 3.0;
+  x.seconds = 1.0;
+  x.Merge(y);
+  EXPECT_EQ(x.matches, 2u);
+  EXPECT_EQ(x.dimension_compares, 3u);
+  EXPECT_EQ(x.candidate_pairs, 7u);
+  EXPECT_DOUBLE_EQ(x.seconds, 1.0);  // wall-clock is not additive
+}
+
+TEST(EventNameTest, PaperSpellings) {
+  EXPECT_STREQ(EventName(Event::kMinPrune), "MIN PRUNE");
+  EXPECT_STREQ(EventName(Event::kMaxPrune), "MAX PRUNE");
+  EXPECT_STREQ(EventName(Event::kNoOverlap), "NO OVERLAP");
+  EXPECT_STREQ(EventName(Event::kNoMatch), "NO MATCH");
+  EXPECT_STREQ(EventName(Event::kMatch), "MATCH");
+}
+
+// The worked example of §3: eps=1, d=3 (Music, Sport, Education).
+TEST(PaperExampleTest, Section3MatchStructure) {
+  const std::vector<Count> b1 = {3, 4, 2};
+  const std::vector<Count> b2 = {2, 2, 3};
+  const std::vector<Count> a1 = {2, 3, 5};
+  const std::vector<Count> a2 = {2, 3, 1};
+  const std::vector<Count> a3 = {3, 3, 3};
+  const Epsilon eps = 1;
+  // b1 can be matched with a2 and a3, b2 only with a3.
+  EXPECT_FALSE(EpsilonMatches(b1, a1, eps));
+  EXPECT_TRUE(EpsilonMatches(b1, a2, eps));
+  EXPECT_TRUE(EpsilonMatches(b1, a3, eps));
+  EXPECT_FALSE(EpsilonMatches(b2, a1, eps));
+  EXPECT_FALSE(EpsilonMatches(b2, a2, eps));
+  EXPECT_TRUE(EpsilonMatches(b2, a3, eps));
+  // |B|=2 is at least ceil(|A|/2)=2, so similarity is meaningful.
+  EXPECT_TRUE(SizesAdmissible(2, 3));
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,304 @@
+// Tests for the data substrate: categories, generators, population stats
+// (Table 1 shape) and the twin-planting community sampler.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/epsilon_predicate.h"
+#include "data/case_studies.h"
+#include "data/categories.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "data/stats.h"
+#include "matching/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace csj::data {
+namespace {
+
+TEST(CategoriesTest, NamesRoundTrip) {
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    const auto category = static_cast<Category>(c);
+    const auto parsed = ParseCategory(CategoryName(category));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, category);
+  }
+  EXPECT_FALSE(ParseCategory("NotACategory").has_value());
+}
+
+TEST(CategoriesTest, VkTotalsAreTable1Descending) {
+  // The enum is declared in rank order, so totals must be non-increasing.
+  for (uint32_t c = 1; c < kNumCategories; ++c) {
+    EXPECT_GE(VkTotalLikes(static_cast<Category>(c - 1)),
+              VkTotalLikes(static_cast<Category>(c)));
+  }
+  EXPECT_EQ(VkTotalLikes(Category::kEntertainment), 2111519450ULL);
+  EXPECT_EQ(VkTotalLikes(Category::kCommunicationServices), 474492ULL);
+}
+
+TEST(VkLikeGeneratorTest, DeterministicAndInRange) {
+  VkLikeGenerator gen(Category::kSport);
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  std::vector<Count> v1;
+  std::vector<Count> v2;
+  for (int i = 0; i < 20; ++i) {
+    gen.Generate(rng1, &v1);
+    gen.Generate(rng2, &v2);
+  }
+  EXPECT_EQ(v1, v2);
+  for (const Count c : v1) EXPECT_LE(c, kVkMaxCounter);
+}
+
+TEST(VkLikeGeneratorTest, HomeCategoryDominates) {
+  VkLikeGenerator gen(Category::kAnimals);
+  util::Rng rng(7);
+  uint64_t home_total = 0;
+  uint64_t rest_total = 0;
+  std::vector<Count> flat;
+  for (int i = 0; i < 3000; ++i) gen.Generate(rng, &flat);
+  for (size_t u = 0; u < flat.size(); u += kNumCategories) {
+    for (uint32_t k = 0; k < kNumCategories; ++k) {
+      if (k == DimOf(Category::kAnimals)) {
+        home_total += flat[u + k];
+      } else {
+        rest_total += flat[u + k];
+      }
+    }
+  }
+  // home_affinity 0.6 vs Animals' tiny global share: the home dimension
+  // must dominate any single other dimension by far.
+  EXPECT_GT(home_total, rest_total / 4);
+}
+
+TEST(UniformGeneratorTest, CoversRangeUniformly) {
+  UniformGenerator gen(5, 1000);
+  util::Rng rng(3);
+  std::vector<Count> flat;
+  for (int i = 0; i < 2000; ++i) gen.Generate(rng, &flat);
+  uint64_t total = 0;
+  Count max_seen = 0;
+  for (const Count c : flat) {
+    ASSERT_LE(c, 1000u);
+    total += c;
+    max_seen = std::max(max_seen, c);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(flat.size());
+  EXPECT_NEAR(mean, 500.0, 15.0);
+  EXPECT_GT(max_seen, 990u);
+}
+
+TEST(MakeCommunityTest, SizeAndName) {
+  UniformGenerator gen(4, 10);
+  util::Rng rng(1);
+  const Community c = MakeCommunity(gen, 25, rng, "x");
+  EXPECT_EQ(c.size(), 25u);
+  EXPECT_EQ(c.d(), 4u);
+  EXPECT_EQ(c.name(), "x");
+}
+
+TEST(PopulationStatsTest, VkRankingReproducesTable1Order) {
+  util::Rng rng(2024);
+  const Community population = GenerateVkPopulation(60000, rng);
+  const std::vector<CategoryTotal> ranked = RankCategories(population);
+  ASSERT_EQ(ranked.size(), kNumCategories);
+  // The top of Table 1 must be reproduced exactly; the tail's tiny
+  // categories can swap under sampling noise, so check the top 5 and that
+  // the biggest tail category stays out of the top 10.
+  EXPECT_EQ(ranked[0].category, Category::kEntertainment);
+  EXPECT_EQ(ranked[1].category, Category::kHobbies);
+  EXPECT_EQ(ranked[2].category, Category::kRelationshipFamily);
+  EXPECT_EQ(ranked[3].category, Category::kBeautyHealth);
+  EXPECT_EQ(ranked[4].category, Category::kMedia);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NE(ranked[i].category, Category::kCommunicationServices);
+  }
+  // Four-orders-of-magnitude spread, like the paper's VK column.
+  EXPECT_GT(ranked[0].total_likes, 50 * ranked.back().total_likes);
+}
+
+TEST(PopulationStatsTest, SyntheticTotalsNearEqual) {
+  util::Rng rng(7);
+  const Community population = GenerateSyntheticPopulation(4000, rng);
+  const std::vector<CategoryTotal> ranked = RankCategories(population);
+  // Uniform counters: max and min category totals within ~10%.
+  EXPECT_LT(static_cast<double>(ranked.front().total_likes),
+            1.1 * static_cast<double>(ranked.back().total_likes));
+  EXPECT_EQ(MaxCounterOf(population) > 400000, true);
+}
+
+TEST(PlantCoupleTest, RealizesTargetSimilarity) {
+  UniformGenerator gen(kNumCategories, kSyntheticMaxCounter);
+  CoupleSpec spec;
+  spec.size_b = 400;
+  spec.size_a = 500;
+  spec.target_similarity = 0.30;
+  spec.eps = kSyntheticEpsilon;
+  util::Rng rng(5);
+  const Couple couple = PlantCouple(gen, gen, spec, rng);
+  EXPECT_EQ(couple.b.size(), 400u);
+  EXPECT_EQ(couple.a.size(), 500u);
+  EXPECT_EQ(couple.planted_pairs, 120u);
+
+  // The planted pairs exist: a maximum matching over the true candidate
+  // graph reaches at least the planted count.
+  std::vector<MatchedPair> edges;
+  for (UserId b = 0; b < couple.b.size(); ++b) {
+    for (UserId a = 0; a < couple.a.size(); ++a) {
+      if (EpsilonMatches(couple.b.User(b), couple.a.User(a), spec.eps)) {
+        edges.push_back(MatchedPair{b, a});
+      }
+    }
+  }
+  const auto maximum = matching::HopcroftKarp(edges);
+  EXPECT_GE(maximum.size(), couple.planted_pairs);
+  // On uniform data accidental matches are essentially impossible, so the
+  // realized similarity equals the plant.
+  EXPECT_LE(maximum.size(), couple.planted_pairs + 4);
+}
+
+TEST(PlantCoupleTest, ZeroTargetMeansNoGuaranteedPairs) {
+  UniformGenerator gen(8, 100000);
+  CoupleSpec spec;
+  spec.size_b = 50;
+  spec.size_a = 80;
+  spec.target_similarity = 0.0;
+  spec.eps = 10;
+  util::Rng rng(6);
+  const Couple couple = PlantCouple(gen, gen, spec, rng);
+  EXPECT_EQ(couple.planted_pairs, 0u);
+  EXPECT_EQ(couple.b.size(), 50u);
+}
+
+TEST(PlantCommunityAgainstTest, RealizesTargetAgainstFixedA) {
+  UniformGenerator gen_a(kNumCategories, kSyntheticMaxCounter);
+  util::Rng a_rng(77);
+  const Community a = MakeCommunity(gen_a, 500, a_rng, "fixed");
+
+  UniformGenerator gen_b(kNumCategories, kSyntheticMaxCounter);
+  CoupleSpec spec;
+  spec.size_b = 400;
+  spec.target_similarity = 0.25;
+  spec.eps = kSyntheticEpsilon;
+  util::Rng rng(78);
+  const Community b = PlantCommunityAgainst(a, gen_b, spec, rng);
+  ASSERT_EQ(b.size(), 400u);
+
+  // 100 planted twins exist as a one-to-one matching against A.
+  std::vector<MatchedPair> edges;
+  for (UserId ib = 0; ib < b.size(); ++ib) {
+    for (UserId ia = 0; ia < a.size(); ++ia) {
+      if (EpsilonMatches(b.User(ib), a.User(ia), spec.eps)) {
+        edges.push_back(MatchedPair{ib, ia});
+      }
+    }
+  }
+  const auto maximum = matching::HopcroftKarp(edges);
+  EXPECT_GE(maximum.size(), 100u);
+  EXPECT_LE(maximum.size(), 104u);  // uniform fillers add ~nothing
+}
+
+TEST(PlantCommunityAgainstTest, LeavesAUntouchedAndIsDeterministic) {
+  UniformGenerator gen(8, 1000);
+  util::Rng a_rng(5);
+  const Community a = MakeCommunity(gen, 100, a_rng);
+  const std::vector<Count> a_snapshot = a.flat();
+
+  CoupleSpec spec;
+  spec.size_b = 80;
+  spec.target_similarity = 0.5;
+  spec.eps = 10;
+  UniformGenerator gen_b1(8, 1000);
+  util::Rng rng1(9);
+  const Community b1 = PlantCommunityAgainst(a, gen_b1, spec, rng1);
+  UniformGenerator gen_b2(8, 1000);
+  util::Rng rng2(9);
+  const Community b2 = PlantCommunityAgainst(a, gen_b2, spec, rng2);
+  EXPECT_EQ(b1.flat(), b2.flat());
+  EXPECT_EQ(a.flat(), a_snapshot);
+}
+
+TEST(PlantCoupleTest, DeterministicInSeed) {
+  UniformGenerator gen_a(6, 1000);
+  UniformGenerator gen_b(6, 1000);
+  CoupleSpec spec;
+  spec.size_b = 30;
+  spec.size_a = 40;
+  spec.target_similarity = 0.5;
+  spec.eps = 10;
+  util::Rng rng1(11);
+  util::Rng rng2(11);
+  const Couple c1 = PlantCouple(gen_b, gen_a, spec, rng1);
+  UniformGenerator gen_a2(6, 1000);
+  UniformGenerator gen_b2(6, 1000);
+  const Couple c2 = PlantCouple(gen_b2, gen_a2, spec, rng2);
+  EXPECT_EQ(c1.b.flat(), c2.b.flat());
+  EXPECT_EQ(c1.a.flat(), c2.a.flat());
+}
+
+TEST(CaseStudiesTest, TwentyCouplesWithPaperSizes) {
+  const auto all = AllCaseStudies();
+  ASSERT_EQ(all.size(), 20u);
+  EXPECT_EQ(DifferentCategoryCouples().size(), 10u);
+  EXPECT_EQ(SameCategoryCouples().size(), 10u);
+  // Spot checks against Tables 2/3/5.
+  EXPECT_EQ(all[0].cid, 1);
+  EXPECT_EQ(all[0].size_b, 109176u);
+  EXPECT_EQ(all[0].size_a, 116016u);
+  EXPECT_EQ(all[0].category_b, Category::kRestaurants);
+  EXPECT_EQ(std::string(all[0].name_b), "Quick Recipes");
+  EXPECT_EQ(all[9].cid, 10);
+  EXPECT_NEAR(all[9].target_synthetic, 0.0785, 1e-9);  // the edge case
+  EXPECT_EQ(all[12].category_b, Category::kSport);
+  EXPECT_EQ(all[19].size_a, 201038u);
+  // Every couple satisfies the paper's size rule.
+  for (const CaseStudyCouple& c : all) {
+    EXPECT_TRUE(SizesAdmissible(c.size_b, c.size_a)) << "cid " << c.cid;
+  }
+}
+
+TEST(CaseStudiesTest, SpecScalesSizes) {
+  const CaseStudyCouple& couple = AllCaseStudies()[1];  // 156213 | 230017
+  const CoupleSpec spec = SpecFor(couple, DatasetFamily::kVk, 100);
+  EXPECT_EQ(spec.size_b, 1562u);
+  EXPECT_EQ(spec.size_a, 2300u);
+  EXPECT_EQ(spec.eps, kVkEpsilon);
+  EXPECT_NEAR(spec.target_similarity, couple.target_vk, 1e-12);
+  const CoupleSpec syn = SpecFor(couple, DatasetFamily::kSynthetic, 100);
+  EXPECT_EQ(syn.eps, kSyntheticEpsilon);
+}
+
+TEST(CaseStudiesTest, MaterializeIsDeterministicAndAdmissible) {
+  const CaseStudyCouple& couple = AllCaseStudies()[5];
+  const Couple c1 =
+      MaterializeCouple(couple, DatasetFamily::kSynthetic, 400, 99);
+  const Couple c2 =
+      MaterializeCouple(couple, DatasetFamily::kSynthetic, 400, 99);
+  EXPECT_EQ(c1.b.flat(), c2.b.flat());
+  EXPECT_EQ(c1.a.flat(), c2.a.flat());
+  EXPECT_TRUE(SizesAdmissible(c1.b.size(), c1.a.size()));
+  const Couple other =
+      MaterializeCouple(couple, DatasetFamily::kSynthetic, 400, 100);
+  EXPECT_NE(c1.b.flat(), other.b.flat());
+}
+
+TEST(ScalabilityStudyTest, TwentyRowsMatchingTable11) {
+  const auto rows = ScalabilityStudy();
+  ASSERT_EQ(rows.size(), 20u);
+  EXPECT_EQ(rows[0].category, Category::kFoodRecipes);
+  EXPECT_EQ(rows[0].sizes[0], 124453u);
+  EXPECT_EQ(rows[8].category, Category::kEntertainment);
+  EXPECT_EQ(rows[8].sizes[3], 1110846u);
+  for (const ScalabilityRow& row : rows) {
+    for (int i = 1; i < 4; ++i) {
+      EXPECT_LT(row.sizes[i - 1], row.sizes[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csj::data

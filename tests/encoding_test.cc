@@ -1,0 +1,218 @@
+// Tests for the MinMax encoding scheme, anchored on the paper's Figure 1
+// example plus randomized no-false-dismissal properties.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/encoding.h"
+#include "core/epsilon_predicate.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+// The exact user vector of Figure 1 (d=27, eps=1, 4 parts).
+const std::vector<Count> kFig1Vector = {1, 0, 0, 0, 2, 2,     // 1st part
+                                        0, 0, 2, 1, 1, 5, 4,  // 2nd part
+                                        0, 3, 0, 0, 1, 4, 1,  // 3rd part
+                                        0, 3, 5, 4, 1, 2, 4}; // 4th part
+
+TEST(EncoderTest, Figure1PartLayout) {
+  const Encoder encoder(27, 1, 4);
+  EXPECT_EQ(encoder.parts(), 4u);
+  // Figure 1 splits 27 dimensions as 6|7|7|7.
+  EXPECT_EQ(encoder.PartBegin(0), 0u);
+  EXPECT_EQ(encoder.PartBegin(1), 6u);
+  EXPECT_EQ(encoder.PartBegin(2), 13u);
+  EXPECT_EQ(encoder.PartBegin(3), 20u);
+  EXPECT_EQ(encoder.PartBegin(4), 27u);
+}
+
+TEST(EncoderTest, Figure1PartSumsAndEncodedId) {
+  const Encoder encoder(27, 1, 4);
+  const std::vector<uint64_t> sums = encoder.PartSums(kFig1Vector);
+  ASSERT_EQ(sums.size(), 4u);
+  EXPECT_EQ(sums[0], 5u);
+  EXPECT_EQ(sums[1], 13u);
+  EXPECT_EQ(sums[2], 9u);
+  EXPECT_EQ(sums[3], 19u);
+  EXPECT_EQ(encoder.EncodedId(kFig1Vector), 46u);
+}
+
+TEST(EncoderTest, Figure1RangesAndMinMax) {
+  const Encoder encoder(27, 1, 4);
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  encoder.PartRanges(kFig1Vector, &lo, &hi);
+  ASSERT_EQ(lo.size(), 4u);
+  // Figure 1: ranges [2,11], [8,20], [5,16], [13,26].
+  EXPECT_EQ(lo[0], 2u);
+  EXPECT_EQ(hi[0], 11u);
+  EXPECT_EQ(lo[1], 8u);
+  EXPECT_EQ(hi[1], 20u);
+  EXPECT_EQ(lo[2], 5u);
+  EXPECT_EQ(hi[2], 16u);
+  EXPECT_EQ(lo[3], 13u);
+  EXPECT_EQ(hi[3], 26u);
+  // encoded_Min = 28, encoded_Max = 73.
+  EXPECT_EQ(lo[0] + lo[1] + lo[2] + lo[3], 28u);
+  EXPECT_EQ(hi[0] + hi[1] + hi[2] + hi[3], 73u);
+}
+
+TEST(EncoderTest, PartsClampedToDimensions) {
+  const Encoder encoder(3, 1, 10);
+  EXPECT_EQ(encoder.parts(), 3u);
+  const Encoder one(5, 1, 0);
+  EXPECT_EQ(one.parts(), 1u);
+}
+
+TEST(EncoderTest, SinglePartDegeneratesToTotals) {
+  const Encoder encoder(4, 2, 1);
+  const std::vector<Count> vec = {1, 2, 3, 4};
+  const std::vector<uint64_t> sums = encoder.PartSums(vec);
+  ASSERT_EQ(sums.size(), 1u);
+  EXPECT_EQ(sums[0], 10u);
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  encoder.PartRanges(vec, &lo, &hi);
+  // lo: (0)+(0)+(1)+(2)=3 with eps=2 clamped at zero; hi: 10+4*2=18.
+  EXPECT_EQ(lo[0], 3u);
+  EXPECT_EQ(hi[0], 18u);
+}
+
+TEST(EncodedBuffersTest, SortedAscending) {
+  util::Rng rng(1);
+  Community c(6);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Count> vec(6);
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(50));
+    c.AddUser(vec);
+  }
+  const Encoder encoder(6, 2, 3);
+  const EncodedB encd_b(c, encoder);
+  const EncodedA encd_a(c, encoder);
+  ASSERT_EQ(encd_b.size(), 100u);
+  ASSERT_EQ(encd_a.size(), 100u);
+  for (uint32_t i = 1; i < 100; ++i) {
+    EXPECT_LE(encd_b.encoded_id(i - 1), encd_b.encoded_id(i));
+    EXPECT_LE(encd_a.encoded_min(i - 1), encd_a.encoded_min(i));
+  }
+  // real ids form a permutation.
+  std::vector<bool> seen(100, false);
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_LT(encd_b.real_id(i), 100u);
+    EXPECT_FALSE(seen[encd_b.real_id(i)]);
+    seen[encd_b.real_id(i)] = true;
+  }
+}
+
+TEST(EncodedBuffersTest, MinLeqIdLeqMax) {
+  util::Rng rng(2);
+  Community c(9);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Count> vec(9);
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(30));
+    c.AddUser(vec);
+  }
+  const Encoder encoder(9, 3, 4);
+  const EncodedA encd_a(c, encoder);
+  for (uint32_t i = 0; i < 50; ++i) {
+    const uint64_t id = encoder.EncodedId(c.User(encd_a.real_id(i)));
+    EXPECT_LE(encd_a.encoded_min(i), id);
+    EXPECT_LE(id, encd_a.encoded_max(i));
+  }
+}
+
+/// Parameterized no-false-dismissal sweep over (d, eps, parts, value
+/// range): whenever two vectors eps-match, the encoding filter must keep
+/// the pair.
+struct FilterParams {
+  Dim d;
+  Epsilon eps;
+  uint32_t parts;
+  Count max_value;
+};
+
+class EncodingFilterProperty : public ::testing::TestWithParam<FilterParams> {};
+
+TEST_P(EncodingFilterProperty, NoFalseDismissals) {
+  const FilterParams p = GetParam();
+  util::Rng rng(static_cast<uint64_t>(p.d) * 1000003 + p.eps * 101 + p.parts);
+  Community b(p.d);
+  Community a(p.d);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<Count> vec(p.d);
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(p.max_value + 1));
+    b.AddUser(vec);
+    // Half of the A users are near-copies so matches actually occur.
+    if (i % 2 == 0) {
+      std::vector<Count> near = vec;
+      for (auto& v : near) {
+        const auto delta = static_cast<int64_t>(rng.Below(2 * p.eps + 1)) -
+                           static_cast<int64_t>(p.eps);
+        const int64_t moved = static_cast<int64_t>(v) + delta;
+        v = moved < 0 ? 0 : static_cast<Count>(moved);
+      }
+      a.AddUser(near);
+    } else {
+      std::vector<Count> other(p.d);
+      for (auto& v : other) v = static_cast<Count>(rng.Below(p.max_value + 1));
+      a.AddUser(other);
+    }
+  }
+
+  const Encoder encoder(p.d, p.eps, p.parts);
+  const EncodedB encd_b(b, encoder);
+  const EncodedA encd_a(a, encoder);
+  int matches_seen = 0;
+  for (uint32_t ib = 0; ib < encd_b.size(); ++ib) {
+    for (uint32_t ia = 0; ia < encd_a.size(); ++ia) {
+      const UserId rb = encd_b.real_id(ib);
+      const UserId ra = encd_a.real_id(ia);
+      if (!EpsilonMatches(b.User(rb), a.User(ra), p.eps)) continue;
+      ++matches_seen;
+      // The encoded filter must pass the pair at every level.
+      EXPECT_GE(encd_b.encoded_id(ib), encd_a.encoded_min(ia));
+      EXPECT_LE(encd_b.encoded_id(ib), encd_a.encoded_max(ia));
+      EXPECT_TRUE(PartsOverlap(encd_b, ib, encd_a, ia));
+    }
+  }
+  EXPECT_GT(matches_seen, 0) << "sweep produced no matches; weak test";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncodingFilterProperty,
+    ::testing::Values(FilterParams{1, 1, 1, 10}, FilterParams{2, 1, 2, 10},
+                      FilterParams{5, 2, 2, 20}, FilterParams{27, 1, 4, 8},
+                      FilterParams{27, 3, 4, 50}, FilterParams{27, 1, 8, 8},
+                      FilterParams{16, 5, 13, 100},
+                      FilterParams{27, 15000, 4, 500000},
+                      FilterParams{3, 0, 2, 5}, FilterParams{27, 1, 27, 8}));
+
+TEST(EncodingFilterTest, FootnoteSixFalsePositive) {
+  // Footnote 6: y = 0|0|0|0|1|1 and z = 0|2|0|0|0|0 both have 1st-part sum
+  // 2, inside x's range [2,11], but only y eps-matches x on that part.
+  // The range filter alone must keep both (no dismissal), and the full
+  // d-dimensional comparison separates them.
+  const std::vector<Count> x_part = {1, 0, 0, 0, 2, 2};
+  const std::vector<Count> y_part = {0, 0, 0, 0, 1, 1};
+  const std::vector<Count> z_part = {0, 2, 0, 0, 0, 0};
+  const Encoder encoder(6, 1, 1);
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  encoder.PartRanges(x_part, &lo, &hi);
+  const uint64_t y_sum = encoder.PartSums(y_part)[0];
+  const uint64_t z_sum = encoder.PartSums(z_part)[0];
+  EXPECT_GE(y_sum, lo[0]);
+  EXPECT_LE(y_sum, hi[0]);
+  EXPECT_GE(z_sum, lo[0]);
+  EXPECT_LE(z_sum, hi[0]);
+  EXPECT_TRUE(EpsilonMatches(x_part, y_part, 1));
+  EXPECT_FALSE(EpsilonMatches(x_part, z_part, 1));
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,112 @@
+// Tests for the GridHash spatial hash-join baseline: exact accuracy (the
+// probe's 3^k neighbourhood covers every true match), oracle equality for
+// the exact variant, and registry plumbing.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/community.h"
+#include "core/epsilon_predicate.h"
+#include "core/gridhash_method.h"
+#include "core/method.h"
+#include "matching/greedy.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
+  util::Rng rng(seed);
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+TEST(GridHashTest, ExactVariantEqualsExactBaseline) {
+  for (const uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const Community b = RandomCommunity(27, 150, 6, seed);
+    const Community a = RandomCommunity(27, 180, 6, seed + 100);
+    JoinOptions options;
+    options.eps = 1;
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    const JoinResult oracle = ExBaselineJoin(b, a, options);
+    const JoinResult grid = ExGridHashJoin(b, a, options);
+    EXPECT_EQ(grid.pairs.size(), oracle.pairs.size()) << "seed " << seed;
+    EXPECT_TRUE(matching::IsOneToOne(grid.pairs));
+    for (const MatchedPair& p : grid.pairs) {
+      EXPECT_TRUE(EpsilonMatches(b.User(p.b), a.User(p.a), options.eps));
+    }
+  }
+}
+
+TEST(GridHashTest, DimsKnobCoversFullRangeAndClamps) {
+  const Community b = RandomCommunity(5, 100, 12, 7);
+  const Community a = RandomCommunity(5, 120, 12, 8);
+  JoinOptions options;
+  options.eps = 2;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  const size_t oracle = ExBaselineJoin(b, a, options).pairs.size();
+  for (const uint32_t dims : {1u, 2u, 3u, 5u, 50u /* clamped to d */}) {
+    options.gridhash_dims = dims;
+    EXPECT_EQ(ExGridHashJoin(b, a, options).pairs.size(), oracle)
+        << "dims " << dims;
+  }
+}
+
+TEST(GridHashTest, ProbePrunesComparisons) {
+  // Widely spread values: the grid must skip most of the nested loop.
+  const Community b = RandomCommunity(4, 300, 100000, 9);
+  const Community a = RandomCommunity(4, 300, 100000, 10);
+  JoinOptions options;
+  options.eps = 50;
+  const JoinResult grid = ExGridHashJoin(b, a, options);
+  const JoinResult nested = ExBaselineJoin(b, a, options);
+  EXPECT_EQ(grid.pairs.size(), nested.pairs.size());
+  EXPECT_LT(grid.stats.dimension_compares,
+            nested.stats.dimension_compares / 100);
+}
+
+TEST(GridHashTest, ApproximateNeverBeatsExact) {
+  const Community b = RandomCommunity(8, 120, 8, 11);
+  const Community a = RandomCommunity(8, 150, 8, 12);
+  JoinOptions options;
+  options.eps = 2;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  const JoinResult ap = ApGridHashJoin(b, a, options);
+  const JoinResult ex = ExGridHashJoin(b, a, options);
+  EXPECT_LE(ap.pairs.size(), ex.pairs.size());
+  EXPECT_TRUE(matching::IsOneToOne(ap.pairs));
+  for (const MatchedPair& p : ap.pairs) {
+    EXPECT_TRUE(EpsilonMatches(b.User(p.b), a.User(p.a), options.eps));
+  }
+}
+
+TEST(GridHashTest, RegistryAndDegenerateInputs) {
+  EXPECT_EQ(ParseMethod("Ap-GridHash"), Method::kApGridHash);
+  EXPECT_EQ(ParseMethod("Ex-GridHash"), Method::kExGridHash);
+  EXPECT_FALSE(IsExact(Method::kApGridHash));
+  EXPECT_TRUE(IsExact(Method::kExGridHash));
+
+  const Community empty(3);
+  Community one(3);
+  one.AddUser(std::vector<Count>{1, 2, 3});
+  JoinOptions options;
+  options.eps = 1;
+  EXPECT_TRUE(ApGridHashJoin(empty, one, options).pairs.empty());
+  EXPECT_TRUE(ExGridHashJoin(one, empty, options).pairs.empty());
+  // Self-join via the registry.
+  const JoinResult self = RunMethod(Method::kExGridHash, one, one, options);
+  EXPECT_EQ(self.pairs.size(), 1u);
+  // eps = 0 (grid clamps to width 1, predicate stays exact equality).
+  options.eps = 0;
+  EXPECT_EQ(ExGridHashJoin(one, one, options).pairs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace csj

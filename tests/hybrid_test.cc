@@ -1,0 +1,191 @@
+// Tests for the MinMaxEGO hybrid extension: the integer epsilon grid and
+// the Ap-/Ex-MinMaxEGO methods built on it. Unlike normalized SuperEGO,
+// the hybrid must be EXACTLY as accurate as Baseline/MinMax on every
+// input, because no floats are involved.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/community.h"
+#include "core/epsilon_predicate.h"
+#include "core/hybrid_method.h"
+#include "core/method.h"
+#include "ego/ego_join.h"
+#include "ego/integer_grid.h"
+#include "matching/greedy.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
+  util::Rng rng(seed);
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+TEST(IntegerGridTest, CellsAndSortOrder) {
+  const Community c = RandomCommunity(3, 120, 60, 1);
+  const ego::IntegerGridData grid =
+      ego::BuildIntegerGrid(c, 5, ego::IdentityOrder(3));
+  ASSERT_EQ(grid.size(), 120u);
+  // Rows are cell-lexicographic; ids form a permutation.
+  std::set<UserId> seen;
+  for (uint32_t row = 0; row < grid.size(); ++row) {
+    EXPECT_TRUE(seen.insert(grid.ids[row]).second);
+    if (row == 0) continue;
+    bool decided = false;
+    for (Dim k = 0; k < 3 && !decided; ++k) {
+      const int32_t prev = ego::IntegerCellOf(grid.Row(row - 1)[k], 5);
+      const int32_t cur = ego::IntegerCellOf(grid.Row(row)[k], 5);
+      ASSERT_LE(prev, cur);
+      decided = prev < cur;
+    }
+  }
+}
+
+TEST(IntegerGridTest, RowsMatchSourceUsers) {
+  const Community c = RandomCommunity(4, 50, 30, 2);
+  const std::vector<Dim> order = {3, 1, 0, 2};
+  const ego::IntegerGridData grid = ego::BuildIntegerGrid(c, 2, order);
+  for (uint32_t row = 0; row < grid.size(); ++row) {
+    const std::span<const Count> src = c.User(grid.ids[row]);
+    const std::span<const Count> dst = grid.Row(row);
+    for (Dim k = 0; k < 4; ++k) EXPECT_EQ(dst[k], src[order[k]]);
+  }
+}
+
+TEST(IntegerGridTest, MatchImpliesAdjacentCells) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto x = static_cast<Count>(rng.Below(1000));
+    const auto y = static_cast<Count>(rng.Below(1000));
+    const auto eps = static_cast<Epsilon>(1 + rng.Below(50));
+    const Count lo = std::min(x, y);
+    const Count hi = std::max(x, y);
+    if (hi - lo <= eps) {
+      const int32_t cx = ego::IntegerCellOf(x, eps);
+      const int32_t cy = ego::IntegerCellOf(y, eps);
+      EXPECT_LE(cx > cy ? cx - cy : cy - cx, 1);
+    }
+  }
+}
+
+TEST(HybridTest, ExactHybridEqualsExactBaselineEverywhere) {
+  // The headline property: integer-grid EGO + encoded leaves lose NOTHING
+  // versus the brute-force exact join, on VK-scale counters where
+  // normalized SuperEGO does lose pairs.
+  for (const uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Community b = RandomCommunity(27, 150, 6, seed);
+    const Community a = RandomCommunity(27, 180, 6, seed + 100);
+    JoinOptions options;
+    options.eps = 1;
+    options.superego_threshold = 16;
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    const JoinResult oracle = ExBaselineJoin(b, a, options);
+    const JoinResult hybrid = ExMinMaxEgoJoin(b, a, options);
+    EXPECT_EQ(hybrid.pairs.size(), oracle.pairs.size()) << "seed " << seed;
+    EXPECT_TRUE(matching::IsOneToOne(hybrid.pairs));
+    for (const MatchedPair& p : hybrid.pairs) {
+      EXPECT_TRUE(EpsilonMatches(b.User(p.b), a.User(p.a), options.eps));
+    }
+  }
+}
+
+TEST(HybridTest, EncodedLeafTogglePreservesExactResult) {
+  const Community b = RandomCommunity(8, 120, 12, 7);
+  const Community a = RandomCommunity(8, 140, 12, 8);
+  JoinOptions options;
+  options.eps = 2;
+  options.superego_threshold = 16;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  options.hybrid_encoded_leaf = true;
+  const size_t with_filter = ExMinMaxEgoJoin(b, a, options).pairs.size();
+  options.hybrid_encoded_leaf = false;
+  const size_t without_filter = ExMinMaxEgoJoin(b, a, options).pairs.size();
+  EXPECT_EQ(with_filter, without_filter);
+}
+
+TEST(HybridTest, EncodedLeafActuallyFilters) {
+  const Community b = RandomCommunity(27, 200, 5, 9);
+  const Community a = RandomCommunity(27, 200, 5, 10);
+  JoinOptions options;
+  options.eps = 1;
+  options.superego_threshold = 64;
+  options.hybrid_encoded_leaf = true;
+  const JoinResult with_filter = ExMinMaxEgoJoin(b, a, options);
+  options.hybrid_encoded_leaf = false;
+  const JoinResult without_filter = ExMinMaxEgoJoin(b, a, options);
+  // The filter converts full d-dimensional comparisons into cheap
+  // NO OVERLAP rejections.
+  EXPECT_GT(with_filter.stats.no_overlaps, 0u);
+  EXPECT_LT(with_filter.stats.dimension_compares,
+            without_filter.stats.dimension_compares);
+}
+
+TEST(HybridTest, ApproximateNeverBeatsExactAndStaysValid) {
+  const Community b = RandomCommunity(27, 150, 5, 11);
+  const Community a = RandomCommunity(27, 170, 5, 12);
+  JoinOptions options;
+  options.eps = 1;
+  options.superego_threshold = 16;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  const JoinResult ap = ApMinMaxEgoJoin(b, a, options);
+  const JoinResult ex = ExMinMaxEgoJoin(b, a, options);
+  EXPECT_LE(ap.pairs.size(), ex.pairs.size());
+  EXPECT_TRUE(matching::IsOneToOne(ap.pairs));
+  for (const MatchedPair& p : ap.pairs) {
+    EXPECT_TRUE(EpsilonMatches(b.User(p.b), a.User(p.a), options.eps));
+  }
+}
+
+TEST(HybridTest, RegisteredInMethodRegistry) {
+  EXPECT_EQ(ParseMethod("Ap-MinMaxEGO"), Method::kApMinMaxEgo);
+  EXPECT_EQ(ParseMethod("Ex-MinMaxEGO"), Method::kExMinMaxEgo);
+  EXPECT_FALSE(IsExact(Method::kApMinMaxEgo));
+  EXPECT_TRUE(IsExact(Method::kExMinMaxEgo));
+
+  const Community b = RandomCommunity(4, 20, 5, 13);
+  JoinOptions options;
+  options.eps = 1;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  for (const Method method : kExtensionMethods) {
+    const JoinResult result = RunMethod(method, b, b, options);
+    EXPECT_EQ(result.method, MethodName(method));
+    if (IsExact(method)) {
+      // An exact self-join matches everyone (identity is a perfect
+      // matching); the approximate variants may strand users to greedy
+      // contention but never exceed |B|.
+      EXPECT_EQ(result.pairs.size(), 20u) << MethodName(method);
+    } else {
+      EXPECT_LE(result.pairs.size(), 20u) << MethodName(method);
+      EXPECT_GE(result.pairs.size(), 10u) << MethodName(method);
+    }
+  }
+}
+
+TEST(HybridTest, EmptyAndDegenerateInputs) {
+  const Community empty(5);
+  Community one(5);
+  one.AddUser(std::vector<Count>{1, 2, 3, 4, 5});
+  JoinOptions options;
+  options.eps = 1;
+  EXPECT_TRUE(ApMinMaxEgoJoin(empty, one, options).pairs.empty());
+  EXPECT_TRUE(ExMinMaxEgoJoin(one, empty, options).pairs.empty());
+  // eps = 0 still works (the grid clamps to cell width 1, the predicate
+  // stays exact equality).
+  options.eps = 0;
+  const JoinResult self = ExMinMaxEgoJoin(one, one, options);
+  EXPECT_EQ(self.pairs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,311 @@
+// Tests for the incremental CSJ extension: the maintained matching must
+// equal a from-scratch maximum matching after every insertion and
+// deletion.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/epsilon_predicate.h"
+#include "incremental/incremental_csj.h"
+#include "matching/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace csj::incremental {
+namespace {
+
+Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
+  util::Rng rng(seed);
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+/// From-scratch oracle: maximum matching between the live vectors and A.
+size_t OracleMatching(const std::vector<std::vector<Count>>& live,
+                      const Community& a, Epsilon eps) {
+  std::vector<MatchedPair> edges;
+  for (uint32_t b = 0; b < live.size(); ++b) {
+    for (UserId ia = 0; ia < a.size(); ++ia) {
+      if (EpsilonMatches(live[b], a.User(ia), eps)) {
+        edges.push_back(MatchedPair{b, ia});
+      }
+    }
+  }
+  return matching::HopcroftKarp(edges).size();
+}
+
+TEST(IncrementalCsjTest, SingleUserLifecycle) {
+  Community a(2);
+  a.AddUser(std::vector<Count>{5, 5});
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a, options);
+
+  EXPECT_EQ(csj.live_users(), 0u);
+  EXPECT_DOUBLE_EQ(csj.Similarity(), 0.0);
+
+  const auto h = csj.AddUser(std::vector<Count>{5, 6});
+  EXPECT_EQ(csj.live_users(), 1u);
+  EXPECT_EQ(csj.matched_pairs(), 1u);
+  EXPECT_DOUBLE_EQ(csj.Similarity(), 1.0);
+  EXPECT_EQ(csj.MatchOf(h), std::optional<UserId>(0u));
+  EXPECT_EQ(csj.CandidateCount(h), 1u);
+
+  EXPECT_TRUE(csj.RemoveUser(h));
+  EXPECT_EQ(csj.live_users(), 0u);
+  EXPECT_EQ(csj.matched_pairs(), 0u);
+  EXPECT_FALSE(csj.MatchOf(h).has_value());
+  EXPECT_FALSE(csj.RemoveUser(h));  // double remove rejected
+  EXPECT_FALSE(csj.RemoveUser(999));
+}
+
+TEST(IncrementalCsjTest, InsertionAugmentsThroughConflicts) {
+  // A = {a0, a1}; first b matches both, second b matches only a0. The
+  // second insertion must shift the first b to a1.
+  Community a(1);
+  a.AddUser(std::vector<Count>{10});  // a0
+  a.AddUser(std::vector<Count>{12});  // a1
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a, options);
+
+  const auto b0 = csj.AddUser(std::vector<Count>{11});  // matches both
+  EXPECT_EQ(csj.matched_pairs(), 1u);
+  const auto b1 = csj.AddUser(std::vector<Count>{9});   // only a0
+  EXPECT_EQ(csj.matched_pairs(), 2u);
+  EXPECT_EQ(csj.MatchOf(b0), std::optional<UserId>(1u));
+  EXPECT_EQ(csj.MatchOf(b1), std::optional<UserId>(0u));
+}
+
+TEST(IncrementalCsjTest, RemovalReroutesThroughAlternatingPath) {
+  // A = {a0, a1}; b0 adjacent to both, b1 adjacent to a0 only, b2
+  // adjacent to a0 only. After filling, removing the holder of a0 must
+  // let the stranded b take it via an alternating path.
+  Community a(1);
+  a.AddUser(std::vector<Count>{10});  // a0
+  a.AddUser(std::vector<Count>{14});  // a1
+  JoinOptions options;
+  options.eps = 2;
+  IncrementalCsj csj(a, options);
+
+  const auto b0 = csj.AddUser(std::vector<Count>{12});  // a0 and a1
+  const auto b1 = csj.AddUser(std::vector<Count>{9});   // a0 only
+  const auto b2 = csj.AddUser(std::vector<Count>{8});   // a0 only
+  EXPECT_EQ(csj.matched_pairs(), 2u);  // b2 stranded
+
+  // Whoever holds a0 now, removing it must keep 2 matched pairs by
+  // rerouting (b2 takes a0, possibly shifting b0 to a1).
+  const auto holder = csj.MatchOf(b1) == std::optional<UserId>(0u) ? b1 : b0;
+  EXPECT_TRUE(csj.RemoveUser(holder));
+  EXPECT_EQ(csj.live_users(), 2u);
+  EXPECT_EQ(csj.matched_pairs(), 2u);
+  (void)b2;
+}
+
+TEST(IncrementalCsjTest, SizeRuleTracking) {
+  const Community a = RandomCommunity(3, 10, 5, 1);
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a, options);
+  EXPECT_FALSE(csj.SizesAdmissible());  // |B| = 0 < ceil(10/2)
+  std::vector<IncrementalCsj::Handle> handles;
+  for (int i = 0; i < 5; ++i) {
+    handles.push_back(csj.AddUser(a.User(static_cast<UserId>(i))));
+  }
+  EXPECT_TRUE(csj.SizesAdmissible());  // |B| = 5 == ceil(10/2)
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(csj.AddUser(a.User(static_cast<UserId>(i % 10))));
+  }
+  EXPECT_FALSE(csj.SizesAdmissible());  // |B| = 11 > |A|
+}
+
+/// Randomized churn: after every operation the maintained matching size
+/// must equal the from-scratch Hopcroft-Karp maximum.
+class IncrementalChurn : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalChurn, MatchesOracleAfterEveryOperation) {
+  util::Rng rng(GetParam());
+  const Community a = RandomCommunity(4, 40, 8, GetParam() + 1000);
+  JoinOptions options;
+  options.eps = 2;
+  IncrementalCsj csj(a, options);
+
+  // Live handles and the vectors behind them (for the oracle).
+  std::vector<IncrementalCsj::Handle> handles;
+  std::vector<std::vector<Count>> vectors;
+
+  for (int step = 0; step < 120; ++step) {
+    const bool insert = handles.empty() || rng.Bernoulli(0.6);
+    if (insert) {
+      std::vector<Count> vec(4);
+      // Half the inserts are near-copies of A users so matches are dense.
+      if (rng.Bernoulli(0.5)) {
+        const UserId src = static_cast<UserId>(rng.Below(a.size()));
+        vec.assign(a.User(src).begin(), a.User(src).end());
+        const auto dim = static_cast<size_t>(rng.Below(4));
+        vec[dim] += static_cast<Count>(rng.Below(3));
+      } else {
+        for (auto& v : vec) v = static_cast<Count>(rng.Below(9));
+      }
+      handles.push_back(csj.AddUser(vec));
+      vectors.push_back(vec);
+    } else {
+      const auto pick = static_cast<size_t>(rng.Below(handles.size()));
+      EXPECT_TRUE(csj.RemoveUser(handles[pick]));
+      handles.erase(handles.begin() + static_cast<ptrdiff_t>(pick));
+      vectors.erase(vectors.begin() + static_cast<ptrdiff_t>(pick));
+    }
+
+    ASSERT_EQ(csj.live_users(), handles.size());
+    const size_t oracle = OracleMatching(vectors, a, options.eps);
+    ASSERT_EQ(csj.matched_pairs(), oracle) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalChurn,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Two-sided churn: B users AND A users arrive and depart; the maintained
+/// matching must track the from-scratch maximum throughout.
+class TwoSidedChurn : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoSidedChurn, MatchesOracleUnderASideUpdates) {
+  util::Rng rng(GetParam() + 500);
+  const Community a0 = RandomCommunity(3, 25, 6, GetParam() + 2000);
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a0, options);
+
+  std::vector<IncrementalCsj::Handle> handles;
+  std::vector<std::vector<Count>> b_vectors;
+  // Live A users: (id inside csj, vector) — starts as the initial block.
+  std::vector<std::pair<UserId, std::vector<Count>>> live_a;
+  for (UserId u = 0; u < a0.size(); ++u) {
+    live_a.emplace_back(u, std::vector<Count>(a0.User(u).begin(),
+                                              a0.User(u).end()));
+  }
+
+  auto oracle = [&]() {
+    std::vector<MatchedPair> edges;
+    for (uint32_t b = 0; b < b_vectors.size(); ++b) {
+      for (uint32_t j = 0; j < live_a.size(); ++j) {
+        if (EpsilonMatches(b_vectors[b], live_a[j].second, options.eps)) {
+          edges.push_back(MatchedPair{b, j});
+        }
+      }
+    }
+    return matching::HopcroftKarp(edges).size();
+  };
+
+  auto random_vector = [&]() {
+    std::vector<Count> vec(3);
+    if (!live_a.empty() && rng.Bernoulli(0.5)) {
+      const auto src = static_cast<size_t>(rng.Below(live_a.size()));
+      vec = live_a[src].second;
+      vec[static_cast<size_t>(rng.Below(3))] +=
+          static_cast<Count>(rng.Below(3));
+    } else {
+      for (auto& v : vec) v = static_cast<Count>(rng.Below(7));
+    }
+    return vec;
+  };
+
+  for (int step = 0; step < 100; ++step) {
+    const uint64_t op = rng.Below(4);
+    if (op == 0 || handles.empty()) {  // add B
+      const auto vec = random_vector();
+      handles.push_back(csj.AddUser(vec));
+      b_vectors.push_back(vec);
+    } else if (op == 1) {  // remove B
+      const auto pick = static_cast<size_t>(rng.Below(handles.size()));
+      ASSERT_TRUE(csj.RemoveUser(handles[pick]));
+      handles.erase(handles.begin() + static_cast<ptrdiff_t>(pick));
+      b_vectors.erase(b_vectors.begin() + static_cast<ptrdiff_t>(pick));
+    } else if (op == 2) {  // add A
+      const auto vec = random_vector();
+      const UserId id = csj.AddAUser(vec);
+      live_a.emplace_back(id, vec);
+    } else if (!live_a.empty()) {  // remove A
+      const auto pick = static_cast<size_t>(rng.Below(live_a.size()));
+      ASSERT_TRUE(csj.RemoveAUser(live_a[pick].first));
+      live_a.erase(live_a.begin() + static_cast<ptrdiff_t>(pick));
+    }
+
+    ASSERT_EQ(csj.live_users(), handles.size());
+    ASSERT_EQ(csj.live_a_users(), live_a.size());
+    ASSERT_EQ(csj.matched_pairs(), oracle()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoSidedChurn,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(IncrementalCsjTest, ASideDoubleRemoveRejected) {
+  Community a(1);
+  a.AddUser(std::vector<Count>{5});
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a, options);
+  EXPECT_TRUE(csj.RemoveAUser(0));
+  EXPECT_FALSE(csj.RemoveAUser(0));
+  EXPECT_FALSE(csj.RemoveAUser(7));
+  EXPECT_EQ(csj.live_a_users(), 0u);
+  // A B user added now has no candidates at all.
+  const auto h = csj.AddUser(std::vector<Count>{5});
+  EXPECT_EQ(csj.CandidateCount(h), 0u);
+  EXPECT_EQ(csj.matched_pairs(), 0u);
+}
+
+TEST(IncrementalCsjTest, NewAUserAbsorbsStrandedB) {
+  Community a(1);
+  a.AddUser(std::vector<Count>{10});
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a, options);
+  (void)csj.AddUser(std::vector<Count>{10});
+  const auto stranded = csj.AddUser(std::vector<Count>{10});
+  EXPECT_EQ(csj.matched_pairs(), 1u);
+  // A new A user in range gives the stranded B user a partner.
+  (void)csj.AddAUser(std::vector<Count>{11});
+  EXPECT_EQ(csj.matched_pairs(), 2u);
+  EXPECT_TRUE(csj.MatchOf(stranded).has_value());
+}
+
+TEST(IncrementalCsjTest, MatchedPairsAreValidAndOneToOne) {
+  util::Rng rng(42);
+  const Community a = RandomCommunity(5, 60, 6, 99);
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj csj(a, options);
+
+  std::vector<IncrementalCsj::Handle> handles;
+  std::vector<std::vector<Count>> vectors;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Count> vec(5);
+    const UserId src = static_cast<UserId>(rng.Below(a.size()));
+    vec.assign(a.User(src).begin(), a.User(src).end());
+    handles.push_back(csj.AddUser(vec));
+    vectors.push_back(vec);
+  }
+  std::vector<bool> a_used(a.size(), false);
+  uint32_t matched = 0;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const auto match = csj.MatchOf(handles[i]);
+    if (!match.has_value()) continue;
+    ++matched;
+    EXPECT_FALSE(a_used[*match]) << "A user matched twice";
+    a_used[*match] = true;
+    EXPECT_TRUE(EpsilonMatches(vectors[i], a.User(*match), options.eps));
+  }
+  EXPECT_EQ(matched, csj.matched_pairs());
+}
+
+}  // namespace
+}  // namespace csj::incremental

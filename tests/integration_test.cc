@@ -1,0 +1,151 @@
+// End-to-end integration: materialize the paper's case-study couples at a
+// heavy size reduction and run all six methods, checking the relationships
+// the paper's tables report (exact >= approximate, planted similarity
+// realized, SuperEGO's normalization behaviour per dataset family).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/method.h"
+#include "core/similarity.h"
+#include "data/case_studies.h"
+#include "matching/greedy.h"
+
+namespace csj {
+namespace {
+
+using data::CaseStudyCouple;
+using data::Couple;
+using data::DatasetFamily;
+
+JoinOptions OptionsFor(DatasetFamily family) {
+  JoinOptions options;
+  options.eps = family == DatasetFamily::kVk ? data::kVkEpsilon
+                                             : data::kSyntheticEpsilon;
+  options.superego_norm_max = family == DatasetFamily::kVk
+                                  ? data::kVkMaxCounter
+                                  : data::kSyntheticMaxCounter;
+  options.superego_threshold = 64;
+  return options;
+}
+
+struct CaseParams {
+  int index;  // into AllCaseStudies()
+  DatasetFamily family;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<CaseParams>& info) {
+  const CaseStudyCouple& c = data::AllCaseStudies()[
+      static_cast<size_t>(info.param.index)];
+  return "cid" + std::to_string(c.cid) +
+         (info.param.family == DatasetFamily::kVk ? "_vk" : "_syn");
+}
+
+class CaseStudyIntegration : public ::testing::TestWithParam<CaseParams> {};
+
+TEST_P(CaseStudyIntegration, AllMethodsBehaveLikeThePaper) {
+  constexpr uint32_t kScale = 700;  // couple sizes ~ 80-470 users
+  const CaseStudyCouple& study =
+      data::AllCaseStudies()[static_cast<size_t>(GetParam().index)];
+  const DatasetFamily family = GetParam().family;
+  const Couple couple = data::MaterializeCouple(study, family, kScale, 7);
+  const JoinOptions options = OptionsFor(family);
+  const double target = family == DatasetFamily::kVk
+                            ? study.target_vk
+                            : study.target_synthetic;
+
+  double ex_minmax_sim = 0.0;
+  double ex_baseline_sim = 0.0;
+  double ap_minmax_sim = 0.0;
+  double ex_superego_sim = 0.0;
+  for (const Method method : kAllMethods) {
+    const auto result =
+        ComputeSimilarity(method, couple.b, couple.a, options);
+    ASSERT_TRUE(result.has_value()) << MethodName(method);
+    EXPECT_TRUE(matching::IsOneToOne(result->pairs)) << MethodName(method);
+    const double sim = result->Similarity();
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+    switch (method) {
+      case Method::kExMinMax: ex_minmax_sim = sim; break;
+      case Method::kExBaseline: ex_baseline_sim = sim; break;
+      case Method::kApMinMax: ap_minmax_sim = sim; break;
+      case Method::kExSuperEgo: ex_superego_sim = sim; break;
+      default: break;
+    }
+  }
+
+  // The exact integer-domain methods agree (Tables 4/6/8/10) — CSF is
+  // deterministic per candidate graph, and both see the same graph.
+  EXPECT_NEAR(ex_minmax_sim, ex_baseline_sim, 0.011);
+  // Approximate never beats exact by more than greedy noise.
+  EXPECT_LE(ap_minmax_sim, ex_minmax_sim + 0.011);
+  // The planting realizes the paper's similarity: planted pairs are a
+  // lower bound and accidental matches a modest surplus.
+  EXPECT_GE(ex_minmax_sim, target - 0.02);
+  EXPECT_LE(ex_minmax_sim, std::min(1.0, target + 0.30));
+  // SuperEGO's normalized join cannot exceed what the integer-domain
+  // exact methods find by more than float-boundary noise; on VK-like
+  // data it typically finds less (the paper's accuracy gap).
+  EXPECT_LE(ex_superego_sim, ex_minmax_sim + 0.02);
+}
+
+std::vector<CaseParams> AllCases() {
+  // Every case study on both families: at kScale the couples are small
+  // enough (~80-470 users) that the whole sweep stays in test-suite
+  // territory while still exercising each couple's exact configuration.
+  std::vector<CaseParams> cases;
+  for (int index = 0; index < 20; ++index) {
+    cases.push_back(CaseParams{index, DatasetFamily::kVk});
+    cases.push_back(CaseParams{index, DatasetFamily::kSynthetic});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Couples, CaseStudyIntegration,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+TEST(IntegrationTest, VkFamilyShowsSuperEgoAccuracyLoss) {
+  // Aggregated over the different-category VK studies: Ex-SuperEGO must
+  // lose similarity relative to Ex-MinMax (Table 4's headline), because
+  // eps = 1 on like-counter data puts many pairs at the float boundary.
+  double minmax_total = 0.0;
+  double superego_total = 0.0;
+  for (const int index : {0, 2, 5}) {
+    const CaseStudyCouple& study =
+        data::AllCaseStudies()[static_cast<size_t>(index)];
+    const Couple couple =
+        data::MaterializeCouple(study, DatasetFamily::kVk, 700, 11);
+    const JoinOptions options = OptionsFor(DatasetFamily::kVk);
+    minmax_total +=
+        RunMethod(Method::kExMinMax, couple.b, couple.a, options)
+            .Similarity();
+    superego_total +=
+        RunMethod(Method::kExSuperEgo, couple.b, couple.a, options)
+            .Similarity();
+  }
+  EXPECT_LT(superego_total, minmax_total);
+}
+
+TEST(IntegrationTest, SyntheticFamilyExactMethodsAgreeClosely) {
+  // Table 8/10: on Synthetic all exact methods report the same similarity
+  // (eps_norm = 0.03 leaves almost nothing at the float boundary).
+  const CaseStudyCouple& study = data::AllCaseStudies()[10];
+  const Couple couple =
+      data::MaterializeCouple(study, DatasetFamily::kSynthetic, 700, 13);
+  const JoinOptions options = OptionsFor(DatasetFamily::kSynthetic);
+  const double minmax =
+      RunMethod(Method::kExMinMax, couple.b, couple.a, options).Similarity();
+  const double superego =
+      RunMethod(Method::kExSuperEgo, couple.b, couple.a, options)
+          .Similarity();
+  const double baseline =
+      RunMethod(Method::kExBaseline, couple.b, couple.a, options)
+          .Similarity();
+  EXPECT_NEAR(minmax, baseline, 1e-9);
+  EXPECT_NEAR(minmax, superego, 0.02);
+}
+
+}  // namespace
+}  // namespace csj

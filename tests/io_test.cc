@@ -1,0 +1,150 @@
+// Tests for dataset persistence: CSV and binary round trips plus
+// corruption handling.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "util/rng.h"
+
+namespace csj::data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Community SampleCommunity() {
+  Community c(3, "Nike Running");
+  c.AddUser(std::vector<Count>{1, 0, 152532});
+  c.AddUser(std::vector<Count>{7, 8, 9});
+  c.AddUser(std::vector<Count>{0, 0, 0});
+  return c;
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  const Community original = SampleCommunity();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCommunityCsv(original, path));
+  const auto loaded = LoadCommunityCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->d(), original.d());
+  EXPECT_EQ(loaded->flat(), original.flat());
+  EXPECT_EQ(loaded->name(), original.name());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadCommunityCsv("/nonexistent/dir/file.csv").has_value());
+}
+
+TEST(CsvIoTest, RaggedRowsRejected) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    std::ofstream out(path);
+    out << "1,2,3\n1,2\n";
+  }
+  EXPECT_FALSE(LoadCommunityCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, NonNumericRejected) {
+  const std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1,x,3\n";
+  }
+  EXPECT_FALSE(LoadCommunityCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, HeaderlessCsvLoads) {
+  const std::string path = TempPath("plain.csv");
+  {
+    std::ofstream out(path);
+    out << "5,6\n7,8\n";
+  }
+  const auto loaded = LoadCommunityCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->d(), 2u);
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->User(1)[0], 7u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTrip) {
+  const Community original = SampleCommunity();
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveCommunityBinary(original, path));
+  const auto loaded = LoadCommunityBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->d(), original.d());
+  EXPECT_EQ(loaded->flat(), original.flat());
+  EXPECT_EQ(loaded->name(), original.name());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, LargeRandomRoundTrip) {
+  util::Rng rng(33);
+  Community c(27, "big");
+  std::vector<Count> vec(27);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(500001));
+    c.AddUser(vec);
+  }
+  const std::string path = TempPath("big.bin");
+  ASSERT_TRUE(SaveCommunityBinary(c, path));
+  const auto loaded = LoadCommunityBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->flat(), c.flat());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, CorruptMagicRejected) {
+  const std::string path = TempPath("corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE" << std::string(32, '\0');
+  }
+  EXPECT_FALSE(LoadCommunityBinary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, TruncatedPayloadRejected) {
+  const Community original = SampleCommunity();
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveCommunityBinary(original, path));
+  // Chop the last 6 bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 6));
+  }
+  EXPECT_FALSE(LoadCommunityBinary(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadCommunityBinary("/nonexistent/file.bin").has_value());
+}
+
+TEST(BinaryIoTest, EmptyCommunityRoundTrips) {
+  const Community empty(5, "empty");
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveCommunityBinary(empty, path));
+  const auto loaded = LoadCommunityBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_EQ(loaded->d(), 5u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace csj::data

@@ -1,0 +1,117 @@
+// Tests for the streaming JSON writer used by the CLI and bench --json
+// modes.
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace csj::util {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("method");
+  json.String("Ex-MinMax");
+  json.Key("similarity");
+  json.Double(0.25);
+  json.Key("pairs");
+  json.Uint(42);
+  json.Key("exact");
+  json.Bool(true);
+  json.EndObject();
+  EXPECT_EQ(json.Take(),
+            "{\"method\":\"Ex-MinMax\",\"similarity\":0.25,\"pairs\":42,"
+            "\"exact\":true}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("b");
+  json.Int(-1);
+  json.EndObject();
+  json.BeginObject();
+  json.Key("b");
+  json.Int(2);
+  json.EndObject();
+  json.EndArray();
+  json.Key("tail");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(json.Take(), "{\"rows\":[{\"b\":-1},{\"b\":2}],\"tail\":null}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter json;
+  json.BeginArray();
+  json.BeginObject();
+  json.EndObject();
+  json.BeginArray();
+  json.EndArray();
+  json.EndArray();
+  EXPECT_EQ(json.Take(), "[{},[]]");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("quote\"backslash\\");
+  json.String("line\nbreak\ttab\rcr");
+  json.EndObject();
+  EXPECT_EQ(json.Take(),
+            "{\"quote\\\"backslash\\\\\":\"line\\nbreak\\ttab\\rcr\"}");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscapedAsUnicode) {
+  JsonWriter json;
+  json.String(std::string("\x01", 1));
+  EXPECT_EQ(json.Take(), "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(1.5);
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.EndArray();
+  EXPECT_EQ(json.Take(), "[1.5,null,null]");
+}
+
+TEST(JsonWriterTest, RootScalars) {
+  JsonWriter a;
+  a.Int(7);
+  EXPECT_EQ(a.Take(), "7");
+  JsonWriter b;
+  b.String("x");
+  EXPECT_EQ(b.Take(), "\"x\"");
+}
+
+TEST(JsonWriterTest, TakeResetsTheWriter) {
+  JsonWriter json;
+  json.Int(1);
+  EXPECT_EQ(json.Take(), "1");
+  json.Int(2);
+  EXPECT_EQ(json.Take(), "2");
+}
+
+TEST(JsonWriterTest, ArraysOfMixedScalars) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Uint(18446744073709551615ULL);
+  json.Int(-9000);
+  json.Bool(false);
+  json.Double(0.5);
+  json.EndArray();
+  EXPECT_EQ(json.Take(), "[18446744073709551615,-9000,false,0.5]");
+}
+
+}  // namespace
+}  // namespace csj::util

@@ -1,0 +1,212 @@
+// Tests for the one-to-one matchers: CandidateGraph, CSF, Hopcroft-Karp,
+// greedy first-fit — including the paper's Figure 3 CSF inputs.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matching/candidate_graph.h"
+#include "matching/csf.h"
+#include "matching/greedy.h"
+#include "matching/hopcroft_karp.h"
+#include "matching/matcher.h"
+#include "util/rng.h"
+
+namespace csj::matching {
+namespace {
+
+std::vector<MatchedPair> Edges(
+    std::initializer_list<std::pair<UserId, UserId>> list) {
+  std::vector<MatchedPair> edges;
+  for (const auto& [b, a] : list) edges.push_back(MatchedPair{b, a});
+  return edges;
+}
+
+/// True when every matched edge exists in the candidate set.
+bool PairsAreSubsetOfEdges(const std::vector<MatchedPair>& pairs,
+                           const std::vector<MatchedPair>& edges) {
+  for (const MatchedPair& p : pairs) {
+    if (std::find(edges.begin(), edges.end(), p) == edges.end()) return false;
+  }
+  return true;
+}
+
+TEST(CandidateGraphTest, CompressesAndDeduplicates) {
+  const auto edges = Edges({{10, 5}, {10, 5}, {20, 5}, {10, 7}});
+  const CandidateGraph graph(edges);
+  EXPECT_EQ(graph.num_b(), 2u);
+  EXPECT_EQ(graph.num_a(), 2u);
+  EXPECT_EQ(graph.num_edges(), 3u);  // duplicate removed
+  EXPECT_EQ(graph.BId(0), 10u);
+  EXPECT_EQ(graph.BId(1), 20u);
+  EXPECT_EQ(graph.AId(0), 5u);
+  EXPECT_EQ(graph.AId(1), 7u);
+  EXPECT_EQ(graph.AdjB(0).size(), 2u);
+  EXPECT_EQ(graph.AdjA(0).size(), 2u);
+}
+
+TEST(CandidateGraphTest, RoundTripsOriginalIds) {
+  const auto edges = Edges({{100, 200}, {101, 201}});
+  const CandidateGraph graph(edges);
+  const std::vector<MatchedPair> local = {{0, 0}, {1, 1}};
+  const std::vector<MatchedPair> original = graph.ToOriginalIds(local);
+  EXPECT_EQ(original[0], (MatchedPair{100, 200}));
+  EXPECT_EQ(original[1], (MatchedPair{101, 201}));
+}
+
+TEST(CsfTest, EmptyInput) {
+  EXPECT_TRUE(CoverSmallestFirst(std::vector<MatchedPair>{}).empty());
+}
+
+TEST(CsfTest, SingleEdge) {
+  const auto matched = CoverSmallestFirst(Edges({{3, 9}}));
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0], (MatchedPair{3, 9}));
+}
+
+// Figure 3, instance <<1>>: CSF(<b1,a1>, <b1,a3>) — one pair results.
+TEST(CsfTest, Figure3FirstFlush) {
+  const auto matched = CoverSmallestFirst(Edges({{1, 1}, {1, 3}}));
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0].b, 1u);
+}
+
+// Figure 3, instance <<4>>: CSF(<b2,a2>, <b2,a4>, <b3,a4>) — the edge case
+// with two examined B users; the maximum of two pairs must be found
+// (<b2,a2> and <b3,a4>).
+TEST(CsfTest, Figure3EdgeCaseFlush) {
+  const auto matched =
+      CoverSmallestFirst(Edges({{2, 2}, {2, 4}, {3, 4}}));
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_TRUE(PairsAreSubsetOfEdges(matched, Edges({{2, 2}, {3, 4}})));
+}
+
+// A graph where naive B-order greedy finds 1 but CSF's smallest-first
+// rule finds 2: b1 -> {a1, a2}, b2 -> {a1}. Covering b2 (degree 1) first
+// frees a2 for b1.
+TEST(CsfTest, CoversMostConstrainedFirst) {
+  const auto matched = CoverSmallestFirst(Edges({{1, 1}, {1, 2}, {2, 1}}));
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_TRUE(IsOneToOne(matched));
+}
+
+TEST(CsfTest, PerfectMatchingOnDisjointPairs) {
+  const auto matched =
+      CoverSmallestFirst(Edges({{1, 10}, {2, 20}, {3, 30}, {4, 40}}));
+  EXPECT_EQ(matched.size(), 4u);
+}
+
+TEST(CsfTest, CompleteBipartiteUsesMinSide) {
+  std::vector<MatchedPair> edges;
+  for (UserId b = 0; b < 3; ++b) {
+    for (UserId a = 0; a < 5; ++a) edges.push_back(MatchedPair{b, a});
+  }
+  const auto matched = CoverSmallestFirst(edges);
+  EXPECT_EQ(matched.size(), 3u);
+  EXPECT_TRUE(IsOneToOne(matched));
+}
+
+TEST(HopcroftKarpTest, FindsAugmentingPath) {
+  // Greedy could match b0-a0 and strand b1; HK must find both.
+  const auto matched = HopcroftKarp(Edges({{0, 0}, {0, 1}, {1, 0}}));
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_TRUE(IsOneToOne(matched));
+}
+
+TEST(HopcroftKarpTest, LongAlternatingChain) {
+  // b0-a0, b0-a1, b1-a1, b1-a2, b2-a2: maximum is 3.
+  const auto matched =
+      HopcroftKarp(Edges({{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}}));
+  EXPECT_EQ(matched.size(), 3u);
+  EXPECT_TRUE(IsOneToOne(matched));
+}
+
+TEST(HopcroftKarpTest, EmptyInput) {
+  EXPECT_TRUE(HopcroftKarp(std::vector<MatchedPair>{}).empty());
+}
+
+TEST(GreedyTest, FirstFitRespectsOrder) {
+  const auto edges = Edges({{0, 0}, {0, 1}, {1, 0}});
+  const auto matched = GreedyFirstFit(edges);
+  // First edge commits b0-a0, so b1 (only candidate a0) is stranded.
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0], (MatchedPair{0, 0}));
+}
+
+TEST(GreedyTest, IsOneToOneValidator) {
+  EXPECT_TRUE(IsOneToOne(Edges({{0, 0}, {1, 1}})));
+  EXPECT_FALSE(IsOneToOne(Edges({{0, 0}, {0, 1}})));  // b reused
+  EXPECT_FALSE(IsOneToOne(Edges({{0, 0}, {1, 0}})));  // a reused
+  EXPECT_TRUE(IsOneToOne({}));
+}
+
+TEST(MatcherDispatchTest, NamesAndRouting) {
+  EXPECT_STREQ(MatcherName(MatcherKind::kCsf), "CSF");
+  EXPECT_STREQ(MatcherName(MatcherKind::kMaxMatching), "HopcroftKarp");
+  const auto edges = Edges({{0, 0}, {0, 1}, {1, 0}});
+  EXPECT_EQ(RunMatcher(MatcherKind::kMaxMatching, edges).size(), 2u);
+  EXPECT_GE(RunMatcher(MatcherKind::kCsf, edges).size(), 1u);
+}
+
+/// Randomized property sweep: CSF produces a valid matching of candidate
+/// edges, never exceeds the Hopcroft-Karp maximum, and stays close to it.
+class MatcherProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherProperty, CsfValidAndNearMaximum) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  const uint32_t nb = 5 + static_cast<uint32_t>(rng.Below(40));
+  const uint32_t na = nb + static_cast<uint32_t>(rng.Below(20));
+  const double density = 0.02 + rng.NextDouble() * 0.25;
+  std::vector<MatchedPair> edges;
+  for (UserId b = 0; b < nb; ++b) {
+    for (UserId a = 0; a < na; ++a) {
+      if (rng.Bernoulli(density)) edges.push_back(MatchedPair{b, a});
+    }
+  }
+
+  const auto csf = CoverSmallestFirst(edges);
+  const auto hk = HopcroftKarp(edges);
+  EXPECT_TRUE(IsOneToOne(csf));
+  EXPECT_TRUE(IsOneToOne(hk));
+  EXPECT_TRUE(PairsAreSubsetOfEdges(csf, edges));
+  EXPECT_TRUE(PairsAreSubsetOfEdges(hk, edges));
+  EXPECT_LE(csf.size(), hk.size());
+  // CSF is a strong heuristic: on sparse random graphs it should reach at
+  // least 90% of the optimum (empirically it is nearly always equal).
+  EXPECT_GE(static_cast<double>(csf.size()),
+            0.9 * static_cast<double>(hk.size()));
+  // Greedy first-fit is also valid but can be worse; it is never better
+  // than the maximum.
+  const auto greedy = GreedyFirstFit(edges);
+  EXPECT_TRUE(IsOneToOne(greedy));
+  EXPECT_LE(greedy.size(), hk.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherProperty, ::testing::Range(0, 25));
+
+/// CSF must be maximal (no augmenting edge of length one): every unmatched
+/// b has no unmatched candidate a left.
+TEST(CsfTest, ResultIsMaximalMatching) {
+  util::Rng rng(77);
+  std::vector<MatchedPair> edges;
+  for (UserId b = 0; b < 30; ++b) {
+    for (UserId a = 0; a < 30; ++a) {
+      if (rng.Bernoulli(0.1)) edges.push_back(MatchedPair{b, a});
+    }
+  }
+  const auto matched = CoverSmallestFirst(edges);
+  std::vector<bool> b_used(30, false);
+  std::vector<bool> a_used(30, false);
+  for (const MatchedPair& p : matched) {
+    b_used[p.b] = true;
+    a_used[p.a] = true;
+  }
+  for (const MatchedPair& e : edges) {
+    EXPECT_TRUE(b_used[e.b] || a_used[e.a])
+        << "edge <" << e.b << "," << e.a << "> could still be matched";
+  }
+}
+
+}  // namespace
+}  // namespace csj::matching

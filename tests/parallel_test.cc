@@ -1,0 +1,135 @@
+// Tests for the ParallelFor utility and the thread-count invariance of
+// the parallel exact methods (any thread count must reproduce the serial
+// result byte for byte).
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/method.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (const uint32_t threads : {1u, 2u, 3u, 7u}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h = 0;
+    util::ParallelFor(10, 90, threads,
+                      [&](uint32_t lo, uint32_t hi, uint32_t) {
+                        for (uint32_t i = lo; i < hi; ++i) ++hits[i];
+                      });
+    for (uint32_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0)
+          << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  int calls = 0;
+  util::ParallelFor(5, 5, 4, [&](uint32_t, uint32_t, uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(util::ParallelChunks(5, 5, 4), 0u);
+}
+
+TEST(ParallelForTest, ChunksClampToRangeSize) {
+  EXPECT_EQ(util::ParallelChunks(0, 3, 100), 3u);
+  EXPECT_EQ(util::ParallelChunks(0, 100, 4), 4u);
+  EXPECT_EQ(util::ParallelChunks(0, 10, 0), 1u);
+}
+
+TEST(ParallelForTest, ChunkIndicesAreContiguousAndOrderedByRange) {
+  std::mutex mutex;
+  std::vector<std::pair<uint32_t, uint32_t>> spans(4);
+  util::ParallelFor(0, 10, 4, [&](uint32_t lo, uint32_t hi, uint32_t chunk) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    spans[chunk] = {lo, hi};
+  });
+  uint32_t expected_lo = 0;
+  for (const auto& [lo, hi] : spans) {
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_LE(hi - lo, 3u);
+    EXPECT_GE(hi - lo, 2u);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 10u);
+}
+
+Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
+  util::Rng rng(seed);
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+/// Any thread count must reproduce the single-thread result exactly —
+/// pairs, similarity, and comparison counters alike.
+TEST(ParallelJoinTest, ThreadCountInvariance) {
+  const Community b = RandomCommunity(8, 300, 10, 1);
+  const Community a = RandomCommunity(8, 350, 10, 2);
+  for (const Method method :
+       {Method::kExBaseline, Method::kExSuperEgo, Method::kExMinMaxEgo}) {
+    JoinOptions options;
+    options.eps = 2;
+    options.superego_threshold = 16;
+    options.threads = 1;
+    const JoinResult serial = RunMethod(method, b, a, options);
+    for (const uint32_t threads : {2u, 4u, 9u}) {
+      options.threads = threads;
+      const JoinResult parallel = RunMethod(method, b, a, options);
+      EXPECT_EQ(parallel.pairs, serial.pairs)
+          << MethodName(method) << " threads=" << threads;
+      EXPECT_EQ(parallel.stats.matches, serial.stats.matches);
+      EXPECT_EQ(parallel.stats.no_matches, serial.stats.no_matches);
+      EXPECT_EQ(parallel.stats.dimension_compares,
+                serial.stats.dimension_compares);
+      EXPECT_EQ(parallel.stats.candidate_pairs, serial.stats.candidate_pairs);
+    }
+  }
+}
+
+TEST(ParallelJoinTest, EventLogForcesSerialExecution) {
+  const Community b = RandomCommunity(3, 20, 5, 3);
+  const Community a = RandomCommunity(3, 20, 5, 4);
+  JoinOptions options;
+  options.eps = 1;
+  options.threads = 8;
+  EventLog log;
+  options.event_log = &log;
+  const JoinResult result = RunMethod(Method::kExBaseline, b, a, options);
+  // The full nested loop is logged in deterministic row order.
+  ASSERT_EQ(log.records.size(), 400u);
+  for (size_t i = 1; i < log.records.size(); ++i) {
+    const auto key = [](const EventRecord& r) {
+      return static_cast<uint64_t>(r.b) << 32 | r.a;
+    };
+    EXPECT_LT(key(log.records[i - 1]), key(log.records[i]));
+  }
+  EXPECT_EQ(result.stats.dimension_compares, 400u);
+}
+
+TEST(ParallelJoinTest, EmptyCommunitiesWithThreads) {
+  const Community empty(4);
+  Community one(4);
+  one.AddUser(std::vector<Count>{1, 2, 3, 4});
+  JoinOptions options;
+  options.eps = 1;
+  options.threads = 4;
+  EXPECT_TRUE(RunMethod(Method::kExBaseline, empty, one, options).pairs.empty());
+  EXPECT_TRUE(RunMethod(Method::kExSuperEgo, one, empty, options).pairs.empty());
+  EXPECT_TRUE(
+      RunMethod(Method::kExMinMaxEgo, empty, empty, options).pairs.empty());
+}
+
+}  // namespace
+}  // namespace csj

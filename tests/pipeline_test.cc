@@ -1,0 +1,161 @@
+// Tests for the screen-then-refine pipeline (the paper §3's two-phase
+// approximate -> exact workflow).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "pipeline/screening.h"
+#include "util/rng.h"
+
+namespace csj::pipeline {
+namespace {
+
+/// Builds a candidate with a planted similarity against the REAL pivot
+/// community.
+Community MakeCandidate(const Community& pivot, data::Category category,
+                        uint32_t size, double planted, uint64_t seed,
+                        const std::string& name) {
+  data::VkLikeGenerator gen(category);
+  data::CoupleSpec spec;
+  spec.size_b = size;
+  spec.target_similarity = planted;
+  spec.eps = 1;
+  util::Rng rng(seed);
+  Community candidate = data::PlantCommunityAgainst(pivot, gen, spec, rng);
+  candidate.set_name(name);
+  return candidate;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::VkLikeGenerator pivot_gen(data::Category::kSport);
+    util::Rng rng(99);
+    pivot_ = data::MakeCommunity(pivot_gen, 600, rng, "pivot");
+    // Planted similarities: high, medium, below threshold.
+    high_ = MakeCandidate(pivot_, data::Category::kSport, 600, 0.40, 1,
+                          "high");
+    medium_ = MakeCandidate(pivot_, data::Category::kHobbies, 600, 0.22, 2,
+                            "medium");
+    low_ = MakeCandidate(pivot_, data::Category::kAnimals, 600, 0.05, 3,
+                         "low");
+    // Too small for the CSJ size rule against the 600-user pivot.
+    data::VkLikeGenerator tiny_gen(data::Category::kMedia);
+    util::Rng tiny_rng(4);
+    tiny_ = data::MakeCommunity(tiny_gen, 100, tiny_rng, "tiny");
+  }
+
+  Community pivot_{27};
+  Community high_{27};
+  Community medium_{27};
+  Community low_{27};
+  Community tiny_{27};
+};
+
+TEST_F(PipelineTest, ScreensRefinesAndRanks) {
+  PipelineOptions options;
+  options.screen_threshold = 0.15;
+  options.join.eps = 1;
+  const PipelineReport report = ScreenAndRefine(
+      pivot_, {&high_, &medium_, &low_, &tiny_}, options);
+
+  EXPECT_EQ(report.inadmissible, 1u);  // tiny fails the size rule
+  EXPECT_EQ(report.screened, 3u);
+  EXPECT_EQ(report.refined, 2u);  // high and medium pass the screen
+  ASSERT_EQ(report.entries.size(), 3u);
+
+  // Ranked by final similarity: high, medium, low.
+  EXPECT_EQ(report.entries[0].candidate_name, "high");
+  EXPECT_EQ(report.entries[1].candidate_name, "medium");
+  EXPECT_EQ(report.entries[2].candidate_name, "low");
+  EXPECT_TRUE(report.entries[0].refined);
+  EXPECT_TRUE(report.entries[1].refined);
+  EXPECT_FALSE(report.entries[2].refined);
+
+  // The exact phase can only confirm or improve a greedy screen.
+  EXPECT_GE(report.entries[0].refined_similarity + 1e-9,
+            report.entries[0].screened_similarity);
+  EXPECT_NEAR(report.entries[0].refined_similarity, 0.40, 0.05);
+  EXPECT_NEAR(report.entries[1].refined_similarity, 0.22, 0.05);
+  EXPECT_GT(report.total_seconds, 0.0);
+}
+
+TEST_F(PipelineTest, TopKLimitsRefinement) {
+  PipelineOptions options;
+  options.screen_threshold = 0.01;  // everyone passes the screen
+  options.refine_top_k = 1;
+  options.join.eps = 1;
+  const PipelineReport report =
+      ScreenAndRefine(pivot_, {&high_, &medium_, &low_}, options);
+  EXPECT_EQ(report.refined, 1u);
+  // Only the best-screened candidate got the exact treatment.
+  EXPECT_EQ(report.entries[0].candidate_name, "high");
+  EXPECT_TRUE(report.entries[0].refined);
+  EXPECT_FALSE(report.entries[1].refined);
+}
+
+TEST_F(PipelineTest, ThresholdOfOneRefinesNothing) {
+  PipelineOptions options;
+  options.screen_threshold = 1.01;
+  // The upper bound never exceeds 1, so with this threshold it would
+  // drop everything before screening; disable it to exercise the
+  // "screened but no survivors" path.
+  options.use_upper_bound_prune = false;
+  options.join.eps = 1;
+  const PipelineReport report =
+      ScreenAndRefine(pivot_, {&high_, &medium_}, options);
+  EXPECT_EQ(report.refined, 0u);
+  for (const PipelineEntry& entry : report.entries) {
+    EXPECT_FALSE(entry.refined);
+  }
+}
+
+TEST_F(PipelineTest, EmptyCandidateList) {
+  PipelineOptions options;
+  options.join.eps = 1;
+  const PipelineReport report = ScreenAndRefine(pivot_, {}, options);
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_EQ(report.screened, 0u);
+}
+
+TEST_F(PipelineTest, AllPairsCoversEveryAdmissibleCouple) {
+  PipelineOptions options;
+  options.screen_threshold = 0.0;
+  options.join.eps = 1;
+  const std::vector<const Community*> communities = {&high_, &medium_,
+                                                     &low_};
+  const PipelineReport report =
+      ScreenAndRefineAllPairs(communities, options);
+  // 3 choose 2 = 3 pairs, all same-size hence admissible.
+  EXPECT_EQ(report.screened, 3u);
+  EXPECT_EQ(report.refined, 3u);
+  for (const PipelineEntry& entry : report.entries) {
+    uint32_t i = 0;
+    uint32_t j = 0;
+    DecodePairIndex(entry.candidate_index,
+                    static_cast<uint32_t>(communities.size()), &i, &j);
+    EXPECT_LT(i, j);
+    EXPECT_LT(j, communities.size());
+  }
+}
+
+TEST(DecodePairIndexTest, RoundTrips) {
+  for (uint32_t n : {2u, 5u, 9u}) {
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        uint32_t di = 0;
+        uint32_t dj = 0;
+        DecodePairIndex(i * n + j, n, &di, &dj);
+        EXPECT_EQ(di, i);
+        EXPECT_EQ(dj, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csj::pipeline

@@ -1,0 +1,196 @@
+// Cross-method property sweeps (parameterized): the exact methods agree
+// with a brute-force maximum-matching oracle, approximate methods never
+// beat exact ones, and every method returns valid one-to-one eps-matched
+// pairs. SuperEGO is held to the integer-domain oracle only on exact
+// float grids (see superego_method_test.cc for the boundary-loss regime).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/epsilon_predicate.h"
+#include "core/method.h"
+#include "matching/greedy.h"
+#include "matching/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+struct SweepParams {
+  uint64_t seed;
+  Dim d;
+  Epsilon eps;
+  Count max_value;
+  uint32_t size_b;
+  uint32_t size_a;
+  uint32_t parts;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParams>& info) {
+  const SweepParams& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_d" + std::to_string(p.d) +
+         "_eps" + std::to_string(p.eps) + "_max" +
+         std::to_string(p.max_value) + "_parts" + std::to_string(p.parts);
+}
+
+/// Communities dense enough that matches and contention both occur.
+Community RandomCommunity(util::Rng& rng, Dim d, uint32_t n, Count max_value) {
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+std::vector<MatchedPair> BruteForceEdges(const Community& b,
+                                         const Community& a, Epsilon eps) {
+  std::vector<MatchedPair> edges;
+  for (UserId ib = 0; ib < b.size(); ++ib) {
+    for (UserId ia = 0; ia < a.size(); ++ia) {
+      if (EpsilonMatches(b.User(ib), a.User(ia), eps)) {
+        edges.push_back(MatchedPair{ib, ia});
+      }
+    }
+  }
+  return edges;
+}
+
+class MethodSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(MethodSweep, ExactMethodsReachTheMaximumMatching) {
+  const SweepParams p = GetParam();
+  util::Rng rng(p.seed);
+  const Community b = RandomCommunity(rng, p.d, p.size_b, p.max_value);
+  const Community a = RandomCommunity(rng, p.d, p.size_a, p.max_value);
+  const size_t oracle =
+      matching::HopcroftKarp(BruteForceEdges(b, a, p.eps)).size();
+
+  JoinOptions options;
+  options.eps = p.eps;
+  options.encoding_parts = p.parts;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  const JoinResult ex_baseline = RunMethod(Method::kExBaseline, b, a, options);
+  const JoinResult ex_minmax = RunMethod(Method::kExMinMax, b, a, options);
+  EXPECT_EQ(ex_baseline.pairs.size(), oracle);
+  // Ex-MinMax runs the matcher per safe segment; segments are unions of
+  // connected components, so per-segment maxima sum to the global maximum.
+  EXPECT_EQ(ex_minmax.pairs.size(), oracle);
+  // The integer-grid hybrid is exact in the integer domain too.
+  const JoinResult ex_hybrid = RunMethod(Method::kExMinMaxEgo, b, a, options);
+  EXPECT_EQ(ex_hybrid.pairs.size(), oracle);
+}
+
+TEST_P(MethodSweep, CsfStaysWithinOnePercentOfMaximum) {
+  const SweepParams p = GetParam();
+  util::Rng rng(p.seed + 1000);
+  const Community b = RandomCommunity(rng, p.d, p.size_b, p.max_value);
+  const Community a = RandomCommunity(rng, p.d, p.size_a, p.max_value);
+  const size_t oracle =
+      matching::HopcroftKarp(BruteForceEdges(b, a, p.eps)).size();
+
+  JoinOptions options;
+  options.eps = p.eps;
+  options.encoding_parts = p.parts;
+  options.matcher = matching::MatcherKind::kCsf;
+  const size_t baseline_csf =
+      RunMethod(Method::kExBaseline, b, a, options).pairs.size();
+  const size_t minmax_csf =
+      RunMethod(Method::kExMinMax, b, a, options).pairs.size();
+  EXPECT_LE(baseline_csf, oracle);
+  EXPECT_LE(minmax_csf, oracle);
+  // CSF is near-optimal; also Tables 4/6/8/10's observation that both
+  // exact methods report the same similarity.
+  EXPECT_GE(baseline_csf + 2, oracle);
+  EXPECT_GE(minmax_csf + 2, oracle);
+}
+
+TEST_P(MethodSweep, ApproximateNeverBeatsExact) {
+  const SweepParams p = GetParam();
+  util::Rng rng(p.seed + 2000);
+  const Community b = RandomCommunity(rng, p.d, p.size_b, p.max_value);
+  const Community a = RandomCommunity(rng, p.d, p.size_a, p.max_value);
+
+  JoinOptions options;
+  options.eps = p.eps;
+  options.encoding_parts = p.parts;
+  options.matcher = matching::MatcherKind::kMaxMatching;
+  const size_t exact =
+      RunMethod(Method::kExBaseline, b, a, options).pairs.size();
+  EXPECT_LE(RunMethod(Method::kApBaseline, b, a, options).pairs.size(), exact);
+  EXPECT_LE(RunMethod(Method::kApMinMax, b, a, options).pairs.size(), exact);
+}
+
+TEST_P(MethodSweep, PairsAreValidOneToOneEpsMatches) {
+  const SweepParams p = GetParam();
+  util::Rng rng(p.seed + 3000);
+  const Community b = RandomCommunity(rng, p.d, p.size_b, p.max_value);
+  const Community a = RandomCommunity(rng, p.d, p.size_a, p.max_value);
+
+  JoinOptions options;
+  options.eps = p.eps;
+  options.encoding_parts = p.parts;
+  for (const Method method :
+       {Method::kApBaseline, Method::kExBaseline, Method::kApMinMax,
+        Method::kExMinMax, Method::kApMinMaxEgo, Method::kExMinMaxEgo}) {
+    const JoinResult result = RunMethod(method, b, a, options);
+    EXPECT_TRUE(matching::IsOneToOne(result.pairs)) << MethodName(method);
+    for (const MatchedPair& pair : result.pairs) {
+      ASSERT_LT(pair.b, b.size());
+      ASSERT_LT(pair.a, a.size());
+      EXPECT_TRUE(EpsilonMatches(b.User(pair.b), a.User(pair.a), p.eps))
+          << MethodName(method);
+    }
+    const double sim = result.Similarity();
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST_P(MethodSweep, MinMaxAgreesWithBaselineSemantics) {
+  // Ap-MinMax and Ap-Baseline scan in different orders, so their pair sets
+  // differ, but both are maximal greedy matchings over the same candidate
+  // graph; a maximal matching is at least half the maximum.
+  const SweepParams p = GetParam();
+  util::Rng rng(p.seed + 4000);
+  const Community b = RandomCommunity(rng, p.d, p.size_b, p.max_value);
+  const Community a = RandomCommunity(rng, p.d, p.size_a, p.max_value);
+  const size_t oracle =
+      matching::HopcroftKarp(BruteForceEdges(b, a, p.eps)).size();
+
+  JoinOptions options;
+  options.eps = p.eps;
+  options.encoding_parts = p.parts;
+  for (const Method method : {Method::kApBaseline, Method::kApMinMax}) {
+    const size_t found = RunMethod(method, b, a, options).pairs.size();
+    EXPECT_GE(2 * found, oracle) << MethodName(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MethodSweep,
+    ::testing::Values(
+        SweepParams{1, 1, 1, 6, 30, 40, 1},
+        SweepParams{2, 2, 1, 8, 50, 60, 2},
+        SweepParams{3, 3, 2, 10, 60, 80, 2},
+        SweepParams{4, 5, 1, 6, 80, 100, 4},
+        SweepParams{5, 8, 3, 20, 70, 90, 4},
+        SweepParams{6, 27, 1, 4, 60, 90, 4},
+        SweepParams{7, 27, 2, 6, 100, 120, 4},
+        SweepParams{8, 27, 1, 4, 90, 95, 8},
+        SweepParams{9, 16, 4, 30, 50, 100, 13},
+        SweepParams{10, 4, 0, 3, 80, 80, 2},
+        SweepParams{11, 27, 1, 3, 120, 130, 27},
+        SweepParams{12, 2, 5, 12, 100, 140, 2},
+        SweepParams{13, 64, 2, 8, 80, 110, 4},
+        SweepParams{14, 27, 1, 5, 150, 150, 4},
+        SweepParams{15, 6, 10, 40, 120, 160, 3},
+        SweepParams{16, 1, 3, 9, 200, 220, 1}),
+    SweepName);
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,110 @@
+// Tests for the similarity front door: method registry, admissibility
+// enforcement, auto ordering.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/method.h"
+#include "core/similarity.h"
+
+namespace csj {
+namespace {
+
+Community Dup(const std::vector<Count>& vec, uint32_t copies) {
+  Community c(static_cast<Dim>(vec.size()));
+  for (uint32_t i = 0; i < copies; ++i) c.AddUser(vec);
+  return c;
+}
+
+TEST(MethodRegistryTest, NamesRoundTrip) {
+  for (const Method method : kAllMethods) {
+    const auto parsed = ParseMethod(MethodName(method));
+    ASSERT_TRUE(parsed.has_value()) << MethodName(method);
+    EXPECT_EQ(*parsed, method);
+  }
+  EXPECT_FALSE(ParseMethod("SuperDuper").has_value());
+}
+
+TEST(MethodRegistryTest, ExactFlag) {
+  EXPECT_TRUE(IsExact(Method::kExBaseline));
+  EXPECT_TRUE(IsExact(Method::kExMinMax));
+  EXPECT_TRUE(IsExact(Method::kExSuperEgo));
+  EXPECT_FALSE(IsExact(Method::kApBaseline));
+  EXPECT_FALSE(IsExact(Method::kApMinMax));
+  EXPECT_FALSE(IsExact(Method::kApSuperEgo));
+}
+
+TEST(MethodRegistryTest, RunMethodDispatchesAllSix) {
+  const Community b = Dup({1, 2}, 4);
+  const Community a = Dup({1, 2}, 4);
+  JoinOptions options;
+  options.eps = 1;
+  for (const Method method : kAllMethods) {
+    const JoinResult result = RunMethod(method, b, a, options);
+    EXPECT_EQ(result.method, MethodName(method));
+    EXPECT_EQ(result.pairs.size(), 4u) << MethodName(method);
+    EXPECT_DOUBLE_EQ(result.Similarity(), 1.0) << MethodName(method);
+  }
+}
+
+TEST(ComputeSimilarityTest, EnforcesSizeRule) {
+  JoinOptions options;
+  options.eps = 1;
+  const Community a = Dup({5, 5}, 10);
+  // |B| = 4 < ceil(10/2): rejected.
+  EXPECT_FALSE(
+      ComputeSimilarity(Method::kExMinMax, Dup({5, 5}, 4), a, options)
+          .has_value());
+  // |B| = 5: accepted.
+  const auto ok =
+      ComputeSimilarity(Method::kExMinMax, Dup({5, 5}, 5), a, options);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_DOUBLE_EQ(ok->Similarity(), 1.0);
+  // |B| > |A|: rejected (B must be the less-followed side).
+  EXPECT_FALSE(
+      ComputeSimilarity(Method::kExMinMax, Dup({5, 5}, 11), a, options)
+          .has_value());
+}
+
+TEST(ComputeSimilarityTest, RejectsEmptyAndDimensionMismatch) {
+  JoinOptions options;
+  options.eps = 1;
+  const Community a = Dup({1, 2}, 4);
+  EXPECT_FALSE(ComputeSimilarity(Method::kExMinMax, Community(2), a, options)
+                   .has_value());
+  EXPECT_FALSE(
+      ComputeSimilarity(Method::kExMinMax, Dup({1, 2, 3}, 4), a, options)
+          .has_value());
+}
+
+TEST(ComputeSimilarityAutoOrderTest, SwapsSides) {
+  JoinOptions options;
+  options.eps = 1;
+  const Community small = Dup({3, 3}, 6);
+  const Community big = Dup({3, 3}, 10);
+  const auto forward =
+      ComputeSimilarityAutoOrder(Method::kExMinMax, small, big, options);
+  const auto backward =
+      ComputeSimilarityAutoOrder(Method::kExMinMax, big, small, options);
+  ASSERT_TRUE(forward.has_value());
+  ASSERT_TRUE(backward.has_value());
+  // Both orderings put the 6-user community as B: similarity = 6/6.
+  EXPECT_EQ(forward->size_b, 6u);
+  EXPECT_EQ(backward->size_b, 6u);
+  EXPECT_DOUBLE_EQ(forward->Similarity(), backward->Similarity());
+}
+
+TEST(ComputeSimilarityAutoOrderTest, StillRejectsBadRatios) {
+  JoinOptions options;
+  options.eps = 1;
+  const Community small = Dup({3, 3}, 2);
+  const Community big = Dup({3, 3}, 10);
+  EXPECT_FALSE(
+      ComputeSimilarityAutoOrder(Method::kExMinMax, big, small, options)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_csf.dir/bench_ablation_csf.cc.o"
+  "CMakeFiles/bench_ablation_csf.dir/bench_ablation_csf.cc.o.d"
+  "bench_ablation_csf"
+  "bench_ablation_csf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_csf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

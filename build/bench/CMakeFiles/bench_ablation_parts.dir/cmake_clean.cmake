@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parts.dir/bench_ablation_parts.cc.o"
+  "CMakeFiles/bench_ablation_parts.dir/bench_ablation_parts.cc.o.d"
+  "bench_ablation_parts"
+  "bench_ablation_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_scale.dir/bench_sweep_scale.cc.o"
+  "CMakeFiles/bench_sweep_scale.dir/bench_sweep_scale.cc.o.d"
+  "bench_sweep_scale"
+  "bench_sweep_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_distribution.dir/bench_table01_distribution.cc.o"
+  "CMakeFiles/bench_table01_distribution.dir/bench_table01_distribution.cc.o.d"
+  "bench_table01_distribution"
+  "bench_table01_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

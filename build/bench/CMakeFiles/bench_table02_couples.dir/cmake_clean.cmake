@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_couples.dir/bench_table02_couples.cc.o"
+  "CMakeFiles/bench_table02_couples.dir/bench_table02_couples.cc.o.d"
+  "bench_table02_couples"
+  "bench_table02_couples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_couples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_vk_approx_diff.dir/bench_table03_vk_approx_diff.cc.o"
+  "CMakeFiles/bench_table03_vk_approx_diff.dir/bench_table03_vk_approx_diff.cc.o.d"
+  "bench_table03_vk_approx_diff"
+  "bench_table03_vk_approx_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_vk_approx_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_syn_exact_diff.dir/bench_table08_syn_exact_diff.cc.o"
+  "CMakeFiles/bench_table08_syn_exact_diff.dir/bench_table08_syn_exact_diff.cc.o.d"
+  "bench_table08_syn_exact_diff"
+  "bench_table08_syn_exact_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_syn_exact_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table09_syn_approx_same.cc" "bench/CMakeFiles/bench_table09_syn_approx_same.dir/bench_table09_syn_approx_same.cc.o" "gcc" "bench/CMakeFiles/bench_table09_syn_approx_same.dir/bench_table09_syn_approx_same.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/csj_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/csj_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/csj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/csj_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ego/CMakeFiles/csj_ego.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csj_core_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_syn_exact_same.dir/bench_table10_syn_exact_same.cc.o"
+  "CMakeFiles/bench_table10_syn_exact_same.dir/bench_table10_syn_exact_same.cc.o.d"
+  "bench_table10_syn_exact_same"
+  "bench_table10_syn_exact_same.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_syn_exact_same.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

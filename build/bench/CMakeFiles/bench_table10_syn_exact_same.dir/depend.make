@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table10_syn_exact_same.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_bench_common.dir/common/harness.cc.o"
+  "CMakeFiles/csj_bench_common.dir/common/harness.cc.o.d"
+  "libcsj_bench_common.a"
+  "libcsj_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brand_recommendation.dir/brand_recommendation.cpp.o"
+  "CMakeFiles/brand_recommendation.dir/brand_recommendation.cpp.o.d"
+  "brand_recommendation"
+  "brand_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brand_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

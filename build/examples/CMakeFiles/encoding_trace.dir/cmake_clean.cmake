@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_trace.dir/encoding_trace.cpp.o"
+  "CMakeFiles/encoding_trace.dir/encoding_trace.cpp.o.d"
+  "encoding_trace"
+  "encoding_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

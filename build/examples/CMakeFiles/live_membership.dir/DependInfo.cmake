@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_membership.cpp" "examples/CMakeFiles/live_membership.dir/live_membership.cpp.o" "gcc" "examples/CMakeFiles/live_membership.dir/live_membership.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/csj_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/incremental/CMakeFiles/csj_incremental.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/csj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/csj_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ego/CMakeFiles/csj_ego.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csj_core_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_membership.dir/live_membership.cpp.o"
+  "CMakeFiles/live_membership.dir/live_membership.cpp.o.d"
+  "live_membership"
+  "live_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_matrix.dir/similarity_matrix.cpp.o"
+  "CMakeFiles/similarity_matrix.dir/similarity_matrix.cpp.o.d"
+  "similarity_matrix"
+  "similarity_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/csj_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/gridhash_method.cc" "src/core/CMakeFiles/csj_core.dir/gridhash_method.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/gridhash_method.cc.o.d"
+  "/root/repo/src/core/hybrid_method.cc" "src/core/CMakeFiles/csj_core.dir/hybrid_method.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/hybrid_method.cc.o.d"
+  "/root/repo/src/core/method.cc" "src/core/CMakeFiles/csj_core.dir/method.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/method.cc.o.d"
+  "/root/repo/src/core/minmax.cc" "src/core/CMakeFiles/csj_core.dir/minmax.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/minmax.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/csj_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/similarity_bound.cc" "src/core/CMakeFiles/csj_core.dir/similarity_bound.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/similarity_bound.cc.o.d"
+  "/root/repo/src/core/superego_method.cc" "src/core/CMakeFiles/csj_core.dir/superego_method.cc.o" "gcc" "src/core/CMakeFiles/csj_core.dir/superego_method.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csj_core_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/csj_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ego/CMakeFiles/csj_ego.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

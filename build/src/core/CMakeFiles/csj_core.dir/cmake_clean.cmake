@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_core.dir/baseline.cc.o"
+  "CMakeFiles/csj_core.dir/baseline.cc.o.d"
+  "CMakeFiles/csj_core.dir/gridhash_method.cc.o"
+  "CMakeFiles/csj_core.dir/gridhash_method.cc.o.d"
+  "CMakeFiles/csj_core.dir/hybrid_method.cc.o"
+  "CMakeFiles/csj_core.dir/hybrid_method.cc.o.d"
+  "CMakeFiles/csj_core.dir/method.cc.o"
+  "CMakeFiles/csj_core.dir/method.cc.o.d"
+  "CMakeFiles/csj_core.dir/minmax.cc.o"
+  "CMakeFiles/csj_core.dir/minmax.cc.o.d"
+  "CMakeFiles/csj_core.dir/similarity.cc.o"
+  "CMakeFiles/csj_core.dir/similarity.cc.o.d"
+  "CMakeFiles/csj_core.dir/similarity_bound.cc.o"
+  "CMakeFiles/csj_core.dir/similarity_bound.cc.o.d"
+  "CMakeFiles/csj_core.dir/superego_method.cc.o"
+  "CMakeFiles/csj_core.dir/superego_method.cc.o.d"
+  "libcsj_core.a"
+  "libcsj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/community.cc" "src/core/CMakeFiles/csj_core_types.dir/community.cc.o" "gcc" "src/core/CMakeFiles/csj_core_types.dir/community.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/csj_core_types.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/csj_core_types.dir/encoding.cc.o.d"
+  "/root/repo/src/core/join_result.cc" "src/core/CMakeFiles/csj_core_types.dir/join_result.cc.o" "gcc" "src/core/CMakeFiles/csj_core_types.dir/join_result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

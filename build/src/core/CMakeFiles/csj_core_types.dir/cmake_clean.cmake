@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_core_types.dir/community.cc.o"
+  "CMakeFiles/csj_core_types.dir/community.cc.o.d"
+  "CMakeFiles/csj_core_types.dir/encoding.cc.o"
+  "CMakeFiles/csj_core_types.dir/encoding.cc.o.d"
+  "CMakeFiles/csj_core_types.dir/join_result.cc.o"
+  "CMakeFiles/csj_core_types.dir/join_result.cc.o.d"
+  "libcsj_core_types.a"
+  "libcsj_core_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_core_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

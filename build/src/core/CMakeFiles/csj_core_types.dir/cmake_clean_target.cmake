@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsj_core_types.a"
+)

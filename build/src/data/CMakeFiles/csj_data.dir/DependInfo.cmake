@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/case_studies.cc" "src/data/CMakeFiles/csj_data.dir/case_studies.cc.o" "gcc" "src/data/CMakeFiles/csj_data.dir/case_studies.cc.o.d"
+  "/root/repo/src/data/categories.cc" "src/data/CMakeFiles/csj_data.dir/categories.cc.o" "gcc" "src/data/CMakeFiles/csj_data.dir/categories.cc.o.d"
+  "/root/repo/src/data/community_sampler.cc" "src/data/CMakeFiles/csj_data.dir/community_sampler.cc.o" "gcc" "src/data/CMakeFiles/csj_data.dir/community_sampler.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/csj_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/csj_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/csj_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/csj_data.dir/io.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/csj_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/csj_data.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csj_core_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

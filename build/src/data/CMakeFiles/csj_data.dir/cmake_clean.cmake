@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_data.dir/case_studies.cc.o"
+  "CMakeFiles/csj_data.dir/case_studies.cc.o.d"
+  "CMakeFiles/csj_data.dir/categories.cc.o"
+  "CMakeFiles/csj_data.dir/categories.cc.o.d"
+  "CMakeFiles/csj_data.dir/community_sampler.cc.o"
+  "CMakeFiles/csj_data.dir/community_sampler.cc.o.d"
+  "CMakeFiles/csj_data.dir/generator.cc.o"
+  "CMakeFiles/csj_data.dir/generator.cc.o.d"
+  "CMakeFiles/csj_data.dir/io.cc.o"
+  "CMakeFiles/csj_data.dir/io.cc.o.d"
+  "CMakeFiles/csj_data.dir/stats.cc.o"
+  "CMakeFiles/csj_data.dir/stats.cc.o.d"
+  "libcsj_data.a"
+  "libcsj_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ego/dimension_reorder.cc" "src/ego/CMakeFiles/csj_ego.dir/dimension_reorder.cc.o" "gcc" "src/ego/CMakeFiles/csj_ego.dir/dimension_reorder.cc.o.d"
+  "/root/repo/src/ego/ego_join.cc" "src/ego/CMakeFiles/csj_ego.dir/ego_join.cc.o" "gcc" "src/ego/CMakeFiles/csj_ego.dir/ego_join.cc.o.d"
+  "/root/repo/src/ego/integer_grid.cc" "src/ego/CMakeFiles/csj_ego.dir/integer_grid.cc.o" "gcc" "src/ego/CMakeFiles/csj_ego.dir/integer_grid.cc.o.d"
+  "/root/repo/src/ego/normalized.cc" "src/ego/CMakeFiles/csj_ego.dir/normalized.cc.o" "gcc" "src/ego/CMakeFiles/csj_ego.dir/normalized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/csj_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csj_core_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

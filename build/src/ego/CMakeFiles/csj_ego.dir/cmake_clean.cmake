@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_ego.dir/dimension_reorder.cc.o"
+  "CMakeFiles/csj_ego.dir/dimension_reorder.cc.o.d"
+  "CMakeFiles/csj_ego.dir/ego_join.cc.o"
+  "CMakeFiles/csj_ego.dir/ego_join.cc.o.d"
+  "CMakeFiles/csj_ego.dir/integer_grid.cc.o"
+  "CMakeFiles/csj_ego.dir/integer_grid.cc.o.d"
+  "CMakeFiles/csj_ego.dir/normalized.cc.o"
+  "CMakeFiles/csj_ego.dir/normalized.cc.o.d"
+  "libcsj_ego.a"
+  "libcsj_ego.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_ego.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

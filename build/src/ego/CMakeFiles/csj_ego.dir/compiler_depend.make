@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for csj_ego.
+# This may be replaced when dependencies are built.

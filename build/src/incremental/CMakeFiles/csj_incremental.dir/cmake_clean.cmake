@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_incremental.dir/incremental_csj.cc.o"
+  "CMakeFiles/csj_incremental.dir/incremental_csj.cc.o.d"
+  "libcsj_incremental.a"
+  "libcsj_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_matching.dir/candidate_graph.cc.o"
+  "CMakeFiles/csj_matching.dir/candidate_graph.cc.o.d"
+  "CMakeFiles/csj_matching.dir/csf.cc.o"
+  "CMakeFiles/csj_matching.dir/csf.cc.o.d"
+  "CMakeFiles/csj_matching.dir/greedy.cc.o"
+  "CMakeFiles/csj_matching.dir/greedy.cc.o.d"
+  "CMakeFiles/csj_matching.dir/hopcroft_karp.cc.o"
+  "CMakeFiles/csj_matching.dir/hopcroft_karp.cc.o.d"
+  "CMakeFiles/csj_matching.dir/matcher.cc.o"
+  "CMakeFiles/csj_matching.dir/matcher.cc.o.d"
+  "libcsj_matching.a"
+  "libcsj_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

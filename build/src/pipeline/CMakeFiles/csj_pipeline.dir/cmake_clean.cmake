@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_pipeline.dir/screening.cc.o"
+  "CMakeFiles/csj_pipeline.dir/screening.cc.o.d"
+  "libcsj_pipeline.a"
+  "libcsj_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

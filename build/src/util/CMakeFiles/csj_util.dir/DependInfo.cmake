@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/flags.cc" "src/util/CMakeFiles/csj_util.dir/flags.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/flags.cc.o.d"
+  "/root/repo/src/util/format.cc" "src/util/CMakeFiles/csj_util.dir/format.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/format.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/csj_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/util/CMakeFiles/csj_util.dir/json_writer.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/json_writer.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/util/CMakeFiles/csj_util.dir/parallel.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/parallel.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/util/CMakeFiles/csj_util.dir/table_printer.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/table_printer.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/util/CMakeFiles/csj_util.dir/zipf.cc.o" "gcc" "src/util/CMakeFiles/csj_util.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_util.dir/flags.cc.o"
+  "CMakeFiles/csj_util.dir/flags.cc.o.d"
+  "CMakeFiles/csj_util.dir/format.cc.o"
+  "CMakeFiles/csj_util.dir/format.cc.o.d"
+  "CMakeFiles/csj_util.dir/histogram.cc.o"
+  "CMakeFiles/csj_util.dir/histogram.cc.o.d"
+  "CMakeFiles/csj_util.dir/json_writer.cc.o"
+  "CMakeFiles/csj_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/csj_util.dir/parallel.cc.o"
+  "CMakeFiles/csj_util.dir/parallel.cc.o.d"
+  "CMakeFiles/csj_util.dir/table_printer.cc.o"
+  "CMakeFiles/csj_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/csj_util.dir/zipf.cc.o"
+  "CMakeFiles/csj_util.dir/zipf.cc.o.d"
+  "libcsj_util.a"
+  "libcsj_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsj_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ego_test.dir/ego_test.cc.o"
+  "CMakeFiles/ego_test.dir/ego_test.cc.o.d"
+  "ego_test"
+  "ego_test.pdb"
+  "ego_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ego_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridhash_test.dir/gridhash_test.cc.o"
+  "CMakeFiles/gridhash_test.dir/gridhash_test.cc.o.d"
+  "gridhash_test"
+  "gridhash_test.pdb"
+  "gridhash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minmax_test.dir/minmax_test.cc.o"
+  "CMakeFiles/minmax_test.dir/minmax_test.cc.o.d"
+  "minmax_test"
+  "minmax_test.pdb"
+  "minmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superego_method_test.dir/superego_method_test.cc.o"
+  "CMakeFiles/superego_method_test.dir/superego_method_test.cc.o.d"
+  "superego_method_test"
+  "superego_method_test.pdb"
+  "superego_method_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superego_method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

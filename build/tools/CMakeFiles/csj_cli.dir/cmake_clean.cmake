@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csj_cli.dir/csj_cli.cc.o"
+  "CMakeFiles/csj_cli.dir/csj_cli.cc.o.d"
+  "csj_cli"
+  "csj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -33,7 +33,24 @@ Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
   return c;
 }
 
-void BM_EpsilonPredicate(benchmark::State& state) {
+/// The pre-blocking kernel (branchy per-dimension short circuit), kept
+/// verbatim as the baseline the blocked EpsilonMatches is measured
+/// against.
+bool EpsilonMatchesScalarReference(std::span<const Count> b,
+                                   std::span<const Count> a,
+                                   csj::Epsilon eps) {
+  const size_t d = b.size();
+  for (size_t i = 0; i < d; ++i) {
+    const Count lo = b[i] < a[i] ? b[i] : a[i];
+    const Count hi = b[i] < a[i] ? a[i] : b[i];
+    if (hi - lo > eps) return false;
+  }
+  return true;
+}
+
+template <bool (*Kernel)(std::span<const Count>, std::span<const Count>,
+                         csj::Epsilon)>
+void EpsilonPredicateHarness(benchmark::State& state) {
   const auto d = static_cast<Dim>(state.range(0));
   const Community c = RandomCommunity(d, 1024, 50, 1);
   uint64_t matches = 0;
@@ -41,13 +58,60 @@ void BM_EpsilonPredicate(benchmark::State& state) {
   for (auto _ : state) {
     const UserId x = i % 1024;
     const UserId y = (i * 7 + 13) % 1024;
-    matches += csj::EpsilonMatches(c.User(x), c.User(y), 1) ? 1u : 0u;
+    matches += Kernel(c.User(x), c.User(y), 1) ? 1u : 0u;
     ++i;
   }
   benchmark::DoNotOptimize(matches);
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_EpsilonPredicate)->Arg(4)->Arg(27)->Arg(128);
+
+void BM_EpsilonPredicate(benchmark::State& state) {
+  EpsilonPredicateHarness<&csj::EpsilonMatches>(state);
+}
+BENCHMARK(BM_EpsilonPredicate)->Arg(4)->Arg(16)->Arg(27)->Arg(64)->Arg(128);
+
+void BM_EpsilonPredicateScalarRef(benchmark::State& state) {
+  EpsilonPredicateHarness<&EpsilonMatchesScalarReference>(state);
+}
+BENCHMARK(BM_EpsilonPredicateScalarRef)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(27)
+    ->Arg(64)
+    ->Arg(128);
+
+/// The all-dimensions-match worst case: no early exit is possible, so
+/// this isolates raw per-dimension throughput (where vectorization pays).
+template <bool (*Kernel)(std::span<const Count>, std::span<const Count>,
+                         csj::Epsilon)>
+void EpsilonPredicateMatchHarness(benchmark::State& state) {
+  const auto d = static_cast<Dim>(state.range(0));
+  const Community c = RandomCommunity(d, 1024, 1, 7);  // counters in {0,1}
+  uint64_t matches = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const UserId x = i % 1024;
+    const UserId y = (i * 7 + 13) % 1024;
+    matches += Kernel(c.User(x), c.User(y), 1) ? 1u : 0u;  // always true
+    ++i;
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EpsilonPredicateAllMatch(benchmark::State& state) {
+  EpsilonPredicateMatchHarness<&csj::EpsilonMatches>(state);
+}
+BENCHMARK(BM_EpsilonPredicateAllMatch)->Arg(16)->Arg(27)->Arg(64)->Arg(128);
+
+void BM_EpsilonPredicateAllMatchScalarRef(benchmark::State& state) {
+  EpsilonPredicateMatchHarness<&EpsilonMatchesScalarReference>(state);
+}
+BENCHMARK(BM_EpsilonPredicateAllMatchScalarRef)
+    ->Arg(16)
+    ->Arg(27)
+    ->Arg(64)
+    ->Arg(128);
 
 void BM_EncoderEncodeOne(benchmark::State& state) {
   const Community c = RandomCommunity(27, 1024, 100, 2);

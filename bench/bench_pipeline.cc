@@ -3,17 +3,24 @@
 // uses the results of fast approximate method as input to alleviate its
 // total execution overhead."
 //
-// A pivot brand is compared against a catalog of candidate communities,
-// three ways:
+// Part 1 — a pivot brand is compared against a catalog of candidate
+// communities, three ways:
 //   exact-everything:  Ex-MinMax on every candidate;
 //   screen+refine:     Ap-SuperEGO screen (the fastest method, Tables 3/5),
 //                      Ex-MinMax only on survivors;
 //   bound+screen+refine: additionally discard candidates whose encoded-
 //                      window upper bound cannot reach the threshold.
 // All three must produce the same set of above-threshold communities.
+//
+// Part 2 — cross-couple parallelism: ScreenAndRefineAllPairs over the
+// catalog at each pipeline_threads setting in --pipeline_threads. Every
+// setting must produce a byte-identical report (entry order, indices,
+// names, similarity bits); the wall-clock ratio against 1 thread is the
+// speedup. --json writes the whole run as machine-readable JSON.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,8 +32,53 @@
 #include "pipeline/screening.h"
 #include "util/flags.h"
 #include "util/format.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/timer.h"
+
+namespace {
+
+std::vector<uint32_t> ParseThreadList(const std::string& list) {
+  std::vector<uint32_t> values;
+  size_t start = 0;
+  while (start < list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(start, comma - start);
+    start = comma + 1;
+    if (!token.empty()) {
+      values.push_back(static_cast<uint32_t>(std::stoul(token)));
+    }
+  }
+  if (values.empty()) values.push_back(1);
+  return values;
+}
+
+/// Bit-exact report equality on everything the pipeline guarantees to be
+/// deterministic (NOT the timing fields).
+bool ReportsIdentical(const csj::pipeline::PipelineReport& x,
+                      const csj::pipeline::PipelineReport& y) {
+  if (x.entries.size() != y.entries.size() || x.screened != y.screened ||
+      x.refined != y.refined || x.inadmissible != y.inadmissible ||
+      x.bound_pruned != y.bound_pruned) {
+    return false;
+  }
+  for (size_t i = 0; i < x.entries.size(); ++i) {
+    const auto& ex = x.entries[i];
+    const auto& ey = y.entries[i];
+    if (ex.candidate_index != ey.candidate_index ||
+        ex.candidate_name != ey.candidate_name || ex.refined != ey.refined ||
+        std::memcmp(&ex.screened_similarity, &ey.screened_similarity,
+                    sizeof(double)) != 0 ||
+        std::memcmp(&ex.refined_similarity, &ey.refined_similarity,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   csj::util::Flags flags;
@@ -34,6 +86,12 @@ int main(int argc, char** argv) {
   flags.Define("candidates", "24", "catalog size");
   flags.Define("threshold", "0.15", "interesting-similarity threshold");
   flags.Define("seed", "2024", "dataset seed");
+  flags.Define("pipeline_threads", "1,2,4,8",
+               "comma list of pipeline_threads settings for the all-pairs "
+               "sweep");
+  flags.Define("allpairs", "12",
+               "communities in the all-pairs sweep (0 disables part 2)");
+  flags.Define("json", "", "write the results as JSON to this path");
   if (!flags.Parse(argc, argv)) return 1;
   const auto size = static_cast<uint32_t>(flags.GetInt("size"));
   const auto num_candidates = static_cast<uint32_t>(flags.GetInt("candidates"));
@@ -126,5 +184,120 @@ int main(int argc, char** argv) {
       "\nAll three arms report the same %zu above-threshold communities: "
       "%s\n",
       exact_winners.size(), agree ? "YES" : "NO (investigate!)");
-  return agree ? 0 : 1;
+
+  // ---- Part 2: the cross-couple parallelism sweep -----------------------
+  const auto allpairs =
+      std::min(static_cast<uint32_t>(flags.GetInt("allpairs")),
+               num_candidates);
+  const std::vector<uint32_t> thread_settings =
+      ParseThreadList(flags.GetString("pipeline_threads"));
+
+  struct SweepPoint {
+    uint32_t threads = 0;
+    double seconds = 0.0;
+    double speedup = 1.0;
+    bool identical = true;
+  };
+  std::vector<SweepPoint> sweep;
+  bool all_identical = true;
+
+  if (allpairs >= 2) {
+    std::vector<const csj::Community*> communities(
+        candidates.begin(), candidates.begin() + allpairs);
+    csj::pipeline::PipelineOptions options;
+    options.screen_method = csj::Method::kApSuperEgo;
+    options.refine_method = csj::Method::kExMinMax;
+    // Refine every couple: the catalog's planted similarity is against
+    // the pivot, so pairwise similarities sit below the ablation
+    // threshold and a real threshold would leave the (expensive,
+    // scheduling-interesting) refine phase idle.
+    options.screen_threshold = 0.0;
+    options.join = join;
+    options.join.superego_norm_max = csj::data::kVkMaxCounter;
+
+    std::printf(
+        "\nAll-pairs screening (%u communities, %u couples) by "
+        "pipeline_threads:\n",
+        allpairs, allpairs * (allpairs - 1) / 2);
+    csj::pipeline::PipelineReport reference;
+    double reference_seconds = 0.0;
+    for (const uint32_t threads : thread_settings) {
+      options.pipeline_threads = threads;
+      csj::util::Timer timer;
+      csj::pipeline::PipelineReport report =
+          ScreenAndRefineAllPairs(communities, options);
+      SweepPoint point;
+      point.threads = threads;
+      point.seconds = timer.Seconds();
+      if (sweep.empty()) {
+        reference = report;
+        reference_seconds = point.seconds;
+      } else {
+        point.speedup = reference_seconds / point.seconds;
+        point.identical = ReportsIdentical(reference, report);
+        all_identical = all_identical && point.identical;
+      }
+      std::printf(
+          "  threads %2u: %8s  speedup %.2fx  screened %u refined %u  "
+          "report %s\n",
+          point.threads, csj::util::SecondsCell(point.seconds).c_str(),
+          point.speedup, report.screened, report.refined,
+          point.identical ? "identical" : "DIVERGED (investigate!)");
+      sweep.push_back(point);
+    }
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    csj::util::JsonWriter json;
+    json.BeginObject();
+    json.Key("benchmark");
+    json.String("bench_pipeline");
+    json.Key("size");
+    json.Uint(size);
+    json.Key("candidates");
+    json.Uint(num_candidates);
+    json.Key("threshold");
+    json.Double(threshold);
+    json.Key("ablation");
+    json.BeginObject();
+    json.Key("exact_everything_seconds");
+    json.Double(exact_seconds);
+    json.Key("screen_refine_seconds");
+    json.Double(screen_report.total_seconds);
+    json.Key("bound_screen_refine_seconds");
+    json.Double(bound_report.total_seconds);
+    json.Key("winners");
+    json.Uint(exact_winners.size());
+    json.Key("arms_agree");
+    json.Bool(agree);
+    json.EndObject();
+    json.Key("allpairs_sweep");
+    json.BeginArray();
+    for (const SweepPoint& point : sweep) {
+      json.BeginObject();
+      json.Key("pipeline_threads");
+      json.Uint(point.threads);
+      json.Key("seconds");
+      json.Double(point.seconds);
+      json.Key("speedup_vs_1");
+      json.Double(point.speedup);
+      json.Key("report_identical");
+      json.Bool(point.identical);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    const std::string text = json.Take();
+    if (std::FILE* file = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(file, "%s\n", text.c_str());
+      std::fclose(file);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+
+  return agree && all_identical ? 0 : 1;
 }

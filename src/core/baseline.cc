@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/epsilon_predicate.h"
+#include "core/join_scratch.h"
 #include "matching/matcher.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -21,7 +22,9 @@ JoinResult ApBaselineJoin(const Community& b, const Community& a,
 
   const uint32_t nb = b.size();
   const uint32_t na = a.size();
-  std::vector<bool> used_a(na, false);
+  // Reused across joins: repeated screening calls stop re-allocating.
+  std::vector<uint8_t>& used_a = internal::GetJoinScratch().used_a;
+  used_a.assign(na, 0);
   uint32_t offset = 0;
   for (UserId ib = 0; ib < nb; ++ib) {
     const std::span<const Count> vb = b.User(ib);
@@ -42,7 +45,7 @@ JoinResult ApBaselineJoin(const Community& b, const Community& a,
       if (options.event_log != nullptr) options.event_log->Add(event, ib, ia);
       if (event == Event::kMatch) {
         result.pairs.push_back(MatchedPair{ib, ia});
-        used_a[ia] = true;
+        used_a[ia] = 1;
         break;  // approximate rule: first match ends this b's processing
       }
     }
@@ -91,7 +94,10 @@ JoinResult ExBaselineJoin(const Community& b, const Community& a,
         }
       });
 
-  std::vector<MatchedPair> candidates;
+  // Chunk-order merge into per-thread scratch: byte-identical to the
+  // serial run, no allocation after the first join warms the capacity.
+  std::vector<MatchedPair>& candidates = internal::GetJoinScratch().candidates;
+  candidates.clear();
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
     result.stats.Merge(chunk_stats[chunk]);
     candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/join_scratch.h"
 #include "util/logging.h"
 
 namespace csj {
@@ -24,9 +25,16 @@ Encoder::Encoder(Dim d, Epsilon eps, uint32_t parts) : d_(d), eps_(eps) {
 }
 
 std::vector<uint64_t> Encoder::PartSums(std::span<const Count> vec) const {
+  std::vector<uint64_t> sums(parts(), 0);
+  PartSumsInto(vec, sums);
+  return sums;
+}
+
+void Encoder::PartSumsInto(std::span<const Count> vec,
+                           std::span<uint64_t> sums) const {
   CSJ_CHECK_EQ(vec.size(), d_);
   const uint32_t p = parts();
-  std::vector<uint64_t> sums(p, 0);
+  CSJ_CHECK_EQ(sums.size(), p);
   for (uint32_t part = 0; part < p; ++part) {
     uint64_t sum = 0;
     for (Dim i = part_begin_[part]; i < part_begin_[part + 1]; ++i) {
@@ -34,7 +42,6 @@ std::vector<uint64_t> Encoder::PartSums(std::span<const Count> vec) const {
     }
     sums[part] = sum;
   }
-  return sums;
 }
 
 uint64_t Encoder::EncodedId(std::span<const Count> vec) const {
@@ -46,10 +53,18 @@ uint64_t Encoder::EncodedId(std::span<const Count> vec) const {
 
 void Encoder::PartRanges(std::span<const Count> vec, std::vector<uint64_t>* lo,
                          std::vector<uint64_t>* hi) const {
+  lo->assign(parts(), 0);
+  hi->assign(parts(), 0);
+  PartRangesInto(vec, *lo, *hi);
+}
+
+void Encoder::PartRangesInto(std::span<const Count> vec,
+                             std::span<uint64_t> lo,
+                             std::span<uint64_t> hi) const {
   CSJ_CHECK_EQ(vec.size(), d_);
   const uint32_t p = parts();
-  lo->assign(p, 0);
-  hi->assign(p, 0);
+  CSJ_CHECK_EQ(lo.size(), p);
+  CSJ_CHECK_EQ(hi.size(), p);
   for (uint32_t part = 0; part < p; ++part) {
     uint64_t sum_lo = 0;
     uint64_t sum_hi = 0;
@@ -57,23 +72,23 @@ void Encoder::PartRanges(std::span<const Count> vec, std::vector<uint64_t>* lo,
       sum_lo += vec[i] >= eps_ ? vec[i] - eps_ : 0;
       sum_hi += static_cast<uint64_t>(vec[i]) + eps_;
     }
-    (*lo)[part] = sum_lo;
-    (*hi)[part] = sum_hi;
+    lo[part] = sum_lo;
+    hi[part] = sum_hi;
   }
 }
 
 namespace {
 
-/// Sort permutation of 0..n-1 by (key[i], i): stable within equal keys so
-/// traces are deterministic.
-std::vector<uint32_t> SortPermutation(const std::vector<uint64_t>& keys) {
-  std::vector<uint32_t> perm(keys.size());
-  std::iota(perm.begin(), perm.end(), 0u);
-  std::sort(perm.begin(), perm.end(), [&](uint32_t x, uint32_t y) {
+/// Sort permutation of 0..n-1 by (key[i], i) into `perm`: stable within
+/// equal keys so traces are deterministic.
+void SortPermutationInto(const std::vector<uint64_t>& keys,
+                         std::vector<uint32_t>* perm) {
+  perm->resize(keys.size());
+  std::iota(perm->begin(), perm->end(), 0u);
+  std::sort(perm->begin(), perm->end(), [&](uint32_t x, uint32_t y) {
     if (keys[x] != keys[y]) return keys[x] < keys[y];
     return x < y;
   });
-  return perm;
 }
 
 }  // namespace
@@ -81,11 +96,17 @@ std::vector<uint32_t> SortPermutation(const std::vector<uint64_t>& keys) {
 EncodedB::EncodedB(const Community& b, const Encoder& encoder)
     : parts_(encoder.parts()) {
   const uint32_t n = b.size();
-  std::vector<uint64_t> unsorted_ids(n);
+  // The unsorted keys and the permutation are per-thread scratch; the
+  // per-user part sums are written straight into the sorted flat buffer,
+  // so building Encd_B performs no per-user allocation.
+  internal::JoinScratch& scratch = internal::GetJoinScratch();
+  std::vector<uint64_t>& unsorted_ids = scratch.keys;
+  unsorted_ids.resize(n);
   for (UserId u = 0; u < n; ++u) {
     unsorted_ids[u] = encoder.EncodedId(b.User(u));
   }
-  const std::vector<uint32_t> perm = SortPermutation(unsorted_ids);
+  SortPermutationInto(unsorted_ids, &scratch.perm);
+  const std::vector<uint32_t>& perm = scratch.perm;
 
   ids_.resize(n);
   real_.resize(n);
@@ -94,35 +115,43 @@ EncodedB::EncodedB(const Community& b, const Encoder& encoder)
     const UserId u = perm[i];
     ids_[i] = unsorted_ids[u];
     real_[i] = u;
-    const std::vector<uint64_t> sums = encoder.PartSums(b.User(u));
-    std::copy(sums.begin(), sums.end(),
-              sums_.begin() + static_cast<size_t>(i) * parts_);
+    encoder.PartSumsInto(
+        b.User(u),
+        {sums_.data() + static_cast<size_t>(i) * parts_, parts_});
   }
 }
 
 EncodedA::EncodedA(const Community& a, const Encoder& encoder)
     : parts_(encoder.parts()) {
   const uint32_t n = a.size();
-  std::vector<uint64_t> unsorted_mins(n);
-  std::vector<uint64_t> unsorted_maxs(n);
-  std::vector<uint64_t> unsorted_lo(static_cast<size_t>(n) * parts_);
-  std::vector<uint64_t> unsorted_hi(static_cast<size_t>(n) * parts_);
-  std::vector<uint64_t> lo;
-  std::vector<uint64_t> hi;
+  // Unsorted temporaries live in per-thread scratch (keys = encoded
+  // mins, sums = encoded maxs); the per-user ranges are encoded straight
+  // into the unsorted flat buffers.
+  internal::JoinScratch& scratch = internal::GetJoinScratch();
+  std::vector<uint64_t>& unsorted_mins = scratch.keys;
+  std::vector<uint64_t>& unsorted_maxs = scratch.sums;
+  std::vector<uint64_t>& unsorted_lo = scratch.lo;
+  std::vector<uint64_t>& unsorted_hi = scratch.hi;
+  unsorted_mins.resize(n);
+  unsorted_maxs.resize(n);
+  unsorted_lo.resize(static_cast<size_t>(n) * parts_);
+  unsorted_hi.resize(static_cast<size_t>(n) * parts_);
   for (UserId u = 0; u < n; ++u) {
-    encoder.PartRanges(a.User(u), &lo, &hi);
+    const size_t offset = static_cast<size_t>(u) * parts_;
+    const std::span<uint64_t> lo{unsorted_lo.data() + offset, parts_};
+    const std::span<uint64_t> hi{unsorted_hi.data() + offset, parts_};
+    encoder.PartRangesInto(a.User(u), lo, hi);
     uint64_t min_sum = 0;
     uint64_t max_sum = 0;
     for (uint32_t p = 0; p < parts_; ++p) {
       min_sum += lo[p];
       max_sum += hi[p];
-      unsorted_lo[static_cast<size_t>(u) * parts_ + p] = lo[p];
-      unsorted_hi[static_cast<size_t>(u) * parts_ + p] = hi[p];
     }
     unsorted_mins[u] = min_sum;
     unsorted_maxs[u] = max_sum;
   }
-  const std::vector<uint32_t> perm = SortPermutation(unsorted_mins);
+  SortPermutationInto(unsorted_mins, &scratch.perm);
+  const std::vector<uint32_t>& perm = scratch.perm;
 
   mins_.resize(n);
   maxs_.resize(n);

@@ -48,12 +48,23 @@ class Encoder {
   /// Part sums of one vector (size == parts()).
   std::vector<uint64_t> PartSums(std::span<const Count> vec) const;
 
+  /// Allocation-free form of PartSums: writes exactly parts() entries
+  /// into `sums`. The encoded-buffer builders call this once per user, so
+  /// it must not allocate.
+  void PartSumsInto(std::span<const Count> vec,
+                    std::span<uint64_t> sums) const;
+
   /// encoded_id == sum of all counters.
   uint64_t EncodedId(std::span<const Count> vec) const;
 
   /// Per-part range endpoints of one vector; lo/hi get parts() entries.
   void PartRanges(std::span<const Count> vec, std::vector<uint64_t>* lo,
                   std::vector<uint64_t>* hi) const;
+
+  /// Allocation-free form of PartRanges: writes exactly parts() entries
+  /// into each span.
+  void PartRangesInto(std::span<const Count> vec, std::span<uint64_t> lo,
+                      std::span<uint64_t> hi) const;
 
  private:
   Dim d_;

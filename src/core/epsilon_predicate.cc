@@ -1,0 +1,63 @@
+#include "core/epsilon_predicate.h"
+
+// Function multiversioning for the hottest kernel in the system: the
+// compiler emits one clone of EpsilonMatches per listed ISA and an ifunc
+// resolver picks the widest one the CPU supports when the binary loads.
+// The portable baseline build is untouched — no -march flags change —
+// yet machines with AVX2/AVX-512 run 8/16-lane packed min/max.
+//
+// Gated to x86-64 ELF GNU toolchains (ifunc needs ELF + glibc-style
+// resolution) and disabled under ThreadSanitizer, whose early interposer
+// does not get along with load-time ifunc resolvers.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(__SANITIZE_THREAD__)
+#define CSJ_EPSILON_CLONES \
+  __attribute__((target_clones("default", "sse4.2", "avx2", "avx512f")))
+#else
+#define CSJ_EPSILON_CLONES
+#endif
+
+namespace csj {
+
+CSJ_EPSILON_CLONES
+bool EpsilonMatches(std::span<const Count> b, std::span<const Count> a,
+                    Epsilon eps) {
+  const size_t d = b.size();
+  const Count* pb = b.data();
+  const Count* pa = a.data();
+  size_t i = 0;
+  // Super-blocks: branchless interior (vectorizes), one reduce + test per
+  // kEpsilonSuperBlock dimensions.
+  for (; i + kEpsilonSuperBlock <= d; i += kEpsilonSuperBlock) {
+    Count worst = 0;
+    for (size_t k = 0; k < kEpsilonSuperBlock; ++k) {
+      const Count x = pb[i + k];
+      const Count y = pa[i + k];
+      const Count diff = x > y ? x - y : y - x;  // branchless: max - min
+      worst = diff > worst ? diff : worst;
+    }
+    if (worst > eps) return false;
+  }
+  // Remaining whole kEpsilonBlock blocks, accumulated under one test.
+  // `blocked - i` is a multiple of kEpsilonBlock, so the vectorized main
+  // loop covers it with no epilogue iterations at runtime.
+  const size_t blocked = d - (d - i) % kEpsilonBlock;
+  Count worst = 0;
+  for (; i < blocked; ++i) {
+    const Count x = pb[i];
+    const Count y = pa[i];
+    const Count diff = x > y ? x - y : y - x;
+    worst = diff > worst ? diff : worst;
+  }
+  if (worst > eps) return false;
+  // Scalar tail: d mod kEpsilonBlock dimensions.
+  for (; i < d; ++i) {
+    const Count x = pb[i];
+    const Count y = pa[i];
+    const Count diff = x > y ? x - y : y - x;
+    worst = diff > worst ? diff : worst;
+  }
+  return worst <= eps;
+}
+
+}  // namespace csj

@@ -5,6 +5,7 @@
 
 #include "core/encoding.h"
 #include "core/epsilon_predicate.h"
+#include "core/join_scratch.h"
 #include "core/leaf_tasks.h"
 #include "ego/dimension_reorder.h"
 #include "ego/ego_join.h"
@@ -84,27 +85,25 @@ HybridPrepared PrepareHybrid(const Community& b, const Community& a,
     for (uint32_t row = 0; row < nb; ++row) {
       const std::span<const Count> vec = prep.b.Row(row);
       prep.b_id[row] = encoder.EncodedId(vec);
-      const std::vector<uint64_t> sums = encoder.PartSums(vec);
-      std::copy(sums.begin(), sums.end(),
-                prep.b_sums.begin() + static_cast<size_t>(row) * prep.parts);
+      encoder.PartSumsInto(
+          vec, {prep.b_sums.data() + static_cast<size_t>(row) * prep.parts,
+                prep.parts});
     }
     const uint32_t na = prep.a.size();
     prep.a_min.resize(na);
     prep.a_max.resize(na);
     prep.a_lo.resize(static_cast<size_t>(na) * prep.parts);
     prep.a_hi.resize(static_cast<size_t>(na) * prep.parts);
-    std::vector<uint64_t> lo;
-    std::vector<uint64_t> hi;
     for (uint32_t row = 0; row < na; ++row) {
-      encoder.PartRanges(prep.a.Row(row), &lo, &hi);
+      const size_t offset = static_cast<size_t>(row) * prep.parts;
+      const std::span<uint64_t> lo{prep.a_lo.data() + offset, prep.parts};
+      const std::span<uint64_t> hi{prep.a_hi.data() + offset, prep.parts};
+      encoder.PartRangesInto(prep.a.Row(row), lo, hi);
       uint64_t min_sum = 0;
       uint64_t max_sum = 0;
-      const size_t offset = static_cast<size_t>(row) * prep.parts;
       for (uint32_t p = 0; p < prep.parts; ++p) {
         min_sum += lo[p];
         max_sum += hi[p];
-        prep.a_lo[offset + p] = lo[p];
-        prep.a_hi[offset + p] = hi[p];
       }
       prep.a_min[row] = min_sum;
       prep.a_max[row] = max_sum;
@@ -125,8 +124,12 @@ JoinResult ApMinMaxEgoJoin(const Community& b, const Community& a,
   const HybridPrepared prep = PrepareHybrid(b, a, options);
   const bool use_filter = options.hybrid_encoded_leaf;
   const Epsilon eps = options.eps;
-  std::vector<bool> matched_b(prep.b.size(), false);
-  std::vector<bool> used_a(prep.a.size(), false);
+  // Match flags live in per-thread scratch, reused across joins.
+  internal::JoinScratch& scratch = internal::GetJoinScratch();
+  std::vector<uint8_t>& matched_b = scratch.matched_b;
+  std::vector<uint8_t>& used_a = scratch.used_a;
+  matched_b.assign(prep.b.size(), 0);
+  used_a.assign(prep.a.size(), 0);
 
   ego::EgoStats ego_stats;
   ego::EgoJoin(
@@ -144,8 +147,8 @@ JoinResult ApMinMaxEgoJoin(const Community& b, const Community& a,
             const bool match = EpsilonMatches(vb, prep.a.Row(ra), eps);
             result.stats.Count(match ? Event::kMatch : Event::kNoMatch);
             if (match) {
-              matched_b[rb] = true;
-              used_a[ra] = true;
+              matched_b[rb] = 1;
+              used_a[ra] = 1;
               result.pairs.push_back(
                   MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
               break;
@@ -205,7 +208,10 @@ JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
         }
       });
 
-  std::vector<MatchedPair> candidates;
+  // Chunk-order merge into per-thread scratch (serial-identical, and the
+  // buffer's capacity survives across joins).
+  std::vector<MatchedPair>& candidates = internal::GetJoinScratch().candidates;
+  candidates.clear();
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
     result.stats.Merge(chunk_stats[chunk]);
     candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),

@@ -1,0 +1,58 @@
+#ifndef CSJ_CORE_JOIN_SCRATCH_H_
+#define CSJ_CORE_JOIN_SCRATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join_result.h"
+
+namespace csj {
+namespace internal {
+
+/// Reusable per-thread temporaries for the join hot paths.
+///
+/// Every join method executes on exactly one thread (the pipeline's
+/// cross-couple parallelism hands each couple to one worker; the
+/// intra-join ParallelFor bodies use chunk-local buffers, never this),
+/// so a thread_local instance is race-free and lets repeated joins reuse
+/// capacity instead of re-allocating their bookkeeping vectors on every
+/// call — the dominant constant cost when screening thousands of small
+/// couples.
+///
+/// Discipline: a field is borrowed for the duration of ONE join and must
+/// not be live across a nested use of the same field. Each join method
+/// touches a disjoint set of fields at any moment (used/matched flags,
+/// the candidate-edge buffers, the encoder temporaries), which keeps the
+/// sharing safe even when a join builds encoders mid-flight.
+struct JoinScratch {
+  /// A-side / B-side "already matched" flags (uint8_t, not vector<bool>:
+  /// byte stores are cheaper than bit RMW in the scan inner loops).
+  std::vector<uint8_t> used_a;
+  std::vector<uint8_t> matched_b;
+
+  /// Ex-MinMax's open segment and the exact methods' merged candidate
+  /// edge list (cleared per join, capacity retained).
+  std::vector<MatchedPair> segment;
+  std::vector<MatchedPair> candidates;
+
+  /// Encoder temporaries: per-user part sums / range endpoints and the
+  /// sort keys + permutation used to order encoded buffers.
+  std::vector<uint64_t> sums;
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  std::vector<uint64_t> keys;
+  std::vector<uint32_t> perm;
+};
+
+/// The calling thread's scratch. Never hold the reference across a point
+/// where the same thread may start another join (e.g. across a nested
+/// RunMethod call) while still using a field the other join also uses.
+inline JoinScratch& GetJoinScratch() {
+  thread_local JoinScratch scratch;
+  return scratch;
+}
+
+}  // namespace internal
+}  // namespace csj
+
+#endif  // CSJ_CORE_JOIN_SCRATCH_H_

@@ -5,6 +5,7 @@
 
 #include "core/encoding.h"
 #include "core/epsilon_predicate.h"
+#include "core/join_scratch.h"
 #include "matching/matcher.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -38,7 +39,9 @@ JoinResult ApMinMaxJoin(const Community& b, const Community& a,
   const uint32_t nb = encd_b.size();
   const uint32_t na = encd_a.size();
 
-  std::vector<bool> used_a(na, false);
+  // Reused across joins: repeated screening calls stop re-allocating.
+  std::vector<uint8_t>& used_a = internal::GetJoinScratch().used_a;
+  used_a.assign(na, 0);
   uint32_t offset = 0;
   for (uint32_t ib = 0; ib < nb; ++ib) {
     const uint64_t id = encd_b.encoded_id(ib);
@@ -68,7 +71,7 @@ JoinResult ApMinMaxJoin(const Community& b, const Community& a,
           Emit(Event::kMatch, real_b, real_a, &result.stats,
                options.event_log);
           result.pairs.push_back(MatchedPair{real_b, real_a});
-          used_a[ia] = true;
+          used_a[ia] = 1;
           break;  // approximate rule: first match ends this b
         }
         Emit(Event::kNoMatch, real_b, real_a, &result.stats,
@@ -101,8 +104,10 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
   const uint32_t na = encd_a.size();
 
   // Open segment: candidate edges (original ids) plus maxV, the largest
-  // encoded_max over the A users those edges touch.
-  std::vector<MatchedPair> segment;
+  // encoded_max over the A users those edges touch. The segment buffer is
+  // per-thread scratch so repeated joins reuse its capacity.
+  std::vector<MatchedPair>& segment = internal::GetJoinScratch().segment;
+  segment.clear();
   uint64_t max_v = 0;
 
   auto flush_segment = [&]() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/join_scratch.h"
 #include "core/leaf_tasks.h"
 #include "ego/dimension_reorder.h"
 #include "ego/ego_join.h"
@@ -65,8 +66,13 @@ JoinResult ApSuperEgoJoin(const Community& b, const Community& a,
   result.size_b = b.size();
 
   const Prepared prep = PrepareSuperEgo(b, a, options);
-  std::vector<bool> matched_b(prep.b.size(), false);
-  std::vector<bool> used_a(prep.a.size(), false);
+  // Match flags live in per-thread scratch: repeated screening joins
+  // reuse their capacity instead of re-allocating.
+  internal::JoinScratch& scratch = internal::GetJoinScratch();
+  std::vector<uint8_t>& matched_b = scratch.matched_b;
+  std::vector<uint8_t>& used_a = scratch.used_a;
+  matched_b.assign(prep.b.size(), 0);
+  used_a.assign(prep.a.size(), 0);
 
   ego::EgoStats ego_stats;
   const float eps_norm = prep.b.eps_norm;
@@ -82,8 +88,8 @@ JoinResult ApSuperEgoJoin(const Community& b, const Community& a,
                 ego::EpsMatchesFloat(vb, prep.a.Row(ra), eps_norm);
             result.stats.Count(match ? Event::kMatch : Event::kNoMatch);
             if (match) {
-              matched_b[rb] = true;
-              used_a[ra] = true;
+              matched_b[rb] = 1;
+              used_a[ra] = 1;
               result.pairs.push_back(
                   MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
               break;  // Ap-Baseline leaf rule: first match ends this b
@@ -141,7 +147,10 @@ JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
         }
       });
 
-  std::vector<MatchedPair> candidates;
+  // Chunk-order merge into per-thread scratch (serial-identical, and the
+  // buffer's capacity survives across joins).
+  std::vector<MatchedPair>& candidates = internal::GetJoinScratch().candidates;
+  candidates.clear();
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
     result.stats.Merge(chunk_stats[chunk]);
     candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),

@@ -1,10 +1,13 @@
 #include "pipeline/screening.h"
 
 #include <algorithm>
+#include <numeric>
+#include <utility>
 
 #include "core/similarity.h"
 #include "core/similarity_bound.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace csj::pipeline {
@@ -13,6 +16,57 @@ namespace {
 
 /// Outcome of attempting to screen one couple.
 enum class ScreenOutcome { kInadmissible, kBoundPruned, kScreened };
+
+/// One candidate couple, enumerated up front so the screen phase can
+/// process couples in any order while reporting stays in candidate order.
+struct CoupleTask {
+  const Community* x = nullptr;
+  const Community* y = nullptr;
+  uint32_t candidate_index = 0;
+  std::string candidate_name;
+};
+
+/// The screen phase's per-couple output slot, indexed like the tasks.
+struct ScreenSlot {
+  ScreenOutcome outcome = ScreenOutcome::kInadmissible;
+  PipelineEntry entry;
+};
+
+/// Scheduling cost proxy: a couple's join work grows with the product of
+/// its sides (quadratic methods) and is monotone in it for the rest.
+uint64_t CoupleCost(const CoupleTask& task) {
+  return static_cast<uint64_t>(task.x->size()) *
+         std::max<uint32_t>(task.y->size(), 1);
+}
+
+/// Indices of `tasks`, most expensive first (ties: candidate order).
+/// Couple sizes vary wildly in real catalogs; starting the giants first
+/// lets the cheap couples backfill idle workers instead of a giant
+/// landing last and serializing the tail.
+std::vector<uint32_t> LargestFirstOrder(const std::vector<CoupleTask>& tasks) {
+  std::vector<uint32_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t l, uint32_t r) {
+    return CoupleCost(tasks[l]) > CoupleCost(tasks[r]);
+  });
+  return order;
+}
+
+/// Runs body(order[k]) for every k — serially in that order when
+/// pipeline_threads <= 1, else on the persistent pool with work items
+/// claimed dynamically in `order`'s sequence.
+void RunCoupleTasks(const PipelineOptions& options,
+                    const std::vector<uint32_t>& order,
+                    const std::function<void(uint32_t)>& body) {
+  if (options.pipeline_threads <= 1 || order.size() <= 1) {
+    for (const uint32_t index : order) body(index);
+    return;
+  }
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::Global();
+  pool.Run(static_cast<uint32_t>(order.size()),
+           [&](uint32_t k) { body(order[k]); }, options.pipeline_threads);
+}
 
 /// Screens one ordered couple (after the optional upper-bound gate).
 ScreenOutcome ScreenCouple(const Community& x, const Community& y,
@@ -38,7 +92,9 @@ ScreenOutcome ScreenCouple(const Community& x, const Community& y,
 }
 
 /// Runs the exact phase over the survivors (already screened entries) and
-/// sorts the final ranking.
+/// sorts the final ranking. Survivor selection, aggregation and the sort
+/// are serial and depend only on the entries, so the ranking is
+/// byte-identical for every pipeline_threads.
 void RefineAndRank(
     const std::vector<std::pair<const Community*, const Community*>>& couples,
     const PipelineOptions& options, PipelineReport* report) {
@@ -57,16 +113,33 @@ void RefineAndRank(
     survivors.resize(options.refine_top_k);
   }
 
-  for (const size_t index : survivors) {
-    PipelineEntry& entry = report->entries[index];
-    const auto& [x, y] = couples[index];
+  // Refine concurrently, most expensive couple first; each survivor owns
+  // its entry slot, so writes never race.
+  std::vector<uint32_t> order(survivors.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t l, uint32_t r) {
+    const auto cost = [&](uint32_t s) {
+      const auto& [x, y] = couples[survivors[s]];
+      return static_cast<uint64_t>(x->size()) *
+             std::max<uint32_t>(y->size(), 1);
+    };
+    return cost(l) > cost(r);
+  });
+  RunCoupleTasks(options, order, [&](uint32_t s) {
+    PipelineEntry& entry = report->entries[survivors[s]];
+    const auto& [x, y] = couples[survivors[s]];
     const auto refined = ComputeSimilarityAutoOrder(options.refine_method,
                                                     *x, *y, options.join);
     CSJ_CHECK(refined.has_value());  // admissibility already screened
     entry.refined = true;
     entry.refined_similarity = refined->Similarity();
     entry.refine_seconds = refined->stats.seconds;
-    ++report->refined;
+  });
+
+  // Aggregate in survivor order: deterministic counters and timing sums.
+  report->refined += static_cast<uint32_t>(survivors.size());
+  for (const size_t index : survivors) {
+    report->refine_seconds += report->entries[index].refine_seconds;
   }
 
   std::sort(report->entries.begin(), report->entries.end(),
@@ -78,34 +151,42 @@ void RefineAndRank(
             });
 }
 
-}  // namespace
-
-PipelineReport ScreenAndRefine(const Community& pivot,
-                               const std::vector<const Community*>& candidates,
-                               const PipelineOptions& options) {
+/// The shared engine behind both entry points: screen every couple
+/// (concurrently when asked), aggregate in candidate order, refine the
+/// survivors, rank.
+PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
+                                   const PipelineOptions& options) {
   util::Timer timer;
   PipelineReport report;
-  std::vector<std::pair<const Community*, const Community*>> couples;
+  const auto num_tasks = static_cast<uint32_t>(tasks.size());
 
-  for (uint32_t i = 0; i < candidates.size(); ++i) {
-    const Community* candidate = candidates[i];
-    CSJ_CHECK(candidate != nullptr);
-    PipelineEntry entry;
-    entry.candidate_index = i;
-    entry.candidate_name = candidate->name();
-    switch (ScreenCouple(pivot, *candidate, options, &entry)) {
+  std::vector<ScreenSlot> slots(num_tasks);
+  RunCoupleTasks(options, LargestFirstOrder(tasks), [&](uint32_t i) {
+    CoupleTask& task = tasks[i];
+    ScreenSlot& slot = slots[i];
+    slot.entry.candidate_index = task.candidate_index;
+    slot.entry.candidate_name = std::move(task.candidate_name);
+    slot.outcome = ScreenCouple(*task.x, *task.y, options, &slot.entry);
+  });
+
+  // Aggregation walks the slots in candidate order, reproducing the
+  // serial pipeline's counters, entry order and timing sums exactly.
+  std::vector<std::pair<const Community*, const Community*>> couples;
+  for (uint32_t i = 0; i < num_tasks; ++i) {
+    switch (slots[i].outcome) {
       case ScreenOutcome::kInadmissible:
         ++report.inadmissible;
-        continue;
+        break;
       case ScreenOutcome::kBoundPruned:
         ++report.bound_pruned;
-        continue;
+        break;
       case ScreenOutcome::kScreened:
+        ++report.screened;
+        report.screen_seconds += slots[i].entry.screen_seconds;
+        report.entries.push_back(std::move(slots[i].entry));
+        couples.emplace_back(tasks[i].x, tasks[i].y);
         break;
     }
-    ++report.screened;
-    report.entries.push_back(std::move(entry));
-    couples.emplace_back(&pivot, candidate);
   }
 
   RefineAndRank(couples, options, &report);
@@ -113,41 +194,36 @@ PipelineReport ScreenAndRefine(const Community& pivot,
   return report;
 }
 
+}  // namespace
+
+PipelineReport ScreenAndRefine(const Community& pivot,
+                               const std::vector<const Community*>& candidates,
+                               const PipelineOptions& options) {
+  std::vector<CoupleTask> tasks;
+  tasks.reserve(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    const Community* candidate = candidates[i];
+    CSJ_CHECK(candidate != nullptr);
+    tasks.push_back(CoupleTask{&pivot, candidate, i, candidate->name()});
+  }
+  return ScreenRefineCouples(std::move(tasks), options);
+}
+
 PipelineReport ScreenAndRefineAllPairs(
     const std::vector<const Community*>& communities,
     const PipelineOptions& options) {
-  util::Timer timer;
-  PipelineReport report;
-  std::vector<std::pair<const Community*, const Community*>> couples;
   const auto n = static_cast<uint32_t>(communities.size());
-
+  std::vector<CoupleTask> tasks;
+  tasks.reserve(n == 0 ? 0 : static_cast<size_t>(n) * (n - 1) / 2);
   for (uint32_t i = 0; i < n; ++i) {
     CSJ_CHECK(communities[i] != nullptr);
     for (uint32_t j = i + 1; j < n; ++j) {
-      PipelineEntry entry;
-      entry.candidate_index = i * n + j;
-      entry.candidate_name =
-          communities[i]->name() + " | " + communities[j]->name();
-      switch (
-          ScreenCouple(*communities[i], *communities[j], options, &entry)) {
-        case ScreenOutcome::kInadmissible:
-          ++report.inadmissible;
-          continue;
-        case ScreenOutcome::kBoundPruned:
-          ++report.bound_pruned;
-          continue;
-        case ScreenOutcome::kScreened:
-          break;
-      }
-      ++report.screened;
-      report.entries.push_back(std::move(entry));
-      couples.emplace_back(communities[i], communities[j]);
+      tasks.push_back(CoupleTask{
+          communities[i], communities[j], i * n + j,
+          communities[i]->name() + " | " + communities[j]->name()});
     }
   }
-
-  RefineAndRank(couples, options, &report);
-  report.total_seconds = timer.Seconds();
-  return report;
+  return ScreenRefineCouples(std::move(tasks), options);
 }
 
 void DecodePairIndex(uint32_t candidate_index, uint32_t n, uint32_t* i,

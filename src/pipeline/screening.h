@@ -9,6 +9,10 @@
 #include "core/join_options.h"
 #include "core/method.h"
 
+namespace csj::util {
+class ThreadPool;
+}  // namespace csj::util
+
 namespace csj::pipeline {
 
 /// The paper's two-phase usage of CSJ (§3): "the usage of approximate
@@ -38,6 +42,19 @@ struct PipelineOptions {
   /// phase: the bound dominates the exact similarity.
   bool use_upper_bound_prune = true;
 
+  /// Couples processed concurrently in the screen and refine phases.
+  /// 1 (the default) runs the pipeline serially with no pool
+  /// interaction. N > 1 executes independent couples on the persistent
+  /// thread pool, scheduled LARGEST-COUPLE-FIRST so one skewed giant
+  /// couple cannot serialize the tail. Any value produces byte-identical
+  /// reports: every couple computes the same similarity in isolation and
+  /// aggregation happens in candidate order (see docs/API.md,
+  /// "Execution & parallelism").
+  uint32_t pipeline_threads = 1;
+
+  /// Pool override for tests/embedders; null = ThreadPool::Global().
+  util::ThreadPool* pool = nullptr;
+
   /// Join parameters shared by both phases.
   JoinOptions join;
 };
@@ -65,7 +82,13 @@ struct PipelineReport {
   uint32_t refined = 0;                ///< candidates exactly recomputed
   uint32_t inadmissible = 0;           ///< rejected by the CSJ size rule
   uint32_t bound_pruned = 0;           ///< discarded by the upper bound
+  /// Wall-clock for the whole pipeline run.
   double total_seconds = 0.0;
+  /// Sums of the per-entry join times, accumulated in candidate order
+  /// (deterministic). These are thread-seconds: with pipeline_threads > 1
+  /// they can exceed total_seconds — that surplus IS the parallel win.
+  double screen_seconds = 0.0;
+  double refine_seconds = 0.0;
 };
 
 /// Compares `pivot` against every candidate (the brand-recommendation

@@ -1,10 +1,9 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <thread>
-#include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace csj::util {
 
@@ -15,29 +14,39 @@ uint32_t ParallelChunks(uint32_t begin, uint32_t end, uint32_t threads) {
 
 void ParallelFor(uint32_t begin, uint32_t end, uint32_t threads,
                  const std::function<void(uint32_t, uint32_t, uint32_t)>&
-                     body) {
+                     body,
+                 ThreadPool* pool) {
   const uint32_t chunks = ParallelChunks(begin, end, threads);
   if (chunks == 0) return;
-  const uint32_t total = end - begin;
   if (chunks == 1) {
     body(begin, end, 0);
     return;
   }
 
+  // The same partition the per-call-thread implementation used: the first
+  // `extra` chunks carry one extra element, computed arithmetically so a
+  // chunk's bounds depend only on its index.
+  const uint32_t total = end - begin;
   const uint32_t base = total / chunks;
   const uint32_t extra = total % chunks;
-  std::vector<std::thread> workers;
-  workers.reserve(chunks);
-  uint32_t chunk_begin = begin;
-  for (uint32_t c = 0; c < chunks; ++c) {
-    const uint32_t width = base + (c < extra ? 1 : 0);
-    const uint32_t chunk_end = chunk_begin + width;
-    workers.emplace_back(
-        [&body, chunk_begin, chunk_end, c]() { body(chunk_begin, chunk_end, c); });
-    chunk_begin = chunk_end;
-  }
-  CSJ_CHECK_EQ(chunk_begin, end);
-  for (std::thread& worker : workers) worker.join();
+  const auto chunk_bounds = [&](uint32_t c, uint32_t* lo, uint32_t* hi) {
+    *lo = begin + c * base + std::min(c, extra);
+    *hi = *lo + base + (c < extra ? 1 : 0);
+  };
+#ifndef NDEBUG
+  uint32_t check_lo = 0;
+  uint32_t check_hi = 0;
+  chunk_bounds(chunks - 1, &check_lo, &check_hi);
+  CSJ_CHECK_EQ(check_hi, end);
+#endif
+
+  ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::Global();
+  executor.Run(chunks, [&](uint32_t c) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    chunk_bounds(c, &lo, &hi);
+    body(lo, hi, c);
+  });
 }
 
 }  // namespace csj::util

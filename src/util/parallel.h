@@ -6,21 +6,28 @@
 
 namespace csj::util {
 
+class ThreadPool;
+
 /// Runs `body(chunk_begin, chunk_end, chunk_index)` over a static
-/// partition of [begin, end) into `threads` near-equal contiguous chunks,
-/// one std::thread per chunk (joined before returning).
+/// partition of [begin, end) into `threads` near-equal contiguous chunks.
 ///
 /// Static partitioning is deliberate: each chunk's output can be kept in
 /// a chunk-local buffer and concatenated in chunk order afterwards, so a
 /// parallel run produces BYTE-IDENTICAL results to the serial run — the
 /// property the parallel join variants rely on (and the tests assert).
+/// The partition (chunk count and boundaries) depends only on the range
+/// and `threads`, never on the executing pool.
 ///
-/// `threads == 1` (the paper's evaluation setting) runs inline with no
-/// thread machinery at all. `threads` is clamped to the range size.
+/// Execution rides the persistent `pool` (null = ThreadPool::Global());
+/// chunks are claimed dynamically by the pool's workers, so no thread is
+/// spawned per call. `threads == 1` (the paper's evaluation setting) runs
+/// inline with no pool interaction at all. `threads` is clamped to the
+/// range size.
 void ParallelFor(uint32_t begin, uint32_t end, uint32_t threads,
                  const std::function<void(uint32_t chunk_begin,
                                           uint32_t chunk_end,
-                                          uint32_t chunk_index)>& body);
+                                          uint32_t chunk_index)>& body,
+                 ThreadPool* pool = nullptr);
 
 /// Number of chunks ParallelFor will actually use for this range.
 uint32_t ParallelChunks(uint32_t begin, uint32_t end, uint32_t threads);

@@ -1,0 +1,134 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace csj::util {
+
+namespace {
+
+/// Set while a thread is executing pool tasks; nested Run() calls detect
+/// it and degrade to an inline loop instead of deadlocking on the pool.
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  const uint32_t spawn = std::max<uint32_t>(threads, 1) - 1;
+  workers_.reserve(spawn);
+  for (uint32_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+void ThreadPool::DrainTasks(const std::function<void(uint32_t)>& body) {
+  const bool was_on_worker = t_on_worker;
+  t_on_worker = true;
+  for (;;) {
+    const uint32_t task = next_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= total_) break;
+    body(task);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      // All tasks done: wake the submitter. Lock so the notify cannot
+      // slip between its predicate check and its wait.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+  t_on_worker = was_on_worker;
+}
+
+void ThreadPool::Run(uint32_t tasks,
+                     const std::function<void(uint32_t)>& body,
+                     uint32_t parallelism) {
+  if (tasks == 0) return;
+  // Inline fast paths: single task, degenerate pool, capped-to-one jobs,
+  // and re-entrant calls from inside a pool task.
+  if (tasks == 1 || workers_.empty() || parallelism <= 1 || t_on_worker) {
+    const bool was_on_worker = t_on_worker;
+    t_on_worker = true;
+    for (uint32_t t = 0; t < tasks; ++t) body(t);
+    t_on_worker = was_on_worker;
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    total_ = tasks;
+    max_workers_ = std::min(parallelism - 1,
+                            static_cast<uint32_t>(workers_.size()));
+    joined_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  DrainTasks(body);  // the submitting thread is a full participant
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Wait for completion AND for every joined worker to leave the claim
+  // loop: a worker still inside DrainTasks must not observe the next
+  // job's reset counters through this job's body pointer.
+  done_cv_.wait(lock, [&]() {
+    return completed_.load(std::memory_order_acquire) == total_ &&
+           active_ == 0;
+  });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&]() {
+        return shutdown_ || (generation_ != seen_generation &&
+                             body_ != nullptr);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      if (joined_ >= max_workers_) continue;  // job is capped; sit out
+      ++joined_;
+      ++active_;
+      body = body_;
+    }
+    DrainTasks(*body);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+uint32_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("CSJ_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<uint32_t>(parsed);
+  }
+  return std::max<uint32_t>(std::thread::hardware_concurrency(), 1);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  return *pool;
+}
+
+}  // namespace csj::util

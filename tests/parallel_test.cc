@@ -1,17 +1,22 @@
 // Tests for the ParallelFor utility and the thread-count invariance of
-// the parallel exact methods (any thread count must reproduce the serial
-// result byte for byte).
+// the parallel execution paths: every join method and the pipeline must
+// reproduce the serial result byte for byte at any thread count.
 
 #include <atomic>
+#include <cstring>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/community.h"
+#include "core/epsilon_predicate.h"
 #include "core/method.h"
+#include "pipeline/screening.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace csj {
 namespace {
@@ -73,12 +78,16 @@ Community RandomCommunity(Dim d, uint32_t n, Count max_value, uint64_t seed) {
 }
 
 /// Any thread count must reproduce the single-thread result exactly —
-/// pairs, similarity, and comparison counters alike.
-TEST(ParallelJoinTest, ThreadCountInvariance) {
+/// pairs, similarity, and comparison counters alike — for EVERY method
+/// (the order-dependent scans ignore `threads` by design, so they pass
+/// trivially; the chunked exact methods are the real subject).
+TEST(ParallelJoinTest, ThreadCountInvarianceForEveryMethod) {
   const Community b = RandomCommunity(8, 300, 10, 1);
   const Community a = RandomCommunity(8, 350, 10, 2);
-  for (const Method method :
-       {Method::kExBaseline, Method::kExSuperEgo, Method::kExMinMaxEgo}) {
+  std::vector<Method> methods(std::begin(kAllMethods), std::end(kAllMethods));
+  methods.insert(methods.end(), std::begin(kExtensionMethods),
+                 std::end(kExtensionMethods));
+  for (const Method method : methods) {
     JoinOptions options;
     options.eps = 2;
     options.superego_threshold = 16;
@@ -97,6 +106,143 @@ TEST(ParallelJoinTest, ThreadCountInvariance) {
     }
   }
 }
+
+/// ParallelFor with threads == 1 must execute inline on the calling
+/// thread with no pool interaction (the paper's evaluation setting).
+TEST(ParallelForTest, SingleThreadRunsInlineOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  uint32_t calls = 0;
+  util::ParallelFor(0, 100, 1, [&](uint32_t lo, uint32_t hi, uint32_t c) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+    EXPECT_EQ(c, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+/// The blocked EpsilonMatches agrees with the independent Chebyshev
+/// oracle on random vectors of every size around the block width.
+TEST(EpsilonKernelTest, MatchesChebyshevOracle) {
+  util::Rng rng(42);
+  for (const Dim d : {1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 27u, 31u, 32u, 33u,
+                      40u, 64u, 100u}) {
+    for (uint32_t trial = 0; trial < 200; ++trial) {
+      std::vector<Count> x(d);
+      std::vector<Count> y(d);
+      for (Dim i = 0; i < d; ++i) {
+        x[i] = static_cast<Count>(rng.Below(8));
+        y[i] = static_cast<Count>(rng.Below(8));
+      }
+      for (const Epsilon eps : {0u, 1u, 2u, 5u, 100u}) {
+        EXPECT_EQ(EpsilonMatches(x, y, eps), ChebyshevDistance(x, y) <= eps)
+            << "d=" << d << " eps=" << eps;
+      }
+    }
+  }
+}
+
+namespace pipeline_invariance {
+
+using pipeline::PipelineOptions;
+using pipeline::PipelineReport;
+
+/// Everything the pipeline guarantees to be deterministic (timing fields
+/// excluded; similarity doubles compared bit-exactly).
+void ExpectReportsIdentical(const PipelineReport& serial,
+                            const PipelineReport& parallel,
+                            uint32_t threads) {
+  EXPECT_EQ(parallel.screened, serial.screened) << "threads=" << threads;
+  EXPECT_EQ(parallel.refined, serial.refined);
+  EXPECT_EQ(parallel.inadmissible, serial.inadmissible);
+  EXPECT_EQ(parallel.bound_pruned, serial.bound_pruned);
+  ASSERT_EQ(parallel.entries.size(), serial.entries.size());
+  for (size_t i = 0; i < serial.entries.size(); ++i) {
+    const auto& s = serial.entries[i];
+    const auto& p = parallel.entries[i];
+    EXPECT_EQ(p.candidate_index, s.candidate_index)
+        << "entry " << i << " threads=" << threads;
+    EXPECT_EQ(p.candidate_name, s.candidate_name);
+    EXPECT_EQ(p.refined, s.refined);
+    EXPECT_EQ(std::memcmp(&p.screened_similarity, &s.screened_similarity,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&p.refined_similarity, &s.refined_similarity,
+                          sizeof(double)),
+              0);
+  }
+}
+
+/// A size-skewed catalog (the scheduling-interesting shape): the pipeline
+/// report must be byte-identical at 1 and N threads, for both entry
+/// points, with and without survivors.
+TEST(ParallelPipelineTest, ReportIsThreadCountInvariant) {
+  std::vector<Community> catalog;
+  const uint32_t sizes[] = {220, 160, 300, 180, 260, 210};
+  for (uint32_t i = 0; i < 6; ++i) {
+    Community c = RandomCommunity(6, sizes[i], 6, 100 + i);
+    std::string name = "c";
+    name += std::to_string(i);
+    c.set_name(name);
+    catalog.push_back(std::move(c));
+  }
+  std::vector<const Community*> pointers;
+  for (const Community& c : catalog) pointers.push_back(&c);
+
+  for (const double threshold : {0.0, 0.35}) {
+    PipelineOptions options;
+    options.screen_method = Method::kApMinMax;
+    options.refine_method = Method::kExMinMax;
+    options.screen_threshold = threshold;
+    options.join.eps = 3;
+    options.pipeline_threads = 1;
+    const PipelineReport serial_pivot =
+        ScreenAndRefine(catalog[0], pointers, options);
+    const PipelineReport serial_pairs =
+        ScreenAndRefineAllPairs(pointers, options);
+    EXPECT_GT(serial_pairs.entries.size(), 0u);
+    for (const uint32_t threads : {2u, 4u, 9u}) {
+      options.pipeline_threads = threads;
+      ExpectReportsIdentical(serial_pivot,
+                             ScreenAndRefine(catalog[0], pointers, options),
+                             threads);
+      ExpectReportsIdentical(serial_pairs,
+                             ScreenAndRefineAllPairs(pointers, options),
+                             threads);
+    }
+  }
+}
+
+/// The injectable-pool seam: a caller-owned pool gives the same report.
+TEST(ParallelPipelineTest, InjectedPoolMatchesGlobal) {
+  std::vector<Community> catalog;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Community c = RandomCommunity(5, 150 + 20 * i, 5, 7 + i);
+    std::string name = "inj";
+    name += std::to_string(i);
+    c.set_name(name);
+    catalog.push_back(std::move(c));
+  }
+  std::vector<const Community*> pointers;
+  for (const Community& c : catalog) pointers.push_back(&c);
+
+  PipelineOptions options;
+  options.screen_method = Method::kApMinMax;
+  options.refine_method = Method::kExMinMax;
+  options.screen_threshold = 0.0;
+  options.join.eps = 2;
+  options.pipeline_threads = 1;
+  const PipelineReport serial = ScreenAndRefineAllPairs(pointers, options);
+
+  util::ThreadPool pool(3);
+  options.pool = &pool;
+  options.pipeline_threads = 3;
+  ExpectReportsIdentical(serial, ScreenAndRefineAllPairs(pointers, options),
+                         3);
+}
+
+}  // namespace pipeline_invariance
 
 TEST(ParallelJoinTest, EventLogForcesSerialExecution) {
   const Community b = RandomCommunity(3, 20, 5, 3);

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI-style ThreadSanitizer gate for the concurrency-sensitive pieces: the
+# persistent thread pool, the ParallelFor chunk merge, and the parallel
+# screening pipeline. Configures a dedicated build tree with
+# CSJ_ENABLE_TSAN=ON and runs the relevant test binaries under TSAN.
+#
+# Usage: tools/ci_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+build_dir="${1:-build-tsan}"
+
+cmake -B "${build_dir}" -S . \
+  -DCSJ_ENABLE_TSAN=ON \
+  -DCSJ_BUILD_BENCHMARKS=OFF \
+  -DCSJ_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j \
+  --target thread_pool_test parallel_test pipeline_test
+
+# halt_on_error: any race fails the gate immediately.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline'
+
+echo "TSAN gate passed."

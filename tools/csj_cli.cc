@@ -25,6 +25,7 @@
 #include "util/format.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -232,6 +233,8 @@ int RunPipeline(int argc, char** argv) {
   flags.Define("eps", "1", "per-dimension threshold");
   flags.Define("screen", "Ap-SuperEGO", "screening method");
   flags.Define("refine", "Ex-MinMax", "refinement method");
+  flags.Define("threads", "1",
+               "couples screened/refined concurrently (0 = all cores)");
   if (!flags.Parse(argc, argv)) return 1;
 
   const auto pivot = LoadAny(flags.GetString("pivot"));
@@ -272,6 +275,9 @@ int RunPipeline(int argc, char** argv) {
   options.refine_method = *refine;
   options.screen_threshold = flags.GetDouble("threshold");
   options.join.eps = static_cast<csj::Epsilon>(flags.GetInt("eps"));
+  const auto threads = static_cast<uint32_t>(flags.GetInt("threads"));
+  options.pipeline_threads =
+      threads == 0 ? csj::util::ThreadPool::DefaultThreads() : threads;
 
   std::vector<const csj::Community*> pointers;
   for (const csj::Community& c : loaded) pointers.push_back(&c);

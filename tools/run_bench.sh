@@ -1,0 +1,29 @@
+#!/bin/sh
+# Runs the pipeline benchmark (with the cross-couple parallelism sweep)
+# and the micro-kernel benchmarks, leaving machine-readable output in the
+# current directory:
+#   BENCH_pipeline.json       - ablation arms + pipeline_threads sweep
+#   BENCH_micro_kernels.json  - google-benchmark JSON for the hot kernels
+#
+# Usage: tools/run_bench.sh [build-dir]   (default: build)
+set -eu
+
+build_dir="${1:-build}"
+[ $# -ge 1 ] && shift
+if [ ! -x "${build_dir}/bench/bench_pipeline" ]; then
+  echo "error: ${build_dir}/bench/bench_pipeline not found." >&2
+  echo "Configure and build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+echo "== bench_pipeline (ablation + pipeline_threads sweep) =="
+"${build_dir}/bench/bench_pipeline" --json=BENCH_pipeline.json "$@"
+
+echo
+echo "== bench_micro_kernels (epsilon kernel, encoder, matchers) =="
+"${build_dir}/bench/bench_micro_kernels" \
+  --benchmark_out=BENCH_micro_kernels.json \
+  --benchmark_out_format=json
+
+echo
+echo "wrote BENCH_pipeline.json and BENCH_micro_kernels.json"

@@ -2,6 +2,7 @@
 // predicate, the MinMax encoder, encoded-buffer construction, EGO sort,
 // and the one-to-one matchers.
 
+#include <bit>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -112,6 +113,87 @@ BENCHMARK(BM_EpsilonPredicateAllMatchScalarRef)
     ->Arg(27)
     ->Arg(64)
     ->Arg(128);
+
+// ---- 1-vs-many batched verification ---------------------------------
+//
+// The shapes the join loops hand the batched kernel: a probe against a
+// candidate run of `n` (one SoA block, or a long dense window), at the
+// dimensionalities of the paper's datasets and beyond. The looped twin
+// calls the per-pair kernel once per candidate — the code the batched
+// path replaces — so the items/sec ratio IS the batching win.
+
+struct ManyFixture {
+  Community community;
+  csj::VerifyWindow window;
+  std::vector<std::vector<Count>> probes;
+};
+
+ManyFixture MakeManyFixture(Dim d, uint32_t n, Count max_value,
+                            uint64_t seed) {
+  ManyFixture fx{RandomCommunity(d, n, max_value, seed), {}, {}};
+  fx.window.Assign(n, d,
+                   [&](uint32_t i) { return fx.community.User(i); });
+  csj::util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  fx.probes.resize(64);
+  for (auto& probe : fx.probes) {
+    probe.resize(d);
+    for (Dim k = 0; k < d; ++k) {
+      probe[k] = static_cast<Count>(rng.Below(max_value + 1));
+    }
+  }
+  return fx;
+}
+
+void BM_EpsilonMatchesMany(benchmark::State& state) {
+  const auto d = static_cast<Dim>(state.range(0));
+  const auto n = static_cast<uint32_t>(state.range(1));
+  const Count max_value = static_cast<Count>(state.range(2));
+  const ManyFixture fx = MakeManyFixture(d, n, max_value, 11);
+  std::vector<uint64_t> mask((n + 63) / 64);
+  uint64_t survivors = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    csj::EpsilonMatchesMany(fx.probes[i++ % fx.probes.size()], fx.window, 0,
+                            n, 1, mask.data());
+    for (const uint64_t word : mask) {
+      survivors += static_cast<uint64_t>(std::popcount(word));
+    }
+  }
+  benchmark::DoNotOptimize(survivors);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_EpsilonMatchesLooped(benchmark::State& state) {
+  const auto d = static_cast<Dim>(state.range(0));
+  const auto n = static_cast<uint32_t>(state.range(1));
+  const Count max_value = static_cast<Count>(state.range(2));
+  const ManyFixture fx = MakeManyFixture(d, n, max_value, 11);
+  uint64_t survivors = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const std::span<const Count> probe = fx.probes[i++ % fx.probes.size()];
+    for (uint32_t ia = 0; ia < n; ++ia) {
+      survivors +=
+          csj::EpsilonMatches(probe, fx.community.User(ia), 1) ? 1u : 0u;
+    }
+  }
+  benchmark::DoNotOptimize(survivors);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+// Args: {d, run length, max counter}. max_value 6 is the mixed case
+// (some dims pass, most candidates eventually fail); max_value 1 with
+// eps 1 is the all-match worst case (no early exit anywhere).
+static void ManyArgs(benchmark::internal::Benchmark* bench) {
+  for (const int64_t d : {16, 27, 64, 128}) {
+    for (const int64_t run : {8, 64}) {
+      bench->Args({d, run, 6});
+      bench->Args({d, run, 1});
+    }
+  }
+}
+BENCHMARK(BM_EpsilonMatchesMany)->Apply(ManyArgs);
+BENCHMARK(BM_EpsilonMatchesLooped)->Apply(ManyArgs);
 
 void BM_EncoderEncodeOne(benchmark::State& state) {
   const Community c = RandomCommunity(27, 1024, 100, 2);

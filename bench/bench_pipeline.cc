@@ -12,11 +12,16 @@
 //                      window upper bound cannot reach the threshold.
 // All three must produce the same set of above-threshold communities.
 //
-// Part 2 — cross-couple parallelism: ScreenAndRefineAllPairs over the
-// catalog at each pipeline_threads setting in --pipeline_threads. Every
-// setting must produce a byte-identical report (entry order, indices,
-// names, similarity bits); the wall-clock ratio against 1 thread is the
-// speedup. --json writes the whole run as machine-readable JSON.
+// Part 2 — cross-couple parallelism AND encoding-cache reuse:
+// ScreenAndRefineAllPairs over the catalog, first WITHOUT a cache at one
+// thread (the reference arm), then with ONE process-wide EncodingCache
+// shared by a timed warmup run and by every pipeline_threads setting in
+// --pipeline_threads. Every run must produce a byte-identical report
+// (entry order, indices, names, similarity bits — cache/timing totals
+// excluded); the wall-clock ratio against the no-cache arm is the
+// speedup, and each point reports its cache hit rate (the post-warmup
+// sweep should sit at ~100%). --json writes the whole run as
+// machine-readable JSON, stamped with --git_sha/--build_type.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/encoding_cache.h"
 #include "core/method.h"
 #include "core/similarity.h"
 #include "data/community_sampler.h"
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
   flags.Define("allpairs", "12",
                "communities in the all-pairs sweep (0 disables part 2)");
   flags.Define("json", "", "write the results as JSON to this path");
+  flags.Define("git_sha", "", "source revision stamped into the JSON");
+  flags.Define("build_type", "", "CMake build type stamped into the JSON");
   if (!flags.Parse(argc, argv)) return 1;
   const auto size = static_cast<uint32_t>(flags.GetInt("size"));
   const auto num_candidates = static_cast<uint32_t>(flags.GetInt("candidates"));
@@ -185,7 +193,7 @@ int main(int argc, char** argv) {
       "%s\n",
       exact_winners.size(), agree ? "YES" : "NO (investigate!)");
 
-  // ---- Part 2: the cross-couple parallelism sweep -----------------------
+  // ---- Part 2: encoding-cache reuse + cross-couple parallelism ----------
   const auto allpairs =
       std::min(static_cast<uint32_t>(flags.GetInt("allpairs")),
                num_candidates);
@@ -195,11 +203,21 @@ int main(int argc, char** argv) {
   struct SweepPoint {
     uint32_t threads = 0;
     double seconds = 0.0;
-    double speedup = 1.0;
+    double speedup = 1.0;  ///< vs the no-cache single-thread arm
     bool identical = true;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+  const auto hit_rate = [](uint64_t hits, uint64_t misses) {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
   };
   std::vector<SweepPoint> sweep;
   bool all_identical = true;
+  double nocache_seconds = 0.0;
+  SweepPoint warmup;
 
   if (allpairs >= 2) {
     std::vector<const csj::Community*> communities(
@@ -216,35 +234,86 @@ int main(int argc, char** argv) {
     options.join.superego_norm_max = csj::data::kVkMaxCounter;
 
     std::printf(
-        "\nAll-pairs screening (%u communities, %u couples) by "
+        "\nAll-pairs screening (%u communities, %u couples), cache + "
         "pipeline_threads:\n",
         allpairs, allpairs * (allpairs - 1) / 2);
+
+    // Reference arm: no cache, one thread — every couple re-encodes both
+    // of its sides from scratch, as the pre-cache pipeline did.
     csj::pipeline::PipelineReport reference;
-    double reference_seconds = 0.0;
+    {
+      options.pipeline_threads = 1;
+      options.cache = nullptr;
+      csj::util::Timer timer;
+      reference = ScreenAndRefineAllPairs(communities, options);
+      nocache_seconds = timer.Seconds();
+      std::printf("  no cache, threads  1: %8s  (reference)\n",
+                  csj::util::SecondsCell(nocache_seconds).c_str());
+    }
+
+    // ONE process-wide cache serves the warmup and every thread setting:
+    // reconfiguring the sweep must not throw the encodings away, that is
+    // the entire point of content-keyed sharing.
+    csj::EncodingCache cache;
+    options.cache = &cache;
+
+    // Timed warmup: pays every build once; later runs only look up.
+    {
+      options.pipeline_threads = 1;
+      csj::util::Timer timer;
+      const csj::pipeline::PipelineReport report =
+          ScreenAndRefineAllPairs(communities, options);
+      warmup.threads = 1;
+      warmup.seconds = timer.Seconds();
+      warmup.speedup = nocache_seconds / warmup.seconds;
+      warmup.identical = ReportsIdentical(reference, report);
+      warmup.cache_hits = report.cache_hits;
+      warmup.cache_misses = report.cache_misses;
+      all_identical = all_identical && warmup.identical;
+      std::printf(
+          "  warmup,   threads  1: %8s  speedup %.2fx  hit rate %5.1f%%  "
+          "report %s\n",
+          csj::util::SecondsCell(warmup.seconds).c_str(), warmup.speedup,
+          100.0 * hit_rate(warmup.cache_hits, warmup.cache_misses),
+          warmup.identical ? "identical" : "DIVERGED (investigate!)");
+    }
+
     for (const uint32_t threads : thread_settings) {
       options.pipeline_threads = threads;
       csj::util::Timer timer;
-      csj::pipeline::PipelineReport report =
+      const csj::pipeline::PipelineReport report =
           ScreenAndRefineAllPairs(communities, options);
       SweepPoint point;
       point.threads = threads;
       point.seconds = timer.Seconds();
-      if (sweep.empty()) {
-        reference = report;
-        reference_seconds = point.seconds;
-      } else {
-        point.speedup = reference_seconds / point.seconds;
-        point.identical = ReportsIdentical(reference, report);
-        all_identical = all_identical && point.identical;
-      }
+      point.speedup = nocache_seconds / point.seconds;
+      point.identical = ReportsIdentical(reference, report);
+      point.cache_hits = report.cache_hits;
+      point.cache_misses = report.cache_misses;
+      all_identical = all_identical && point.identical;
       std::printf(
-          "  threads %2u: %8s  speedup %.2fx  screened %u refined %u  "
+          "  cached,   threads %2u: %8s  speedup %.2fx  hit rate %5.1f%%  "
           "report %s\n",
           point.threads, csj::util::SecondsCell(point.seconds).c_str(),
-          point.speedup, report.screened, report.refined,
+          point.speedup,
+          100.0 * hit_rate(point.cache_hits, point.cache_misses),
           point.identical ? "identical" : "DIVERGED (investigate!)");
       sweep.push_back(point);
     }
+
+    uint64_t sweep_hits = 0;
+    uint64_t sweep_misses = 0;
+    for (const SweepPoint& point : sweep) {
+      sweep_hits += point.cache_hits;
+      sweep_misses += point.cache_misses;
+    }
+    const csj::EncodingCache::Stats cache_stats = cache.GetStats();
+    std::printf(
+        "  cache: %s entries, %.1f MiB resident; sweep-phase hit rate "
+        "%5.1f%%\n",
+        csj::util::WithCommas(cache_stats.entries).c_str(),
+        static_cast<double>(cache_stats.bytes) / (1024.0 * 1024.0),
+        100.0 * hit_rate(sweep_hits, sweep_misses));
   }
 
   const std::string json_path = flags.GetString("json");
@@ -253,6 +322,10 @@ int main(int argc, char** argv) {
     json.BeginObject();
     json.Key("benchmark");
     json.String("bench_pipeline");
+    json.Key("git_sha");
+    json.String(flags.GetString("git_sha"));
+    json.Key("build_type");
+    json.String(flags.GetString("build_type"));
     json.Key("size");
     json.Uint(size);
     json.Key("candidates");
@@ -272,21 +345,47 @@ int main(int argc, char** argv) {
     json.Key("arms_agree");
     json.Bool(agree);
     json.EndObject();
-    json.Key("allpairs_sweep");
-    json.BeginArray();
-    for (const SweepPoint& point : sweep) {
+    json.Key("allpairs");
+    json.BeginObject();
+    json.Key("communities");
+    json.Uint(allpairs);
+    json.Key("nocache_seconds");
+    json.Double(nocache_seconds);
+    const auto sweep_point_json = [&](const SweepPoint& point) {
       json.BeginObject();
       json.Key("pipeline_threads");
       json.Uint(point.threads);
       json.Key("seconds");
       json.Double(point.seconds);
-      json.Key("speedup_vs_1");
+      json.Key("speedup_vs_nocache");
       json.Double(point.speedup);
       json.Key("report_identical");
       json.Bool(point.identical);
+      json.Key("cache_hits");
+      json.Uint(point.cache_hits);
+      json.Key("cache_misses");
+      json.Uint(point.cache_misses);
+      json.Key("cache_hit_rate");
+      json.Double(hit_rate(point.cache_hits, point.cache_misses));
       json.EndObject();
+    };
+    json.Key("warmup");
+    sweep_point_json(warmup);
+    json.Key("sweep");
+    json.BeginArray();
+    uint64_t sweep_hits = 0;
+    uint64_t sweep_misses = 0;
+    for (const SweepPoint& point : sweep) {
+      sweep_point_json(point);
+      sweep_hits += point.cache_hits;
+      sweep_misses += point.cache_misses;
     }
     json.EndArray();
+    // The acceptance signal: once warm, the sweep should essentially
+    // never rebuild an encoding.
+    json.Key("sweep_phase_hit_rate");
+    json.Double(hit_rate(sweep_hits, sweep_misses));
+    json.EndObject();
     json.EndObject();
     const std::string text = json.Take();
     if (std::FILE* file = std::fopen(json_path.c_str(), "w")) {

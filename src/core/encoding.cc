@@ -156,20 +156,28 @@ EncodedA::EncodedA(const Community& a, const Encoder& encoder)
   mins_.resize(n);
   maxs_.resize(n);
   real_.resize(n);
-  lo_.resize(static_cast<size_t>(n) * parts_);
-  hi_.resize(static_cast<size_t>(n) * parts_);
+  // Part-major columns (see part_lo()): column 2p holds part p's lo for
+  // every entry, column 2p+1 the hi, both in sorted order.
+  cols_.resize(static_cast<size_t>(n) * 2 * parts_);
   for (uint32_t i = 0; i < n; ++i) {
     const UserId u = perm[i];
     mins_[i] = unsorted_mins[u];
     maxs_[i] = unsorted_maxs[u];
     real_[i] = u;
     for (uint32_t p = 0; p < parts_; ++p) {
-      lo_[static_cast<size_t>(i) * parts_ + p] =
+      cols_[static_cast<size_t>(2 * p) * n + i] =
           unsorted_lo[static_cast<size_t>(u) * parts_ + p];
-      hi_[static_cast<size_t>(i) * parts_ + p] =
+      cols_[static_cast<size_t>(2 * p + 1) * n + i] =
           unsorted_hi[static_cast<size_t>(u) * parts_ + p];
     }
   }
+  window_.Assign(n, encoder.d(),
+                 [&](uint32_t i) { return a.User(real_[i]); });
+}
+
+uint32_t EncodedA::UpperBound(uint64_t id) const {
+  const auto it = std::upper_bound(mins_.begin(), mins_.end(), id);
+  return static_cast<uint32_t>(it - mins_.begin());
 }
 
 }  // namespace csj

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/community.h"
+#include "core/epsilon_predicate.h"
 #include "core/types.h"
 
 namespace csj {
@@ -90,6 +91,13 @@ class EncodedB {
     return {sums_.data() + static_cast<size_t>(i) * parts_, parts_};
   }
 
+  /// Approximate heap footprint (cache memory accounting).
+  size_t MemoryBytes() const {
+    return ids_.capacity() * sizeof(uint64_t) +
+           real_.capacity() * sizeof(UserId) +
+           sums_.capacity() * sizeof(uint64_t);
+  }
+
  private:
   uint32_t parts_;
   std::vector<uint64_t> ids_;
@@ -109,11 +117,40 @@ class EncodedA {
   uint64_t encoded_min(uint32_t i) const { return mins_[i]; }
   uint64_t encoded_max(uint32_t i) const { return maxs_[i]; }
   UserId real_id(uint32_t i) const { return real_[i]; }
-  std::span<const uint64_t> range_lo(uint32_t i) const {
-    return {lo_.data() + static_cast<size_t>(i) * parts_, parts_};
+
+  /// Part-major SoA columns of the range endpoints: part p's lo (hi)
+  /// values for ALL entries sit contiguously in sorted order, so the
+  /// vectorized prescreen of the scan loops loads 8 consecutive
+  /// candidates' bounds with one unaligned vector load per part — no
+  /// per-candidate row gathers.
+  const uint64_t* part_lo(uint32_t p) const {
+    return cols_.data() + static_cast<size_t>(2 * p) * mins_.size();
   }
-  std::span<const uint64_t> range_hi(uint32_t i) const {
-    return {hi_.data() + static_cast<size_t>(i) * parts_, parts_};
+  const uint64_t* part_hi(uint32_t p) const {
+    return cols_.data() + static_cast<size_t>(2 * p + 1) * mins_.size();
+  }
+
+  /// The full encoded_max column (ascending-by-encoded_min order), for
+  /// the prescreen's vector loads.
+  const uint64_t* encoded_maxs() const { return maxs_.data(); }
+
+  /// A's counter rows repacked into the SoA dimension-blocked layout in
+  /// THIS buffer's sorted order: window row i holds the counters of
+  /// real_id(i). Built once with the buffer so every probe's candidate
+  /// run [lo, hi) over the sorted entries is a contiguous batched-verify
+  /// window for EpsilonMatchesMany.
+  const VerifyWindow& window() const { return window_; }
+
+  /// One past the last entry whose encoded_min can admit `id` — entries
+  /// are ascending by encoded_min, so [0, UpperBound(id)) is the only
+  /// stretch a probe with this encoded id can reach before MIN PRUNE.
+  uint32_t UpperBound(uint64_t id) const;
+
+  /// Approximate heap footprint (cache memory accounting).
+  size_t MemoryBytes() const {
+    return (mins_.capacity() + maxs_.capacity() + cols_.capacity()) *
+               sizeof(uint64_t) +
+           real_.capacity() * sizeof(UserId) + window_.MemoryBytes();
   }
 
  private:
@@ -121,21 +158,26 @@ class EncodedA {
   std::vector<uint64_t> mins_;
   std::vector<uint64_t> maxs_;
   std::vector<UserId> real_;
-  std::vector<uint64_t> lo_;
-  std::vector<uint64_t> hi_;
+  std::vector<uint64_t> cols_;  ///< part-major lo/hi columns, see part_lo()
+  VerifyWindow window_;
 };
 
 /// The NO OVERLAP filter: true iff every part sum of entry `ib` of B lies
 /// inside the corresponding range of entry `ia` of A ("complete overlap").
+/// Branchless: on the hot scan most candidates FAIL at a part that varies
+/// per candidate, so the short-circuiting form mispredicts its exit
+/// branch; accumulating all parts' verdicts costs a few extra compares
+/// but leaves the caller exactly one well-predicted branch.
 inline bool PartsOverlap(const EncodedB& encd_b, uint32_t ib,
                          const EncodedA& encd_a, uint32_t ia) {
   const std::span<const uint64_t> sums = encd_b.part_sums(ib);
-  const std::span<const uint64_t> lo = encd_a.range_lo(ia);
-  const std::span<const uint64_t> hi = encd_a.range_hi(ia);
+  unsigned ok = 1;
   for (size_t p = 0; p < sums.size(); ++p) {
-    if (sums[p] < lo[p] || sums[p] > hi[p]) return false;
+    const auto part = static_cast<uint32_t>(p);
+    ok &= static_cast<unsigned>(sums[p] >= encd_a.part_lo(part)[ia]) &
+          static_cast<unsigned>(sums[p] <= encd_a.part_hi(part)[ia]);
   }
-  return true;
+  return ok != 0;
 }
 
 }  // namespace csj

@@ -1,8 +1,11 @@
 #ifndef CSJ_CORE_EPSILON_PREDICATE_H_
 #define CSJ_CORE_EPSILON_PREDICATE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/types.h"
 
@@ -41,6 +44,157 @@ inline constexpr size_t kEpsilonSuperBlock = 32;
 /// wide-vector code path without changing the build's baseline -march.
 bool EpsilonMatches(std::span<const Count> b, std::span<const Count> a,
                     Epsilon eps);
+
+/// A candidate window in SoA, dimension-blocked layout for the 1-vs-many
+/// batched verification kernel (EpsilonMatchesMany).
+///
+/// Candidates are grouped into blocks of kEpsilonBlock (8); inside a block
+/// the layout is dimension-major: the 8 candidates' values of dimension k
+/// sit contiguously, so the kernel loads one full vector register per
+/// dimension and broadcasts the probe's value against it — no horizontal
+/// reduction, no strided row gathers. The last block is padded with T{}
+/// lanes; padded lanes are computed but their result bits are never
+/// emitted.
+///
+/// value(i, k) lives at data[(i / 8) * 8 * d + k * 8 + (i % 8)].
+template <typename T>
+class BasicVerifyWindow {
+ public:
+  BasicVerifyWindow() = default;
+
+  uint32_t size() const { return n_; }
+  Dim d() const { return d_; }
+  bool empty() const { return n_ == 0; }
+
+  /// First value of block `g` (the 8 lane values of dimension 0).
+  const T* BlockData(uint32_t g) const {
+    return data_.data() + static_cast<size_t>(g) * kEpsilonBlock * d_;
+  }
+
+  /// One candidate's value of one dimension (tests / debugging; the
+  /// kernel walks BlockData directly).
+  T Value(uint32_t i, Dim k) const {
+    return data_[(static_cast<size_t>(i) / kEpsilonBlock) * kEpsilonBlock *
+                     d_ +
+                 static_cast<size_t>(k) * kEpsilonBlock + i % kEpsilonBlock];
+  }
+
+  /// (Re)packs the window from `n` rows of `d` values each; `row(i)` must
+  /// return a span of exactly `d` values. Reuses the existing buffer's
+  /// capacity, so a scratch window costs no allocation after warm-up.
+  template <typename RowFn>
+  void Assign(uint32_t n, Dim d, RowFn&& row) {
+    n_ = n;
+    d_ = d;
+    const size_t blocks = (static_cast<size_t>(n) + kEpsilonBlock - 1) /
+                          kEpsilonBlock;
+    data_.assign(blocks * kEpsilonBlock * d, T{});
+    for (uint32_t i = 0; i < n; ++i) {
+      const std::span<const T> r = row(i);
+      T* base = data_.data() +
+                (static_cast<size_t>(i) / kEpsilonBlock) * kEpsilonBlock * d +
+                i % kEpsilonBlock;
+      for (Dim k = 0; k < d; ++k) base[static_cast<size_t>(k) * kEpsilonBlock] = r[k];
+    }
+  }
+
+  /// Approximate heap footprint (the cache's memory accounting).
+  size_t MemoryBytes() const { return data_.capacity() * sizeof(T); }
+
+ private:
+  uint32_t n_ = 0;
+  Dim d_ = 0;
+  std::vector<T> data_;
+};
+
+/// Integer-domain window (Community counters, EncodedA order, hybrid
+/// grids) and the float window of SuperEGO's normalized rows.
+using VerifyWindow = BasicVerifyWindow<Count>;
+using VerifyWindowF = BasicVerifyWindow<float>;
+
+/// The 1-vs-many batched verify kernel: tests `b` against every window
+/// candidate in [begin, end) and writes a survivor bitmask — bit (i -
+/// begin) of `mask` is 1 iff candidate i eps-matches b. `mask` must hold
+/// ceil((end - begin) / 64) words; the kernel zeroes them first.
+///
+/// Verdicts are EXACTLY EpsilonMatches(b, candidate, eps) — the integer
+/// arithmetic is identical, so callers may mix the two paths freely (the
+/// joins do: batched on long candidate runs, per-pair on short ones).
+/// Dispatch matches EpsilonMatches: SSE4.2/AVX2/AVX-512 function
+/// multiversioning on x86-64 ELF builds.
+void EpsilonMatchesMany(std::span<const Count> b, const VerifyWindow& window,
+                        uint32_t begin, uint32_t end, Epsilon eps,
+                        uint64_t* mask);
+
+/// Float-domain batched verify for SuperEGO leaves: bit i-begin is 1 iff
+/// every dimension's |b_k - candidate_k| <= eps_norm, bit-identical to
+/// ego::EpsMatchesFloat (float max and subtraction are exact here).
+void EpsilonMatchesManyFloat(std::span<const float> b,
+                             const VerifyWindowF& window, uint32_t begin,
+                             uint32_t end, float eps_norm, uint64_t* mask);
+
+namespace internal {
+
+inline void MatchManyDispatch(std::span<const Count> b,
+                              const VerifyWindow& window, uint32_t begin,
+                              uint32_t end, Epsilon eps, uint64_t* mask) {
+  EpsilonMatchesMany(b, window, begin, end, eps, mask);
+}
+
+inline void MatchManyDispatch(std::span<const float> b,
+                              const VerifyWindowF& window, uint32_t begin,
+                              uint32_t end, float eps_norm, uint64_t* mask) {
+  EpsilonMatchesManyFloat(b, window, begin, end, eps_norm, mask);
+}
+
+}  // namespace internal
+
+/// Chunked adapter from the scan loops' one-candidate-at-a-time shape to
+/// the batched kernel: the first Matches(i) query inside an uncovered
+/// block batch-verifies that candidate's whole SoA block (kEpsilonBlock
+/// lanes, block-aligned so the kernel touches exactly one block) and
+/// later queries read bits. One block costs about one scalar verify — the
+/// packed ops cover all 8 lanes per dimension step — so sparse scans
+/// (heavy NO-OVERLAP filtering, first-match early exit) roughly break
+/// even while dense scans collect the full lane win. `limit` caps the
+/// chunk at the end of the reachable run so narrow encoded windows don't
+/// over-verify.
+template <typename T, typename EpsT>
+class LazyBatchVerifier {
+ public:
+  static constexpr uint32_t kChunk = static_cast<uint32_t>(kEpsilonBlock);
+
+  /// Begins a new probe scan. Queries must stay in [0, limit).
+  void Start(const BasicVerifyWindow<T>& window, std::span<const T> b,
+             EpsT eps, uint32_t limit) {
+    window_ = &window;
+    b_ = b;
+    eps_ = eps;
+    limit_ = std::min(limit, window.size());
+    chunk_begin_ = 0;
+    chunk_end_ = 0;
+  }
+
+  /// Verdict for candidate i (== EpsilonMatches against window row i).
+  bool Matches(uint32_t i) {
+    if (i < chunk_begin_ || i >= chunk_end_) {
+      chunk_begin_ = i & ~(kChunk - 1);  // block-aligned
+      chunk_end_ = std::min(chunk_begin_ + kChunk, limit_);
+      internal::MatchManyDispatch(b_, *window_, chunk_begin_, chunk_end_,
+                                  eps_, &mask_);
+    }
+    return (mask_ >> (i - chunk_begin_)) & 1u;
+  }
+
+ private:
+  const BasicVerifyWindow<T>* window_ = nullptr;
+  std::span<const T> b_;
+  EpsT eps_{};
+  uint32_t limit_ = 0;
+  uint32_t chunk_begin_ = 0;
+  uint32_t chunk_end_ = 0;
+  uint64_t mask_ = 0;
+};
 
 /// Chebyshev (L-infinity) distance between two counter vectors; the CSJ
 /// condition is exactly `ChebyshevDistance(b, a) <= eps`. Deliberately

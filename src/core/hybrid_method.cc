@@ -1,9 +1,11 @@
 #include "core/hybrid_method.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "core/encoding.h"
+#include "core/encoding_cache.h"
 #include "core/epsilon_predicate.h"
 #include "core/join_scratch.h"
 #include "core/leaf_tasks.h"
@@ -41,6 +43,12 @@ struct HybridPrepared {
   std::vector<uint64_t> a_lo;
   std::vector<uint64_t> a_hi;
 
+  // A's grid rows as an SoA window for batched leaf verification. The
+  // grids themselves are couple-shaped (the dimension permutation is
+  // couple-driven) and stay uncached; only the dimension order goes
+  // through the encoding cache.
+  VerifyWindow window_a;
+
   /// The MinMax filter for one (B row, A row) pair.
   bool EncodedFilterPasses(uint32_t rb, uint32_t ra) const {
     const uint64_t id = b_id[rb];
@@ -56,25 +64,45 @@ struct HybridPrepared {
 };
 
 HybridPrepared PrepareHybrid(const Community& b, const Community& a,
-                             const JoinOptions& options) {
+                             const JoinOptions& options, JoinStats* stats) {
   CSJ_CHECK_EQ(b.d(), a.d());
   const Epsilon eps = std::max<Epsilon>(options.eps, 1);
-  Count max_count = std::max(b.MaxCounter(), a.MaxCounter());
-  if (max_count == 0) max_count = 1;
-  const std::vector<Dim> order =
-      options.superego_reorder_dims
-          ? ego::ComputeDimensionOrder(b, a, eps, max_count)
-          : ego::IdentityOrder(b.d());
+  std::shared_ptr<const std::vector<Dim>> cached_order;
+  std::vector<Dim> local_order;
+  const std::vector<Dim>* order;
+  if (!options.superego_reorder_dims) {
+    local_order = ego::IdentityOrder(b.d());
+    order = &local_order;
+  } else if (options.cache != nullptr) {
+    // Reuse the couple's cached reorder; the digests also carry the max
+    // counters, sparing the two MaxCounter passes.
+    const CommunityDigest digest_b = DigestCommunity(b);
+    const CommunityDigest digest_a = DigestCommunity(a);
+    Count max_count = std::max(digest_b.max_counter, digest_a.max_counter);
+    if (max_count == 0) max_count = 1;
+    cached_order = options.cache->GetDimensionOrder(
+        b, a, digest_b, digest_a, eps, max_count, stats);
+    order = cached_order.get();
+  } else {
+    Count max_count = std::max(b.MaxCounter(), a.MaxCounter());
+    if (max_count == 0) max_count = 1;
+    local_order = ego::ComputeDimensionOrder(b, a, eps, max_count);
+    order = &local_order;
+  }
 
-  ego::IntegerGridData grid_b = ego::BuildIntegerGrid(b, eps, order);
-  ego::IntegerGridData grid_a = ego::BuildIntegerGrid(a, eps, order);
+  ego::IntegerGridData grid_b = ego::BuildIntegerGrid(b, eps, *order);
+  ego::IntegerGridData grid_a = ego::BuildIntegerGrid(a, eps, *order);
   const uint32_t threshold = std::max<uint32_t>(options.superego_threshold, 2);
   ego::SegmentTree tree_b(ego::CellsOf(grid_b), threshold);
   ego::SegmentTree tree_a(ego::CellsOf(grid_a), threshold);
 
   HybridPrepared prep{std::move(grid_b), std::move(grid_a),
                       std::move(tree_b), std::move(tree_a),
-                      /*parts=*/0,       {}, {}, {}, {}, {}, {}};
+                      /*parts=*/0,       {}, {}, {}, {}, {}, {}, {}};
+  if (options.batch_verify) {
+    prep.window_a.Assign(prep.a.size(), b.d(),
+                         [&](uint32_t row) { return prep.a.Row(row); });
+  }
 
   if (options.hybrid_encoded_leaf) {
     const Encoder encoder(b.d(), options.eps, options.encoding_parts);
@@ -121,7 +149,7 @@ JoinResult ApMinMaxEgoJoin(const Community& b, const Community& a,
   result.method = "Ap-MinMaxEGO";
   result.size_b = b.size();
 
-  const HybridPrepared prep = PrepareHybrid(b, a, options);
+  const HybridPrepared prep = PrepareHybrid(b, a, options, &result.stats);
   const bool use_filter = options.hybrid_encoded_leaf;
   const Epsilon eps = options.eps;
   // Match flags live in per-thread scratch, reused across joins.
@@ -132,19 +160,25 @@ JoinResult ApMinMaxEgoJoin(const Community& b, const Community& a,
   used_a.assign(prep.a.size(), 0);
 
   ego::EgoStats ego_stats;
+  LazyBatchVerifier<Count, Epsilon> verifier;
   ego::EgoJoin(
       prep.tree_b, prep.tree_a,
       [&](uint32_t b_lo, uint32_t b_hi, uint32_t a_lo, uint32_t a_hi) {
+        const bool batched =
+            options.batch_verify && a_hi - a_lo >= kEpsilonBlock;
         for (uint32_t rb = b_lo; rb < b_hi; ++rb) {
           if (matched_b[rb]) continue;
           const std::span<const Count> vb = prep.b.Row(rb);
+          if (batched) verifier.Start(prep.window_a, vb, eps, a_hi);
           for (uint32_t ra = a_lo; ra < a_hi; ++ra) {
             if (used_a[ra]) continue;
             if (use_filter && !prep.EncodedFilterPasses(rb, ra)) {
               result.stats.Count(Event::kNoOverlap);
               continue;
             }
-            const bool match = EpsilonMatches(vb, prep.a.Row(ra), eps);
+            const bool match = batched
+                                   ? verifier.Matches(ra)
+                                   : EpsilonMatches(vb, prep.a.Row(ra), eps);
             result.stats.Count(match ? Event::kMatch : Event::kNoMatch);
             if (match) {
               matched_b[rb] = 1;
@@ -170,7 +204,7 @@ JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
   result.method = "Ex-MinMaxEGO";
   result.size_b = b.size();
 
-  const HybridPrepared prep = PrepareHybrid(b, a, options);
+  const HybridPrepared prep = PrepareHybrid(b, a, options, &result.stats);
   const bool use_filter = options.hybrid_encoded_leaf;
   const Epsilon eps = options.eps;
 
@@ -189,16 +223,25 @@ JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
       [&](uint32_t task_begin, uint32_t task_end, uint32_t chunk) {
         std::vector<MatchedPair>& local = chunk_candidates[chunk];
         JoinStats& stats = chunk_stats[chunk];
+        // The encoded filter punches holes in the run, so the lazy
+        // chunked verifier (which only spends kernel lanes on queried
+        // regions) fits better than a full-run mask here.
+        LazyBatchVerifier<Count, Epsilon> verifier;
         for (uint32_t t = task_begin; t < task_end; ++t) {
           const internal::LeafTask& task = tasks[t];
+          const bool batched = options.batch_verify &&
+                               task.a_hi - task.a_lo >= kEpsilonBlock;
           for (uint32_t rb = task.b_lo; rb < task.b_hi; ++rb) {
             const std::span<const Count> vb = prep.b.Row(rb);
+            if (batched) verifier.Start(prep.window_a, vb, eps, task.a_hi);
             for (uint32_t ra = task.a_lo; ra < task.a_hi; ++ra) {
               if (use_filter && !prep.EncodedFilterPasses(rb, ra)) {
                 stats.Count(Event::kNoOverlap);
                 continue;
               }
-              const bool match = EpsilonMatches(vb, prep.a.Row(ra), eps);
+              const bool match = batched
+                                     ? verifier.Matches(ra)
+                                     : EpsilonMatches(vb, prep.a.Row(ra), eps);
               stats.Count(match ? Event::kMatch : Event::kNoMatch);
               if (match) {
                 local.push_back(MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});

@@ -9,6 +9,8 @@
 
 namespace csj {
 
+class EncodingCache;
+
 /// Knobs shared by all six CSJ methods. Defaults reproduce the paper's
 /// configuration (4 encoding parts, CSF matcher, serial SuperEGO).
 struct JoinOptions {
@@ -54,6 +56,21 @@ struct JoinOptions {
   /// run. The approximate methods and Ex-MinMax are order-dependent scans
   /// and always run serially; event logging also forces serial execution.
   uint32_t threads = 1;
+
+  /// Optional community-level encoded-buffer cache. When set, the methods
+  /// fetch their per-community preparation (EncodedB/EncodedA, Baseline
+  /// SoA windows, SuperEGO normalization + segment trees + dimension
+  /// orders) from it instead of rebuilding per couple; results are
+  /// byte-identical either way. Not owned; must outlive the join. The
+  /// hybrid/GridHash grids are couple-shaped and stay uncached.
+  EncodingCache* cache = nullptr;
+
+  /// Use the 1-vs-many batched verify kernel (EpsilonMatchesMany) on
+  /// candidate runs of >= kEpsilonBlock instead of per-pair
+  /// EpsilonMatches calls. Verdicts are identical; this only changes how
+  /// the d-dimensional compares are scheduled. Exposed as a switch so the
+  /// tests and benches can difference the two paths.
+  bool batch_verify = true;
 
   /// Optional event recorder (MinMax/Baseline only); null on the fast path.
   EventLog* event_log = nullptr;

@@ -55,6 +55,9 @@ struct JoinStats {
   uint64_t dimension_compares = 0;  ///< == no_matches + matches
   uint64_t candidate_pairs = 0;     ///< pairs handed to the matcher (exact)
   uint64_t csf_flushes = 0;         ///< CSF invocations (Ex-MinMax segments)
+  uint64_t cache_hits = 0;          ///< encoding-cache lookups served
+  uint64_t cache_misses = 0;        ///< encoding-cache lookups that built
+  uint64_t cache_bytes_built = 0;   ///< bytes of entries this join built
   double seconds = 0.0;             ///< wall-clock of the whole join
 
   void Count(Event event) {
@@ -78,6 +81,9 @@ struct JoinStats {
     dimension_compares += other.dimension_compares;
     candidate_pairs += other.candidate_pairs;
     csf_flushes += other.csf_flushes;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_bytes_built += other.cache_bytes_built;
   }
 };
 

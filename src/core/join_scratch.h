@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/epsilon_predicate.h"
 #include "core/join_result.h"
 
 namespace csj {
@@ -42,6 +43,17 @@ struct JoinScratch {
   std::vector<uint64_t> hi;
   std::vector<uint64_t> keys;
   std::vector<uint32_t> perm;
+
+  /// Cache-less batched verification: SoA windows repacked per join (the
+  /// cached paths use the windows attached to the cached buffers instead)
+  /// and the survivor bitmask of full-range Many calls.
+  VerifyWindow window;
+  VerifyWindowF window_f;
+  std::vector<uint64_t> mask;
+
+  /// Candidate indices that survived the MinMax prescreen of one probe
+  /// and still need the d-dimensional comparison.
+  std::vector<uint32_t> survivors;
 };
 
 /// The calling thread's scratch. Never hold the reference across a point

@@ -1,8 +1,12 @@
 #include "core/superego_method.h"
 
 #include <algorithm>
+#include <bit>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "core/encoding_cache.h"
 #include "core/join_scratch.h"
 #include "core/leaf_tasks.h"
 #include "ego/dimension_reorder.h"
@@ -17,19 +21,57 @@ namespace csj {
 
 namespace {
 
-/// Everything both SuperEGO variants share: normalization, optional
-/// dimension reorder, EGO sort and segment-tree construction.
+/// Everything both SuperEGO variants share — normalization, optional
+/// dimension reorder, EGO sort, segment tree and the float verify window —
+/// per side, fetched from the cache (built once per community and
+/// parameter set) or built locally into the optionals.
 struct Prepared {
-  ego::NormalizedData b;
-  ego::NormalizedData a;
-  ego::SegmentTree tree_b;
-  ego::SegmentTree tree_a;
+  std::shared_ptr<const SuperEgoPrep> cached_b;
+  std::shared_ptr<const SuperEgoPrep> cached_a;
+  std::optional<SuperEgoPrep> local_b;
+  std::optional<SuperEgoPrep> local_a;
+  const SuperEgoPrep* b = nullptr;
+  const SuperEgoPrep* a = nullptr;
 };
 
 Prepared PrepareSuperEgo(const Community& b, const Community& a,
-                         const JoinOptions& options) {
+                         const JoinOptions& options, JoinStats* stats) {
   CSJ_CHECK_EQ(b.d(), a.d());
   CSJ_CHECK_GT(options.eps, 0u);
+  const uint32_t threshold = std::max<uint32_t>(options.superego_threshold, 2);
+  Prepared prep;
+  if (options.cache != nullptr) {
+    const CommunityDigest digest_b = DigestCommunity(b);
+    const CommunityDigest digest_a = DigestCommunity(a);
+    // The digests carry the max counters, so the couple-level
+    // normalization denominator needs no extra pass here.
+    Count max_count = options.superego_norm_max;
+    if (max_count == 0) {
+      max_count = std::max(digest_b.max_counter, digest_a.max_counter);
+      if (max_count == 0) max_count = 1;  // all-zero data still normalizes
+    }
+    std::shared_ptr<const std::vector<Dim>> order_ptr;
+    std::vector<Dim> identity;
+    const std::vector<Dim>* order;
+    if (options.superego_reorder_dims) {
+      order_ptr = options.cache->GetDimensionOrder(
+          b, a, digest_b, digest_a, options.eps, max_count, stats);
+      order = order_ptr.get();
+    } else {
+      identity = ego::IdentityOrder(b.d());
+      order = &identity;
+    }
+    const uint64_t order_hash = HashDimOrder(*order);
+    prep.cached_b = options.cache->GetSuperEgoPrep(
+        b, digest_b, options.eps, max_count, *order, order_hash, threshold,
+        stats);
+    prep.cached_a = options.cache->GetSuperEgoPrep(
+        a, digest_a, options.eps, max_count, *order, order_hash, threshold,
+        stats);
+    prep.b = prep.cached_b.get();
+    prep.a = prep.cached_a.get();
+    return prep;
+  }
   Count max_count = options.superego_norm_max;
   if (max_count == 0) {
     max_count = std::max(b.MaxCounter(), a.MaxCounter());
@@ -39,13 +81,13 @@ Prepared PrepareSuperEgo(const Community& b, const Community& a,
       options.superego_reorder_dims
           ? ego::ComputeDimensionOrder(b, a, options.eps, max_count)
           : ego::IdentityOrder(b.d());
-  ego::NormalizedData norm_b = ego::Normalize(b, max_count, options.eps, order);
-  ego::NormalizedData norm_a = ego::Normalize(a, max_count, options.eps, order);
-  const uint32_t threshold = std::max<uint32_t>(options.superego_threshold, 2);
-  ego::SegmentTree tree_b(ego::CellsOf(norm_b), threshold);
-  ego::SegmentTree tree_a(ego::CellsOf(norm_a), threshold);
-  return Prepared{std::move(norm_b), std::move(norm_a), std::move(tree_b),
-                  std::move(tree_a)};
+  prep.local_b.emplace(
+      BuildSuperEgoPrep(b, max_count, options.eps, order, threshold));
+  prep.local_a.emplace(
+      BuildSuperEgoPrep(a, max_count, options.eps, order, threshold));
+  prep.b = &*prep.local_b;
+  prep.a = &*prep.local_a;
+  return prep;
 }
 
 void FoldEgoStats(const ego::EgoStats& ego_stats, JoinStats* stats) {
@@ -65,33 +107,40 @@ JoinResult ApSuperEgoJoin(const Community& b, const Community& a,
   result.method = "Ap-SuperEGO";
   result.size_b = b.size();
 
-  const Prepared prep = PrepareSuperEgo(b, a, options);
+  const Prepared prep = PrepareSuperEgo(b, a, options, &result.stats);
+  const ego::NormalizedData& data_b = prep.b->data;
+  const ego::NormalizedData& data_a = prep.a->data;
   // Match flags live in per-thread scratch: repeated screening joins
   // reuse their capacity instead of re-allocating.
   internal::JoinScratch& scratch = internal::GetJoinScratch();
   std::vector<uint8_t>& matched_b = scratch.matched_b;
   std::vector<uint8_t>& used_a = scratch.used_a;
-  matched_b.assign(prep.b.size(), 0);
-  used_a.assign(prep.a.size(), 0);
+  matched_b.assign(data_b.size(), 0);
+  used_a.assign(data_a.size(), 0);
 
   ego::EgoStats ego_stats;
-  const float eps_norm = prep.b.eps_norm;
+  const float eps_norm = data_b.eps_norm;
+  LazyBatchVerifier<float, float> verifier;
   ego::EgoJoin(
-      prep.tree_b, prep.tree_a,
+      prep.b->tree, prep.a->tree,
       [&](uint32_t b_lo, uint32_t b_hi, uint32_t a_lo, uint32_t a_hi) {
+        const bool batched =
+            options.batch_verify && a_hi - a_lo >= kEpsilonBlock;
         for (uint32_t rb = b_lo; rb < b_hi; ++rb) {
           if (matched_b[rb]) continue;
-          const std::span<const float> vb = prep.b.Row(rb);
+          const std::span<const float> vb = data_b.Row(rb);
+          if (batched) verifier.Start(prep.a->window, vb, eps_norm, a_hi);
           for (uint32_t ra = a_lo; ra < a_hi; ++ra) {
             if (used_a[ra]) continue;
             const bool match =
-                ego::EpsMatchesFloat(vb, prep.a.Row(ra), eps_norm);
+                batched ? verifier.Matches(ra)
+                        : ego::EpsMatchesFloat(vb, data_a.Row(ra), eps_norm);
             result.stats.Count(match ? Event::kMatch : Event::kNoMatch);
             if (match) {
               matched_b[rb] = 1;
               used_a[ra] = 1;
               result.pairs.push_back(
-                  MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
+                  MatchedPair{data_b.ids[rb], data_a.ids[ra]});
               break;  // Ap-Baseline leaf rule: first match ends this b
             }
           }
@@ -112,15 +161,17 @@ JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
   result.method = "Ex-SuperEGO";
   result.size_b = b.size();
 
-  const Prepared prep = PrepareSuperEgo(b, a, options);
+  const Prepared prep = PrepareSuperEgo(b, a, options, &result.stats);
+  const ego::NormalizedData& data_b = prep.b->data;
+  const ego::NormalizedData& data_a = prep.a->data;
   ego::EgoStats ego_stats;
-  const float eps_norm = prep.b.eps_norm;
+  const float eps_norm = data_b.eps_norm;
 
   // The recursion only prunes; the surviving leaves are scanned in
   // parallel chunks whose outputs merge in task order (serial-identical
   // results for any thread count).
   const std::vector<internal::LeafTask> tasks =
-      internal::CollectLeafTasks(prep.tree_b, prep.tree_a, &ego_stats);
+      internal::CollectLeafTasks(prep.b->tree, prep.a->tree, &ego_stats);
   const uint32_t threads = std::max<uint32_t>(options.threads, 1);
   const auto num_tasks = static_cast<uint32_t>(tasks.size());
   const uint32_t chunks = util::ParallelChunks(0, num_tasks, threads);
@@ -131,16 +182,50 @@ JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
       [&](uint32_t task_begin, uint32_t task_end, uint32_t chunk) {
         std::vector<MatchedPair>& local = chunk_candidates[chunk];
         JoinStats& stats = chunk_stats[chunk];
+        // Worker-thread scratch: leaves are at most `threshold` rows, so a
+        // handful of mask words cover any run.
+        std::vector<uint64_t>& mask = internal::GetJoinScratch().mask;
         for (uint32_t t = task_begin; t < task_end; ++t) {
           const internal::LeafTask& task = tasks[t];
+          const uint32_t run = task.a_hi - task.a_lo;
+          if (options.batch_verify && run >= kEpsilonBlock) {
+            // Exact leaves want every verdict of the run, so each b row is
+            // one kernel call; the survivor bitmask is walked in ascending
+            // ra order (identical pair order) and the event tallies
+            // collapse to popcounts.
+            const uint32_t words = (run + 63) / 64;
+            mask.resize(words);
+            for (uint32_t rb = task.b_lo; rb < task.b_hi; ++rb) {
+              EpsilonMatchesManyFloat(data_b.Row(rb), prep.a->window,
+                                      task.a_lo, task.a_hi, eps_norm,
+                                      mask.data());
+              uint64_t found = 0;
+              for (uint32_t w = 0; w < words; ++w) {
+                uint64_t word = mask[w];
+                found += static_cast<uint64_t>(std::popcount(word));
+                while (word != 0) {
+                  const uint32_t ra =
+                      task.a_lo + w * 64 +
+                      static_cast<uint32_t>(std::countr_zero(word));
+                  local.push_back(
+                      MatchedPair{data_b.ids[rb], data_a.ids[ra]});
+                  word &= word - 1;
+                }
+              }
+              stats.matches += found;
+              stats.no_matches += run - found;
+              stats.dimension_compares += run;
+            }
+            continue;
+          }
           for (uint32_t rb = task.b_lo; rb < task.b_hi; ++rb) {
-            const std::span<const float> vb = prep.b.Row(rb);
+            const std::span<const float> vb = data_b.Row(rb);
             for (uint32_t ra = task.a_lo; ra < task.a_hi; ++ra) {
               const bool match =
-                  ego::EpsMatchesFloat(vb, prep.a.Row(ra), eps_norm);
+                  ego::EpsMatchesFloat(vb, data_a.Row(ra), eps_norm);
               stats.Count(match ? Event::kMatch : Event::kNoMatch);
               if (match) {
-                local.push_back(MatchedPair{prep.b.ids[rb], prep.a.ids[ra]});
+                local.push_back(MatchedPair{data_b.ids[rb], data_a.ids[ra]});
               }
             }
           }

@@ -53,6 +53,12 @@ class SegmentTree {
 
   Dim d() const { return d_; }
 
+  /// Approximate heap footprint (the encoding cache's memory accounting).
+  size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           boxes_.capacity() * sizeof(int32_t);
+  }
+
  private:
   int32_t Build(const CellMatrix& cells, uint32_t threshold, uint32_t lo,
                 uint32_t hi);

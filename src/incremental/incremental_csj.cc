@@ -30,11 +30,11 @@ std::vector<UserId> IncrementalCsj::FindCandidates(
   for (uint32_t ia = 0; ia < na; ++ia) {
     if (id < encd_a_.encoded_min(ia)) break;  // MIN PRUNE: sorted by min
     if (id > encd_a_.encoded_max(ia)) continue;
-    const std::span<const uint64_t> lo = encd_a_.range_lo(ia);
-    const std::span<const uint64_t> hi = encd_a_.range_hi(ia);
     bool overlap = true;
     for (size_t p = 0; p < sums.size() && overlap; ++p) {
-      overlap = sums[p] >= lo[p] && sums[p] <= hi[p];
+      const auto part = static_cast<uint32_t>(p);
+      overlap = sums[p] >= encd_a_.part_lo(part)[ia] &&
+                sums[p] <= encd_a_.part_hi(part)[ia];
     }
     if (!overlap) continue;
     const UserId real_a = encd_a_.real_id(ia);

@@ -27,9 +27,15 @@ struct CoupleTask {
 };
 
 /// The screen phase's per-couple output slot, indexed like the tasks.
+/// Cache counters ride here rather than in PipelineEntry: which couple
+/// pays a build is scheduling-dependent, so only their candidate-order
+/// SUMS go into the report.
 struct ScreenSlot {
   ScreenOutcome outcome = ScreenOutcome::kInadmissible;
   PipelineEntry entry;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes_built = 0;
 };
 
 /// Scheduling cost proxy: a couple's join work grows with the product of
@@ -70,8 +76,7 @@ void RunCoupleTasks(const PipelineOptions& options,
 
 /// Screens one ordered couple (after the optional upper-bound gate).
 ScreenOutcome ScreenCouple(const Community& x, const Community& y,
-                           const PipelineOptions& options,
-                           PipelineEntry* entry) {
+                           const PipelineOptions& options, ScreenSlot* slot) {
   if (options.use_upper_bound_prune) {
     const Community& b = x.size() <= y.size() ? x : y;
     const Community& a = x.size() <= y.size() ? y : x;
@@ -86,8 +91,11 @@ ScreenOutcome ScreenCouple(const Community& x, const Community& y,
   const auto screened = ComputeSimilarityAutoOrder(options.screen_method, x,
                                                    y, options.join);
   if (!screened.has_value()) return ScreenOutcome::kInadmissible;
-  entry->screened_similarity = screened->Similarity();
-  entry->screen_seconds = screened->stats.seconds;
+  slot->entry.screened_similarity = screened->Similarity();
+  slot->entry.screen_seconds = screened->stats.seconds;
+  slot->cache_hits = screened->stats.cache_hits;
+  slot->cache_misses = screened->stats.cache_misses;
+  slot->cache_bytes_built = screened->stats.cache_bytes_built;
   return ScreenOutcome::kScreened;
 }
 
@@ -114,7 +122,7 @@ void RefineAndRank(
   }
 
   // Refine concurrently, most expensive couple first; each survivor owns
-  // its entry slot, so writes never race.
+  // its entry slot (and cache-counter slot), so writes never race.
   std::vector<uint32_t> order(survivors.size());
   std::iota(order.begin(), order.end(), 0u);
   std::stable_sort(order.begin(), order.end(), [&](uint32_t l, uint32_t r) {
@@ -125,6 +133,7 @@ void RefineAndRank(
     };
     return cost(l) > cost(r);
   });
+  std::vector<JoinStats> refine_stats(survivors.size());
   RunCoupleTasks(options, order, [&](uint32_t s) {
     PipelineEntry& entry = report->entries[survivors[s]];
     const auto& [x, y] = couples[survivors[s]];
@@ -134,12 +143,18 @@ void RefineAndRank(
     entry.refined = true;
     entry.refined_similarity = refined->Similarity();
     entry.refine_seconds = refined->stats.seconds;
+    refine_stats[s] = refined->stats;
   });
 
   // Aggregate in survivor order: deterministic counters and timing sums.
   report->refined += static_cast<uint32_t>(survivors.size());
   for (const size_t index : survivors) {
     report->refine_seconds += report->entries[index].refine_seconds;
+  }
+  for (const JoinStats& stats : refine_stats) {
+    report->cache_hits += stats.cache_hits;
+    report->cache_misses += stats.cache_misses;
+    report->cache_bytes_built += stats.cache_bytes_built;
   }
 
   std::sort(report->entries.begin(), report->entries.end(),
@@ -155,10 +170,17 @@ void RefineAndRank(
 /// (concurrently when asked), aggregate in candidate order, refine the
 /// survivors, rank.
 PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
-                                   const PipelineOptions& options) {
+                                   const PipelineOptions& input_options) {
   util::Timer timer;
   PipelineReport report;
   const auto num_tasks = static_cast<uint32_t>(tasks.size());
+
+  // The pipeline-level cache reaches every join through the join options;
+  // an explicitly set join.cache wins.
+  PipelineOptions options = input_options;
+  if (options.cache != nullptr && options.join.cache == nullptr) {
+    options.join.cache = options.cache;
+  }
 
   std::vector<ScreenSlot> slots(num_tasks);
   RunCoupleTasks(options, LargestFirstOrder(tasks), [&](uint32_t i) {
@@ -166,7 +188,7 @@ PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
     ScreenSlot& slot = slots[i];
     slot.entry.candidate_index = task.candidate_index;
     slot.entry.candidate_name = std::move(task.candidate_name);
-    slot.outcome = ScreenCouple(*task.x, *task.y, options, &slot.entry);
+    slot.outcome = ScreenCouple(*task.x, *task.y, options, &slot);
   });
 
   // Aggregation walks the slots in candidate order, reproducing the
@@ -183,6 +205,9 @@ PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
       case ScreenOutcome::kScreened:
         ++report.screened;
         report.screen_seconds += slots[i].entry.screen_seconds;
+        report.cache_hits += slots[i].cache_hits;
+        report.cache_misses += slots[i].cache_misses;
+        report.cache_bytes_built += slots[i].cache_bytes_built;
         report.entries.push_back(std::move(slots[i].entry));
         couples.emplace_back(tasks[i].x, tasks[i].y);
         break;

@@ -55,6 +55,13 @@ struct PipelineOptions {
   /// Pool override for tests/embedders; null = ThreadPool::Global().
   util::ThreadPool* pool = nullptr;
 
+  /// Optional encoding cache shared by both phases (and, when the caller
+  /// keeps one across runs, by successive pipeline runs): each community's
+  /// encoded buffers are built once per parameter set instead of once per
+  /// couple. Injected into the join options of every couple unless
+  /// `join.cache` is already set. Not owned; must outlive the run.
+  EncodingCache* cache = nullptr;
+
   /// Join parameters shared by both phases.
   JoinOptions join;
 };
@@ -89,6 +96,14 @@ struct PipelineReport {
   /// they can exceed total_seconds — that surplus IS the parallel win.
   double screen_seconds = 0.0;
   double refine_seconds = 0.0;
+  /// Encoding-cache totals over every join of the run (0 when no cache is
+  /// wired). The TOTALS are deterministic for any pipeline_threads —
+  /// misses count builds, and with build deduplication the build set is a
+  /// data property — but which couple pays each miss is scheduling-
+  /// dependent, which is why there are no per-entry counters.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes_built = 0;
 };
 
 /// Compares `pivot` against every candidate (the brand-recommendation

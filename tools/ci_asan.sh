@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI-style Address+UndefinedBehaviorSanitizer gate. Where the TSan gate
+# (tools/ci_tsan.sh) hunts races, this one hunts lifetime bugs in the
+# paths that hand out shared buffers: the encoding cache's entry
+# promotion/eviction (a join must keep its shared_ptr alive across
+# eviction), the SoA verify windows' padded tail lanes, and the scan
+# kernels' unaligned vector loads. Runs the full test suite — ASan is
+# cheap enough for that, and the join methods are where the pointers
+# live.
+#
+# Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
+set -eu
+
+build_dir="${1:-build-asan}"
+
+cmake -B "${build_dir}" -S . \
+  -DCSJ_ENABLE_ASAN=ON \
+  -DCSJ_BUILD_BENCHMARKS=OFF \
+  -DCSJ_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j
+
+# halt_on_error: the first bad access fails the gate; detect_leaks catches
+# cache entries that outlive their last owner.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j 1
+
+echo "ASAN gate passed."

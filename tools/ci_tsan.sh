@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI-style ThreadSanitizer gate for the concurrency-sensitive pieces: the
-# persistent thread pool, the ParallelFor chunk merge, and the parallel
-# screening pipeline. Configures a dedicated build tree with
+# persistent thread pool, the ParallelFor chunk merge, the parallel
+# screening pipeline, and the shared encoding cache (concurrent build
+# dedup, eviction, Clear). Configures a dedicated build tree with
 # CSJ_ENABLE_TSAN=ON and runs the relevant test binaries under TSAN.
 #
 # Usage: tools/ci_tsan.sh [build-dir]   (default: build-tsan)
@@ -14,11 +15,11 @@ cmake -B "${build_dir}" -S . \
   -DCSJ_BUILD_BENCHMARKS=OFF \
   -DCSJ_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j \
-  --target thread_pool_test parallel_test pipeline_test
+  --target thread_pool_test parallel_test pipeline_test encoding_cache_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache'
 
 echo "TSAN gate passed."

@@ -9,11 +9,13 @@
 // Community files may be .csv (SaveCommunityCsv layout) or the compact
 // .bin format; the loader is chosen by extension.
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
 
+#include "core/encoding_cache.h"
 #include "core/method.h"
 #include "core/similarity.h"
 #include "data/categories.h"
@@ -235,6 +237,10 @@ int RunPipeline(int argc, char** argv) {
   flags.Define("refine", "Ex-MinMax", "refinement method");
   flags.Define("threads", "1",
                "couples screened/refined concurrently (0 = all cores)");
+  flags.Define("cache", "true",
+               "share encoded buffers between screen and refine");
+  flags.Define("cache_mb", "0",
+               "encoding-cache budget in MiB (0 = unlimited)");
   if (!flags.Parse(argc, argv)) return 1;
 
   const auto pivot = LoadAny(flags.GetString("pivot"));
@@ -279,6 +285,13 @@ int RunPipeline(int argc, char** argv) {
   options.pipeline_threads =
       threads == 0 ? csj::util::ThreadPool::DefaultThreads() : threads;
 
+  std::optional<csj::EncodingCache> cache;
+  if (flags.GetBool("cache")) {
+    cache.emplace(static_cast<size_t>(flags.GetInt("cache_mb")) * 1024 *
+                  1024);
+    options.cache = &*cache;
+  }
+
   std::vector<const csj::Community*> pointers;
   for (const csj::Community& c : loaded) pointers.push_back(&c);
   const csj::pipeline::PipelineReport report =
@@ -289,6 +302,19 @@ int RunPipeline(int argc, char** argv) {
       report.screened, report.refined, report.bound_pruned,
       report.inadmissible,
       csj::util::SecondsCell(report.total_seconds).c_str());
+  if (cache.has_value()) {
+    const csj::EncodingCache::Stats cache_stats = cache->GetStats();
+    const uint64_t lookups = report.cache_hits + report.cache_misses;
+    std::printf(
+        "cache: %" PRIu64 " hits / %" PRIu64 " lookups (%.1f%%), "
+        "%s entries, %.1f MiB resident\n",
+        report.cache_hits, lookups,
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(report.cache_hits) /
+                           static_cast<double>(lookups),
+        csj::util::WithCommas(cache_stats.entries).c_str(),
+        static_cast<double>(cache_stats.bytes) / (1024.0 * 1024.0));
+  }
   for (const csj::pipeline::PipelineEntry& entry : report.entries) {
     if (entry.refined) {
       std::printf("  %-32s exact  %s\n", entry.candidate_name.c_str(),

@@ -1,29 +1,55 @@
 #!/bin/sh
-# Runs the pipeline benchmark (with the cross-couple parallelism sweep)
+# Runs the pipeline benchmark (with the encoding-cache all-pairs sweep)
 # and the micro-kernel benchmarks, leaving machine-readable output in the
 # current directory:
-#   BENCH_pipeline.json       - ablation arms + pipeline_threads sweep
+#   BENCH_pipeline.json       - ablation arms + cached all-pairs sweep
 #   BENCH_micro_kernels.json  - google-benchmark JSON for the hot kernels
+#
+# Numbers from non-Release builds are meaningless, so the script verifies
+# the build tree's CMAKE_BUILD_TYPE and refuses to run otherwise. Every
+# JSON gets the git SHA and build type stamped in, so a stray result file
+# can always be traced back to the code that produced it.
 #
 # Usage: tools/run_bench.sh [build-dir]   (default: build)
 set -eu
 
 build_dir="${1:-build}"
 [ $# -ge 1 ] && shift
-if [ ! -x "${build_dir}/bench/bench_pipeline" ]; then
-  echo "error: ${build_dir}/bench/bench_pipeline not found." >&2
-  echo "Configure and build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+  echo "error: ${build_dir}/CMakeCache.txt not found." >&2
+  echo "Configure a Release tree first:" >&2
+  echo "  cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${build_dir} -j" >&2
   exit 1
 fi
 
-echo "== bench_pipeline (ablation + pipeline_threads sweep) =="
-"${build_dir}/bench/bench_pipeline" --json=BENCH_pipeline.json "$@"
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${build_dir}/CMakeCache.txt")"
+if [ "${build_type}" != "Release" ]; then
+  echo "error: ${build_dir} is configured as '${build_type:-<empty>}', not Release." >&2
+  echo "Benchmark numbers from this tree would not be comparable; reconfigure with:" >&2
+  echo "  cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+if [ ! -x "${build_dir}/bench/bench_pipeline" ]; then
+  echo "error: ${build_dir}/bench/bench_pipeline not found." >&2
+  echo "Build first: cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+
+echo "== bench_pipeline (ablation + cached all-pairs sweep) =="
+"${build_dir}/bench/bench_pipeline" --json=BENCH_pipeline.json \
+  --git_sha="${git_sha}" --build_type="${build_type}" "$@"
 
 echo
-echo "== bench_micro_kernels (epsilon kernel, encoder, matchers) =="
+echo "== bench_micro_kernels (epsilon kernels, encoder, matchers) =="
 "${build_dir}/bench/bench_micro_kernels" \
   --benchmark_out=BENCH_micro_kernels.json \
-  --benchmark_out_format=json
+  --benchmark_out_format=json \
+  --benchmark_context=git_sha="${git_sha}" \
+  --benchmark_context=build_type="${build_type}"
 
 echo
-echo "wrote BENCH_pipeline.json and BENCH_micro_kernels.json"
+echo "wrote BENCH_pipeline.json and BENCH_micro_kernels.json (${git_sha}, ${build_type})"

@@ -20,8 +20,20 @@
 // (entry order, indices, names, similarity bits — cache/timing totals
 // excluded); the wall-clock ratio against the no-cache arm is the
 // speedup, and each point reports its cache hit rate (the post-warmup
-// sweep should sit at ~100%). --json writes the whole run as
-// machine-readable JSON, stamped with --git_sha/--build_type.
+// sweep should sit at ~100%). Each thread setting runs twice and keeps
+// the faster rep; per-phase (screen/refine) wall times ride along, and a
+// "scaling_ok" flag asserts threads=4 is not slower than threads=1
+// (within a 10% noise margin) so a cross-couple scaling regression shows
+// up in BENCH_pipeline.json instead of staying buried.
+//
+// Part 3 — intra-join parallelism on ONE large couple (the shape the
+// paper's Table 11 scalability study stresses, where cross-couple
+// fan-out has nothing to fan out): Ex-MinMax at every --join_threads
+// setting vs the serial run, asserting byte-identical results (pairs,
+// similarity bits, event counters) and emitting "join_scaling_ok".
+//
+// --json writes the whole run as machine-readable JSON, stamped with
+// --git_sha/--build_type.
 
 #include <algorithm>
 #include <cstdio>
@@ -84,6 +96,32 @@ bool ReportsIdentical(const csj::pipeline::PipelineReport& x,
   return true;
 }
 
+/// Bit-exact JoinResult equality: pairs, similarity bits and every event
+/// counter (timing excluded) — what the intra-join deterministic-merge
+/// contract promises.
+bool JoinResultsIdentical(const csj::JoinResult& x, const csj::JoinResult& y) {
+  const double sx = x.Similarity();
+  const double sy = y.Similarity();
+  return x.pairs == y.pairs && x.size_b == y.size_b &&
+         std::memcmp(&sx, &sy, sizeof(double)) == 0 &&
+         x.stats.min_prunes == y.stats.min_prunes &&
+         x.stats.max_prunes == y.stats.max_prunes &&
+         x.stats.no_overlaps == y.stats.no_overlaps &&
+         x.stats.no_matches == y.stats.no_matches &&
+         x.stats.matches == y.stats.matches &&
+         x.stats.dimension_compares == y.stats.dimension_compares &&
+         x.stats.candidate_pairs == y.stats.candidate_pairs &&
+         x.stats.csf_flushes == y.stats.csf_flushes;
+}
+
+/// Scaling gate: the `high` thread setting must not be slower than the
+/// `low` one beyond a 10% noise margin. Vacuously true when either
+/// setting was not swept.
+bool ScalingOk(double low_seconds, double high_seconds) {
+  if (low_seconds <= 0.0 || high_seconds <= 0.0) return true;
+  return high_seconds <= low_seconds * 1.10;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +135,9 @@ int main(int argc, char** argv) {
                "sweep");
   flags.Define("allpairs", "12",
                "communities in the all-pairs sweep (0 disables part 2)");
+  flags.Define("join_threads", "1,2,4,8",
+               "comma list of join_threads settings for the single-couple "
+               "sweep (empty disables part 3)");
   flags.Define("json", "", "write the results as JSON to this path");
   flags.Define("git_sha", "", "source revision stamped into the JSON");
   flags.Define("build_type", "", "CMake build type stamped into the JSON");
@@ -202,9 +243,11 @@ int main(int argc, char** argv) {
 
   struct SweepPoint {
     uint32_t threads = 0;
-    double seconds = 0.0;
+    double seconds = 0.0;   ///< best of the reps
+    double screen_wall_seconds = 0.0;  ///< phase walls of the best rep
+    double refine_wall_seconds = 0.0;
     double speedup = 1.0;  ///< vs the no-cache single-thread arm
-    bool identical = true;
+    bool identical = true;  ///< across ALL reps
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
   };
@@ -216,6 +259,7 @@ int main(int argc, char** argv) {
   };
   std::vector<SweepPoint> sweep;
   bool all_identical = true;
+  bool scaling_ok = true;
   double nocache_seconds = 0.0;
   SweepPoint warmup;
 
@@ -280,21 +324,35 @@ int main(int argc, char** argv) {
 
     for (const uint32_t threads : thread_settings) {
       options.pipeline_threads = threads;
-      csj::util::Timer timer;
-      const csj::pipeline::PipelineReport report =
-          ScreenAndRefineAllPairs(communities, options);
+      // Best of two reps: the scaling flag compares thread settings
+      // against each other, and a single noisy rep would turn scheduler
+      // jitter into a false regression alarm.
       SweepPoint point;
       point.threads = threads;
-      point.seconds = timer.Seconds();
+      for (int rep = 0; rep < 2; ++rep) {
+        csj::util::Timer timer;
+        const csj::pipeline::PipelineReport report =
+            ScreenAndRefineAllPairs(communities, options);
+        const double seconds = timer.Seconds();
+        if (rep == 0 || seconds < point.seconds) {
+          point.seconds = seconds;
+          point.screen_wall_seconds = report.screen_wall_seconds;
+          point.refine_wall_seconds = report.refine_wall_seconds;
+        }
+        point.identical =
+            (rep == 0 || point.identical) && ReportsIdentical(reference,
+                                                              report);
+        point.cache_hits = report.cache_hits;
+        point.cache_misses = report.cache_misses;
+      }
       point.speedup = nocache_seconds / point.seconds;
-      point.identical = ReportsIdentical(reference, report);
-      point.cache_hits = report.cache_hits;
-      point.cache_misses = report.cache_misses;
       all_identical = all_identical && point.identical;
       std::printf(
-          "  cached,   threads %2u: %8s  speedup %.2fx  hit rate %5.1f%%  "
-          "report %s\n",
+          "  cached,   threads %2u: %8s  (screen %s, refine %s)  speedup "
+          "%.2fx  hit rate %5.1f%%  report %s\n",
           point.threads, csj::util::SecondsCell(point.seconds).c_str(),
+          csj::util::SecondsCell(point.screen_wall_seconds).c_str(),
+          csj::util::SecondsCell(point.refine_wall_seconds).c_str(),
           point.speedup,
           100.0 * hit_rate(point.cache_hits, point.cache_misses),
           point.identical ? "identical" : "DIVERGED (investigate!)");
@@ -314,6 +372,86 @@ int main(int argc, char** argv) {
         csj::util::WithCommas(cache_stats.entries).c_str(),
         static_cast<double>(cache_stats.bytes) / (1024.0 * 1024.0),
         100.0 * hit_rate(sweep_hits, sweep_misses));
+
+    // The regression gate: 4 pipeline threads must not be slower than 1.
+    double seconds_at_1 = 0.0;
+    double seconds_at_4 = 0.0;
+    for (const SweepPoint& point : sweep) {
+      if (point.threads == 1) seconds_at_1 = point.seconds;
+      if (point.threads == 4) seconds_at_4 = point.seconds;
+    }
+    scaling_ok = ScalingOk(seconds_at_1, seconds_at_4);
+    std::printf("  scaling threads 1 -> 4: %s\n",
+                scaling_ok ? "OK" : "REGRESSED (investigate!)");
+  }
+
+  // ---- Part 3: intra-join parallelism on one large couple --------------
+  struct JoinSweepPoint {
+    uint32_t join_threads = 0;
+    double seconds = 0.0;  ///< best of the reps
+    double speedup = 1.0;  ///< vs the serial arm
+    bool identical = true;
+  };
+  const std::vector<uint32_t> join_thread_settings =
+      ParseThreadList(flags.GetString("join_threads"));
+  std::vector<JoinSweepPoint> join_sweep;
+  double join_serial_seconds = 0.0;
+  bool join_scaling_ok = true;
+
+  {
+    // One couple, no pipeline: the only parallelism available is inside
+    // the join itself. The pivot and its most similar planted candidate
+    // give an equal-sized, match-rich couple (candidate edges and CSF
+    // segments actually flow through the merge).
+    const csj::Community& big_b = catalog.front();
+    const csj::Community& big_a = pivot;
+    csj::JoinOptions join_options = join;
+    std::printf("\nSingle-couple Ex-MinMax (%s x %s users), join_threads:\n",
+                csj::util::WithCommas(big_b.size()).c_str(),
+                csj::util::WithCommas(big_a.size()).c_str());
+
+    join_options.join_threads = 1;
+    csj::JoinResult serial;
+    for (int rep = 0; rep < 2; ++rep) {
+      csj::util::Timer timer;
+      serial = RunMethod(csj::Method::kExMinMax, big_b, big_a, join_options);
+      const double seconds = timer.Seconds();
+      if (rep == 0 || seconds < join_serial_seconds) {
+        join_serial_seconds = seconds;
+      }
+    }
+    std::printf("  join_threads  1: %8s  (reference, %s pairs)\n",
+                csj::util::SecondsCell(join_serial_seconds).c_str(),
+                csj::util::WithCommas(serial.pairs.size()).c_str());
+
+    double seconds_at_4 = 0.0;
+    for (const uint32_t join_threads : join_thread_settings) {
+      if (join_threads <= 1) continue;
+      join_options.join_threads = join_threads;
+      JoinSweepPoint point;
+      point.join_threads = join_threads;
+      for (int rep = 0; rep < 2; ++rep) {
+        csj::util::Timer timer;
+        const csj::JoinResult result =
+            RunMethod(csj::Method::kExMinMax, big_b, big_a, join_options);
+        const double seconds = timer.Seconds();
+        if (rep == 0 || seconds < point.seconds) point.seconds = seconds;
+        point.identical = (rep == 0 || point.identical) &&
+                          JoinResultsIdentical(serial, result);
+      }
+      point.speedup = join_serial_seconds / point.seconds;
+      if (point.join_threads == 4) seconds_at_4 = point.seconds;
+      all_identical = all_identical && point.identical;
+      std::printf("  join_threads %2u: %8s  speedup %.2fx  result %s\n",
+                  point.join_threads,
+                  csj::util::SecondsCell(point.seconds).c_str(),
+                  point.speedup,
+                  point.identical ? "identical" : "DIVERGED (investigate!)");
+      join_sweep.push_back(point);
+    }
+    join_scaling_ok = ScalingOk(join_serial_seconds, seconds_at_4);
+    std::printf("  scaling join_threads 1 -> 4: %s\n",
+                join_scaling_ok ? "OK" : "REGRESSED (investigate!)");
   }
 
   const std::string json_path = flags.GetString("json");
@@ -357,6 +495,10 @@ int main(int argc, char** argv) {
       json.Uint(point.threads);
       json.Key("seconds");
       json.Double(point.seconds);
+      json.Key("screen_wall_seconds");
+      json.Double(point.screen_wall_seconds);
+      json.Key("refine_wall_seconds");
+      json.Double(point.refine_wall_seconds);
       json.Key("speedup_vs_nocache");
       json.Double(point.speedup);
       json.Key("report_identical");
@@ -385,6 +527,33 @@ int main(int argc, char** argv) {
     // never rebuild an encoding.
     json.Key("sweep_phase_hit_rate");
     json.Double(hit_rate(sweep_hits, sweep_misses));
+    // The regression gate the perf-smoke CI greps for.
+    json.Key("scaling_ok");
+    json.Bool(scaling_ok);
+    json.EndObject();
+    json.Key("single_couple");
+    json.BeginObject();
+    json.Key("method");
+    json.String("Ex-MinMax");
+    json.Key("serial_seconds");
+    json.Double(join_serial_seconds);
+    json.Key("sweep");
+    json.BeginArray();
+    for (const JoinSweepPoint& point : join_sweep) {
+      json.BeginObject();
+      json.Key("join_threads");
+      json.Uint(point.join_threads);
+      json.Key("seconds");
+      json.Double(point.seconds);
+      json.Key("speedup_vs_serial");
+      json.Double(point.speedup);
+      json.Key("report_identical");
+      json.Bool(point.identical);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("join_scaling_ok");
+    json.Bool(join_scaling_ok);
     json.EndObject();
     json.EndObject();
     const std::string text = json.Take();

@@ -100,12 +100,13 @@ JoinResult ExBaselineJoin(const Community& b, const Community& a,
   const uint32_t nb = b.size();
   const uint32_t na = a.size();
 
-  // Candidate collection partitions B's rows; chunk-local buffers are
+  // Candidate collection partitions B's rows; per-chunk arena buffers are
   // concatenated in chunk order so any thread count yields the serial
   // result. Event logging pins the run to one chunk and (because events
   // must flow one pair at a time) disables batching.
-  const uint32_t threads =
-      options.event_log != nullptr ? 1 : std::max<uint32_t>(options.threads, 1);
+  const uint32_t threads = options.event_log != nullptr
+                               ? 1
+                               : std::max<uint32_t>(options.join_threads, 1);
   const bool batched = options.batch_verify &&
                        options.event_log == nullptr && na >= kEpsilonBlock;
   std::shared_ptr<const VerifyWindow> keepalive;
@@ -114,13 +115,13 @@ JoinResult ExBaselineJoin(const Community& b, const Community& a,
               : nullptr;
 
   const uint32_t chunks = util::ParallelChunks(0, nb, threads);
-  std::vector<std::vector<MatchedPair>> chunk_candidates(chunks);
-  std::vector<JoinStats> chunk_stats(chunks);
+  const std::span<internal::ChunkSlot> slots =
+      internal::GetJoinScratch().chunk_arenas.Acquire(chunks);
   util::ParallelFor(
       0, nb, threads,
       [&](uint32_t chunk_begin, uint32_t chunk_end, uint32_t chunk) {
-        std::vector<MatchedPair>& local = chunk_candidates[chunk];
-        JoinStats& stats = chunk_stats[chunk];
+        std::vector<MatchedPair>& local = slots[chunk].edges;
+        JoinStats& stats = slots[chunk].stats;
         if (batched) {
           // Exact baseline wants every verdict of the row anyway, so the
           // whole row is one kernel call; survivors come back as a
@@ -162,16 +163,17 @@ JoinResult ExBaselineJoin(const Community& b, const Community& a,
             if (event == Event::kMatch) local.push_back(MatchedPair{ib, ia});
           }
         }
-      });
+      },
+      options.pool);
 
   // Chunk-order merge into per-thread scratch: byte-identical to the
   // serial run, no allocation after the first join warms the capacity.
   std::vector<MatchedPair>& candidates = internal::GetJoinScratch().candidates;
   candidates.clear();
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
-    result.stats.Merge(chunk_stats[chunk]);
-    candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),
-                      chunk_candidates[chunk].end());
+    result.stats.Merge(slots[chunk].stats);
+    candidates.insert(candidates.end(), slots[chunk].edges.begin(),
+                      slots[chunk].edges.end());
   }
 
   result.stats.candidate_pairs = candidates.size();

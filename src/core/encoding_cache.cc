@@ -1,6 +1,8 @@
 #include "core/encoding_cache.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "ego/dimension_reorder.h"
@@ -112,15 +114,34 @@ std::shared_ptr<const T> EncodingCache::GetOrBuild(const Key& key,
                                                    BuildFn&& build,
                                                    JoinStats* stats) {
   Shard& shard = ShardOf(key);
-  std::promise<std::shared_ptr<const void>> promise;
-  uint64_t token = 0;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    // Fast path: SHARED lock only. The steady state of an all-pairs run
+    // is 100% hits, and readers of one shard must not serialize — the
+    // exclusive-mutex version of this probe was the dominant contention
+    // source when cross-couple threads shared a hot cache.
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       // Hit. An in-flight slot counts too — the waiter did not build —
       // which is what keeps the hit/miss totals independent of thread
       // interleaving: misses == builds == unique keys (absent eviction).
+      const std::shared_future<std::shared_ptr<const void>> future =
+          it->second.future;
+      lock.unlock();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->cache_hits;
+      return std::static_pointer_cast<const T>(future.get());
+    }
+  }
+
+  std::promise<std::shared_ptr<const void>> promise;
+  uint64_t token = 0;
+  {
+    // Double-checked upgrade: another thread may have inserted the slot
+    // between the shared probe and this exclusive lock.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
       const std::shared_future<std::shared_ptr<const void>> future =
           it->second.future;
       lock.unlock();
@@ -146,7 +167,7 @@ std::shared_ptr<const T> EncodingCache::GetOrBuild(const Key& key,
   if (stats != nullptr) stats->cache_bytes_built += built.second;
 
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     // The token check covers a Clear() (or a Clear + re-insert by another
     // thread) racing the build: only the slot THIS call inserted is
@@ -248,7 +269,7 @@ std::shared_ptr<const SuperEgoPrep> EncodingCache::GetSuperEgoPrep(
 
 void EncodingCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
     shard.map.clear();
     shard.insertion_order.clear();
     shard.bytes = 0;
@@ -262,7 +283,7 @@ EncodingCache::Stats EncodingCache::GetStats() const {
   stats.bytes_built = bytes_built_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
     stats.entries += shard.map.size();
     stats.bytes += shard.bytes;
   }

@@ -6,7 +6,7 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -78,12 +78,17 @@ uint64_t HashDimOrder(const std::vector<Dim>& order);
 ///     eps, max_count) — ComputeDimensionOrder is symmetric in its two
 ///     communities, so the key ignores couple orientation
 ///
-/// Concurrency: lookups share a shard mutex only long enough to find or
-/// insert a slot; builds run OUTSIDE the lock. N threads requesting the
-/// same key race to insert one in-flight slot — exactly one builds, the
-/// rest block on its shared_future. Hence `misses` counts BUILDS: for a
-/// run with no eviction the hit/miss totals are deterministic for every
-/// thread count (total lookups and unique keys are data properties).
+/// Concurrency: the hit path — the steady state of an all-pairs run,
+/// where every community's buffers are resident after the first pass —
+/// takes only a SHARED shard lock, so concurrent readers of one shard
+/// never serialize (the PR-2 cross-couple scaling loss was exactly this:
+/// an exclusive mutex per shard turned all-hit workloads into a lock
+/// convoy). Misses upgrade to an exclusive lock, re-check, and insert an
+/// in-flight slot; builds run OUTSIDE any lock. N threads requesting the
+/// same key race to insert one slot — exactly one builds, the rest block
+/// on its shared_future. Hence `misses` counts BUILDS: for a run with no
+/// eviction the hit/miss totals are deterministic for every thread count
+/// (total lookups and unique keys are data properties).
 ///
 /// Eviction: optional byte budget, split evenly over the shards; each
 /// shard evicts its oldest ready entries (insertion order) when over
@@ -172,8 +177,11 @@ class EncodingCache {
     size_t bytes = 0;     ///< 0 until the build completes
     bool ready = false;
   };
-  struct Shard {
-    mutable std::mutex mu;
+  /// Cache-line aligned: adjacent shards' locks are ping-ponged by
+  /// different threads; sharing a line would re-couple what sharding
+  /// decoupled.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;  ///< shared on hits, exclusive on misses
     std::unordered_map<Key, Slot, KeyHash> map;
     std::deque<Key> insertion_order;  ///< ready entries, oldest first
     size_t bytes = 0;

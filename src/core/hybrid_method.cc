@@ -213,16 +213,16 @@ JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
   ego::EgoStats ego_stats;
   const std::vector<internal::LeafTask> tasks =
       internal::CollectLeafTasks(prep.tree_b, prep.tree_a, &ego_stats);
-  const uint32_t threads = std::max<uint32_t>(options.threads, 1);
+  const uint32_t threads = std::max<uint32_t>(options.join_threads, 1);
   const auto num_tasks = static_cast<uint32_t>(tasks.size());
   const uint32_t chunks = util::ParallelChunks(0, num_tasks, threads);
-  std::vector<std::vector<MatchedPair>> chunk_candidates(chunks);
-  std::vector<JoinStats> chunk_stats(chunks);
+  const std::span<internal::ChunkSlot> slots =
+      internal::GetJoinScratch().chunk_arenas.Acquire(chunks);
   util::ParallelFor(
       0, num_tasks, threads,
       [&](uint32_t task_begin, uint32_t task_end, uint32_t chunk) {
-        std::vector<MatchedPair>& local = chunk_candidates[chunk];
-        JoinStats& stats = chunk_stats[chunk];
+        std::vector<MatchedPair>& local = slots[chunk].edges;
+        JoinStats& stats = slots[chunk].stats;
         // The encoded filter punches holes in the run, so the lazy
         // chunked verifier (which only spends kernel lanes on queried
         // regions) fits better than a full-run mask here.
@@ -249,16 +249,17 @@ JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
             }
           }
         }
-      });
+      },
+      options.pool);
 
   // Chunk-order merge into per-thread scratch (serial-identical, and the
   // buffer's capacity survives across joins).
   std::vector<MatchedPair>& candidates = internal::GetJoinScratch().candidates;
   candidates.clear();
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
-    result.stats.Merge(chunk_stats[chunk]);
-    candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),
-                      chunk_candidates[chunk].end());
+    result.stats.Merge(slots[chunk].stats);
+    candidates.insert(candidates.end(), slots[chunk].edges.begin(),
+                      slots[chunk].edges.end());
   }
 
   result.stats.min_prunes = ego_stats.strategy_prunes;

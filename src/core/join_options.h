@@ -11,6 +11,10 @@ namespace csj {
 
 class EncodingCache;
 
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 /// Knobs shared by all six CSJ methods. Defaults reproduce the paper's
 /// configuration (4 encoding parts, CSF matcher, serial SuperEGO).
 struct JoinOptions {
@@ -49,13 +53,27 @@ struct JoinOptions {
   /// integer-grid SuperEGO, the other arm of bench_ablation_hybrid.
   bool hybrid_encoded_leaf = true;
 
-  /// Worker threads for the candidate-collection phase of Ex-Baseline,
-  /// Ex-SuperEGO and Ex-MinMaxEGO (the paper notes SuperEGO parallelizes;
-  /// its evaluation pinned 1 thread for fairness, and so does our
-  /// default). Chunked statically, so results are identical to the serial
-  /// run. The approximate methods and Ex-MinMax are order-dependent scans
-  /// and always run serially; event logging also forces serial execution.
-  uint32_t threads = 1;
+  /// Worker threads INSIDE one join: the candidate-collection (scan +
+  /// verify) phase of the exact methods partitions its probe work into
+  /// contiguous chunks — Ex-MinMax and Ex-Baseline over B's rows,
+  /// Ex-SuperEGO and Ex-MinMaxEGO over their surviving EGO leaves — and
+  /// runs the chunks on the persistent thread pool, each chunk writing
+  /// candidate edges into a per-chunk arena. A deterministic merge
+  /// concatenates arenas in chunk order (and, for Ex-MinMax, replays the
+  /// segment-close rule over the merged edge stream), so the candidate
+  /// graph handed to CSF/greedy matching — and hence pairs, similarity
+  /// and the summed event counters — is byte-identical to the serial run
+  /// for ANY value here. The paper's evaluation pinned 1 thread for
+  /// fairness, and so does our default. The approximate methods are
+  /// order-dependent greedy scans and always run serially; event logging
+  /// also forces serial execution (traces need per-candidate order).
+  uint32_t join_threads = 1;
+
+  /// Pool the intra-join chunks run on; null = ThreadPool::Global().
+  /// Injection seam for tests and embedders (a join called from inside a
+  /// pool task degrades to an inline chunk loop either way, so nesting
+  /// under pipeline_threads never oversubscribes).
+  util::ThreadPool* pool = nullptr;
 
   /// Optional community-level encoded-buffer cache. When set, the methods
   /// fetch their per-community preparation (EncodedB/EncodedA, Baseline

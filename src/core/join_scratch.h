@@ -2,6 +2,7 @@
 #define CSJ_CORE_JOIN_SCRATCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/epsilon_predicate.h"
@@ -9,6 +10,43 @@
 
 namespace csj {
 namespace internal {
+
+/// One chunk's output arena for the intra-join parallel phases: candidate
+/// edges plus the chunk's event counters. Aligned to two cache lines so
+/// adjacent chunks' vector headers and hot counters (bumped once per
+/// examined pair) never share a line — with 8 workers the per-event
+/// false-sharing traffic otherwise dominates small joins.
+struct alignas(128) ChunkSlot {
+  /// Candidate edges in scan order. The exact methods store whatever edge
+  /// representation their merge wants (real ids, or sorted-buffer indices
+  /// for Ex-MinMax's segment replay).
+  std::vector<MatchedPair> edges;
+  JoinStats stats;
+};
+
+/// Reusable pool of ChunkSlots owned by the SUBMITTING thread's scratch:
+/// a join acquires one span per parallel phase, workers fill disjoint
+/// slots, and the join merges them in chunk order. Capacity (outer and
+/// per-slot) survives across joins, so repeated joins stop allocating
+/// their chunk bookkeeping — the per-couple allocator churn that showed
+/// up as cross-couple scaling loss.
+class ChunkArenas {
+ public:
+  /// Slots [0, chunks), cleared (capacity retained). The span is valid
+  /// until the next Acquire on the same thread; a join must finish its
+  /// merge before this thread starts another parallel phase.
+  std::span<ChunkSlot> Acquire(uint32_t chunks) {
+    if (slots_.size() < chunks) slots_.resize(chunks);
+    for (uint32_t c = 0; c < chunks; ++c) {
+      slots_[c].edges.clear();
+      slots_[c].stats = JoinStats{};
+    }
+    return {slots_.data(), chunks};
+  }
+
+ private:
+  std::vector<ChunkSlot> slots_;
+};
 
 /// Reusable per-thread temporaries for the join hot paths.
 ///
@@ -54,6 +92,11 @@ struct JoinScratch {
   /// Candidate indices that survived the MinMax prescreen of one probe
   /// and still need the d-dimensional comparison.
   std::vector<uint32_t> survivors;
+
+  /// Per-chunk output arenas of this thread's intra-join parallel phases
+  /// (the chunks themselves may execute on pool workers; only the slots
+  /// live here, and each worker touches exactly one).
+  ChunkArenas chunk_arenas;
 };
 
 /// The calling thread's scratch. Never hold the reference across a point

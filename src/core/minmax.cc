@@ -18,6 +18,7 @@
 #include "core/join_scratch.h"
 #include "matching/matcher.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace csj {
@@ -157,6 +158,90 @@ void PrescreenCandidates(const EncodedA& encd_a, uint64_t id,
 #endif
   stats->max_prunes += max_prunes;
   stats->no_overlaps += no_overlaps;
+}
+
+// ---- Intra-join parallel Ex-MinMax scan ------------------------------
+//
+// The exact scan is sequential on the surface (the skippable-prefix
+// offset and the open CSF segment both thread through the probe loop),
+// but both pieces of state are pure functions of the input:
+//
+//  * The offset entering probe ib equals min(F, R) evaluated at
+//    id(ib - 1), where F(x) = first A entry with encoded_max >= x and
+//    R(x) = UpperBound(x). (Induction over the serial loop: entries are
+//    only prefix-skipped once their encoded_max drops below some probe
+//    id, probe ids are non-decreasing, and both F and R are monotone in
+//    the id.) A chunk starting at ib therefore recomputes its entry
+//    offset locally with one bounded scan — no cross-chunk handoff.
+//
+//  * Segment boundaries depend only on the matched-edge stream: between
+//    edge groups of probes bi < bj the serial loop flushes iff some
+//    intermediate next_id exceeds maxV, and since ids are non-decreasing
+//    that maximum IS id(bj). So the merge step can replay the exact
+//    segment partition (same CSF calls, same flush count, same pair
+//    order) from the concatenated edges alone.
+//
+// Hence: chunks scan disjoint probe ranges of B, counting events and
+// collecting candidate edges into per-chunk arenas; the merge
+// concatenates arenas in chunk order, sums the counters, and replays the
+// segment-close rule. Byte-identical to the serial run for any
+// join_threads (asserted per method and thread count by the tests).
+
+/// One chunk of the parallel Ex-MinMax scan over probes
+/// [b_begin, b_end). Edges are emitted as SORTED-BUFFER index pairs
+/// (ib, ia) — the merge needs encoded ids and maxes, which the indices
+/// reach without a second lookup structure.
+void ScanExMinMaxChunk(const Community& b, const Community& a,
+                       const EncodedB& encd_b, const EncodedA& encd_a,
+                       const JoinOptions& options, uint32_t b_begin,
+                       uint32_t b_end, internal::ChunkSlot* slot) {
+  const uint32_t na = encd_a.size();
+  const uint64_t* maxs = encd_a.encoded_maxs();
+  JoinStats& stats = slot->stats;
+
+  uint32_t offset = 0;
+  if (b_begin > 0) {
+    // Replay the serial run's prefix-skip state after probe b_begin - 1,
+    // WITHOUT counting: these MAX PRUNEs were already charged to earlier
+    // probes (i.e. to the previous chunks).
+    const uint64_t prev_id = encd_b.encoded_id(b_begin - 1);
+    const uint32_t prev_reach = encd_a.UpperBound(prev_id);
+    while (offset < prev_reach && prev_id > maxs[offset]) ++offset;
+  }
+
+  // Executing-thread scratch (a chunk runs on exactly one worker; two
+  // chunks on the same worker run back to back).
+  std::vector<uint32_t>& survivors = internal::GetJoinScratch().survivors;
+  LazyBatchVerifier<Count, Epsilon> verifier;
+  for (uint32_t ib = b_begin; ib < b_end; ++ib) {
+    const uint64_t id = encd_b.encoded_id(ib);
+    const UserId real_b = encd_b.real_id(ib);
+    const std::span<const Count> vb = b.User(real_b);
+    const uint32_t reach = encd_a.UpperBound(id);
+    uint32_t advanced = offset;
+    while (advanced < reach && id > maxs[advanced]) ++advanced;
+    stats.max_prunes += advanced - offset;
+    offset = advanced;
+
+    survivors.clear();
+    PrescreenCandidates(encd_a, id, encd_b.part_sums(ib), offset, reach,
+                        &stats, &survivors);
+    const bool batched = options.batch_verify && reach > offset &&
+                         reach - offset >= kEpsilonBlock;
+    if (batched) verifier.Start(encd_a.window(), vb, options.eps, reach);
+    for (const uint32_t ia : survivors) {
+      const bool match = batched ? verifier.Matches(ia)
+                                 : EpsilonMatches(vb, a.User(encd_a.real_id(ia)),
+                                                  options.eps);
+      if (match) {
+        stats.Count(Event::kMatch);
+        slot->edges.push_back(MatchedPair{ib, ia});
+      } else {
+        stats.Count(Event::kNoMatch);
+      }
+    }
+    if (reach < na) stats.Count(Event::kMinPrune);
+  }
 }
 
 MinMaxBuffers AcquireMinMaxBuffers(const Community& b, const Community& a,
@@ -300,6 +385,48 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
     segment.clear();
     max_v = 0;
   };
+
+  const uint32_t threads = options.event_log != nullptr
+                               ? 1
+                               : std::max<uint32_t>(options.join_threads, 1);
+  if (threads > 1 && nb > 1) {
+    // Intra-join parallel scan: chunks of B's probes fill per-chunk
+    // arenas (on the pool), then the calling thread merges in chunk
+    // order — counters sum, and the segment-close rule is replayed over
+    // the concatenated edge stream so the CSF segments (hence pairs and
+    // flush count) are byte-identical to the serial scan below.
+    internal::JoinScratch& scratch = internal::GetJoinScratch();
+    const uint32_t chunks = util::ParallelChunks(0, nb, threads);
+    const std::span<internal::ChunkSlot> slots =
+        scratch.chunk_arenas.Acquire(chunks);
+    util::ParallelFor(
+        0, nb, threads,
+        [&](uint32_t lo, uint32_t hi, uint32_t chunk) {
+          ScanExMinMaxChunk(b, a, encd_b, encd_a, options, lo, hi,
+                            &slots[chunk]);
+        },
+        options.pool);
+
+    uint64_t last_ib = UINT64_MAX;  // no valid probe index
+    for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
+      result.stats.Merge(slots[chunk].stats);
+      for (const MatchedPair& edge : slots[chunk].edges) {
+        const uint32_t ib = edge.b;  // sorted-buffer indices, not real ids
+        const uint32_t ia = edge.a;
+        if (!segment.empty() && ib != last_ib &&
+            encd_b.encoded_id(ib) > max_v) {
+          flush_segment();
+        }
+        segment.push_back(
+            MatchedPair{encd_b.real_id(ib), encd_a.real_id(ia)});
+        if (encd_a.encoded_max(ia) > max_v) max_v = encd_a.encoded_max(ia);
+        last_ib = ib;
+      }
+    }
+    flush_segment();
+    result.stats.seconds = timer.Seconds();
+    return result;
+  }
 
   LazyBatchVerifier<Count, Epsilon> verifier;
   uint32_t offset = 0;

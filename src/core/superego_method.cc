@@ -172,16 +172,16 @@ JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
   // results for any thread count).
   const std::vector<internal::LeafTask> tasks =
       internal::CollectLeafTasks(prep.b->tree, prep.a->tree, &ego_stats);
-  const uint32_t threads = std::max<uint32_t>(options.threads, 1);
+  const uint32_t threads = std::max<uint32_t>(options.join_threads, 1);
   const auto num_tasks = static_cast<uint32_t>(tasks.size());
   const uint32_t chunks = util::ParallelChunks(0, num_tasks, threads);
-  std::vector<std::vector<MatchedPair>> chunk_candidates(chunks);
-  std::vector<JoinStats> chunk_stats(chunks);
+  const std::span<internal::ChunkSlot> slots =
+      internal::GetJoinScratch().chunk_arenas.Acquire(chunks);
   util::ParallelFor(
       0, num_tasks, threads,
       [&](uint32_t task_begin, uint32_t task_end, uint32_t chunk) {
-        std::vector<MatchedPair>& local = chunk_candidates[chunk];
-        JoinStats& stats = chunk_stats[chunk];
+        std::vector<MatchedPair>& local = slots[chunk].edges;
+        JoinStats& stats = slots[chunk].stats;
         // Worker-thread scratch: leaves are at most `threshold` rows, so a
         // handful of mask words cover any run.
         std::vector<uint64_t>& mask = internal::GetJoinScratch().mask;
@@ -230,16 +230,17 @@ JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
             }
           }
         }
-      });
+      },
+      options.pool);
 
   // Chunk-order merge into per-thread scratch (serial-identical, and the
   // buffer's capacity survives across joins).
   std::vector<MatchedPair>& candidates = internal::GetJoinScratch().candidates;
   candidates.clear();
   for (uint32_t chunk = 0; chunk < chunks; ++chunk) {
-    result.stats.Merge(chunk_stats[chunk]);
-    candidates.insert(candidates.end(), chunk_candidates[chunk].begin(),
-                      chunk_candidates[chunk].end());
+    result.stats.Merge(slots[chunk].stats);
+    candidates.insert(candidates.end(), slots[chunk].edges.begin(),
+                      slots[chunk].edges.end());
   }
 
   FoldEgoStats(ego_stats, &result.stats);

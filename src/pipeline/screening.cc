@@ -38,22 +38,17 @@ struct ScreenSlot {
   uint64_t cache_bytes_built = 0;
 };
 
-/// Scheduling cost proxy: a couple's join work grows with the product of
-/// its sides (quadratic methods) and is monotone in it for the rest.
-uint64_t CoupleCost(const CoupleTask& task) {
-  return static_cast<uint64_t>(task.x->size()) *
-         std::max<uint32_t>(task.y->size(), 1);
-}
-
 /// Indices of `tasks`, most expensive first (ties: candidate order).
-/// Couple sizes vary wildly in real catalogs; starting the giants first
+/// Couple costs vary wildly in real catalogs; starting the giants first
 /// lets the cheap couples backfill idle workers instead of a giant
 /// landing last and serializing the tail.
-std::vector<uint32_t> LargestFirstOrder(const std::vector<CoupleTask>& tasks) {
+std::vector<uint32_t> MostExpensiveFirstOrder(
+    const std::vector<CoupleTask>& tasks) {
   std::vector<uint32_t> order(tasks.size());
   std::iota(order.begin(), order.end(), 0u);
   std::stable_sort(order.begin(), order.end(), [&](uint32_t l, uint32_t r) {
-    return CoupleCost(tasks[l]) > CoupleCost(tasks[r]);
+    return EstimatedCoupleCost(*tasks[l].x, *tasks[l].y) >
+           EstimatedCoupleCost(*tasks[r].x, *tasks[r].y);
   });
   return order;
 }
@@ -106,6 +101,7 @@ ScreenOutcome ScreenCouple(const Community& x, const Community& y,
 void RefineAndRank(
     const std::vector<std::pair<const Community*, const Community*>>& couples,
     const PipelineOptions& options, PipelineReport* report) {
+  util::Timer wall;
   // Survivors in descending screened order so refine_top_k keeps the best.
   std::vector<size_t> survivors;
   for (size_t i = 0; i < report->entries.size(); ++i) {
@@ -128,8 +124,7 @@ void RefineAndRank(
   std::stable_sort(order.begin(), order.end(), [&](uint32_t l, uint32_t r) {
     const auto cost = [&](uint32_t s) {
       const auto& [x, y] = couples[survivors[s]];
-      return static_cast<uint64_t>(x->size()) *
-             std::max<uint32_t>(y->size(), 1);
+      return EstimatedCoupleCost(*x, *y);
     };
     return cost(l) > cost(r);
   });
@@ -164,6 +159,7 @@ void RefineAndRank(
               }
               return x.candidate_index < y.candidate_index;
             });
+  report->refine_wall_seconds = wall.Seconds();
 }
 
 /// The shared engine behind both entry points: screen every couple
@@ -176,14 +172,25 @@ PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
   const auto num_tasks = static_cast<uint32_t>(tasks.size());
 
   // The pipeline-level cache reaches every join through the join options;
-  // an explicitly set join.cache wins.
+  // an explicitly set join.cache wins. The pool flows the same way so the
+  // intra-join chunks run on the pipeline's (possibly injected) pool.
   PipelineOptions options = input_options;
   if (options.cache != nullptr && options.join.cache == nullptr) {
     options.join.cache = options.cache;
   }
+  if (options.join.pool == nullptr) options.join.pool = options.pool;
+  // The nesting budget: with min(pipeline_threads, couples) couples in
+  // flight, each join gets its fair share of the pool. Changes only how
+  // finely a join chunks, never its result.
+  const uint32_t pool_threads =
+      (options.pool != nullptr ? *options.pool : util::ThreadPool::Global())
+          .threads();
+  options.join.join_threads =
+      NestedJoinThreads(options.join.join_threads, options.pipeline_threads,
+                        pool_threads, num_tasks);
 
   std::vector<ScreenSlot> slots(num_tasks);
-  RunCoupleTasks(options, LargestFirstOrder(tasks), [&](uint32_t i) {
+  RunCoupleTasks(options, MostExpensiveFirstOrder(tasks), [&](uint32_t i) {
     CoupleTask& task = tasks[i];
     ScreenSlot& slot = slots[i];
     slot.entry.candidate_index = task.candidate_index;
@@ -214,6 +221,7 @@ PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
     }
   }
 
+  report.screen_wall_seconds = timer.Seconds();
   RefineAndRank(couples, options, &report);
   report.total_seconds = timer.Seconds();
   return report;
@@ -256,6 +264,35 @@ void DecodePairIndex(uint32_t candidate_index, uint32_t n, uint32_t* i,
   CSJ_CHECK_GT(n, 0u);
   *i = candidate_index / n;
   *j = candidate_index % n;
+}
+
+uint64_t EstimatedCoupleCost(const Community& x, const Community& y) {
+  return static_cast<uint64_t>(x.size()) *
+         std::max<uint32_t>(y.size(), 1) * std::max<Dim>(x.d(), 1);
+}
+
+std::vector<uint32_t> CostAwareOrder(
+    const std::vector<std::pair<const Community*, const Community*>>&
+        couples) {
+  std::vector<uint32_t> order(couples.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t l, uint32_t r) {
+    return EstimatedCoupleCost(*couples[l].first, *couples[l].second) >
+           EstimatedCoupleCost(*couples[r].first, *couples[r].second);
+  });
+  return order;
+}
+
+uint32_t NestedJoinThreads(uint32_t requested, uint32_t pipeline_threads,
+                           uint32_t pool_threads, uint32_t couples) {
+  if (requested <= 1) return 1;
+  const uint32_t in_flight =
+      std::max<uint32_t>(std::min(std::max<uint32_t>(pipeline_threads, 1),
+                                  std::max<uint32_t>(couples, 1)),
+                         1);
+  const uint32_t share =
+      std::max<uint32_t>(std::max<uint32_t>(pool_threads, 1) / in_flight, 1);
+  return std::min(requested, share);
 }
 
 }  // namespace csj::pipeline

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/community.h"
@@ -45,11 +46,16 @@ struct PipelineOptions {
   /// Couples processed concurrently in the screen and refine phases.
   /// 1 (the default) runs the pipeline serially with no pool
   /// interaction. N > 1 executes independent couples on the persistent
-  /// thread pool, scheduled LARGEST-COUPLE-FIRST so one skewed giant
-  /// couple cannot serialize the tail. Any value produces byte-identical
+  /// thread pool, scheduled MOST-EXPENSIVE-FIRST by the estimated join
+  /// work |B|·|A|·d (EstimatedCoupleCost) so one skewed giant couple
+  /// cannot serialize the tail. Any value produces byte-identical
   /// reports: every couple computes the same similarity in isolation and
   /// aggregation happens in candidate order (see docs/API.md,
   /// "Execution & parallelism").
+  ///
+  /// Composes with `join.join_threads` (intra-join chunking): the
+  /// pipeline clamps the per-join thread count to the NestedJoinThreads
+  /// budget so couples × chunks never outgrows the pool.
   uint32_t pipeline_threads = 1;
 
   /// Pool override for tests/embedders; null = ThreadPool::Global().
@@ -96,6 +102,12 @@ struct PipelineReport {
   /// they can exceed total_seconds — that surplus IS the parallel win.
   double screen_seconds = 0.0;
   double refine_seconds = 0.0;
+  /// Wall-clock of each phase as the submitting thread saw it (screen =
+  /// enumerate + screen joins; refine = survivor selection + exact joins
+  /// + ranking). Unlike the thread-second sums above these SHRINK when
+  /// parallelism wins — the numbers bench_pipeline's scaling check reads.
+  double screen_wall_seconds = 0.0;
+  double refine_wall_seconds = 0.0;
   /// Encoding-cache totals over every join of the run (0 when no cache is
   /// wired). The TOTALS are deterministic for any pipeline_threads —
   /// misses count builds, and with build deduplication the build set is a
@@ -126,6 +138,30 @@ PipelineReport ScreenAndRefineAllPairs(
 /// Splits an all-pairs `candidate_index` back into (i, j).
 void DecodePairIndex(uint32_t candidate_index, uint32_t n, uint32_t* i,
                      uint32_t* j);
+
+/// Scheduling cost proxy for one couple: |x|·|y|·d. The quadratic methods
+/// do exactly |B|·|A| candidate tests of d dimensions each, and the
+/// pruned methods are monotone in that product — whereas member count
+/// alone ranks a 12×12 d=1 couple above a 10×10 d=100 one that costs
+/// ~70x more. Used by the pipeline's most-expensive-first order.
+uint64_t EstimatedCoupleCost(const Community& x, const Community& y);
+
+/// Indices of `couples`, most expensive first by EstimatedCoupleCost
+/// (ties broken by position — a stable order). Exposed so the scheduling
+/// policy is testable without timing a run.
+std::vector<uint32_t> CostAwareOrder(
+    const std::vector<std::pair<const Community*, const Community*>>& couples);
+
+/// The nesting budget: how many intra-join threads each couple may use
+/// when the pipeline is already running `pipeline_threads` couples
+/// concurrently on a pool of `pool_threads`. With C couples in flight
+/// (at most min(pipeline_threads, couples)), each join gets its fair
+/// share pool_threads / C of the pool, never less than 1 and never more
+/// than `requested`. A single couple therefore inherits the whole pool —
+/// the case intra-join parallelism exists for. Chunk counts change with
+/// the budget but results do not (the deterministic-merge contract).
+uint32_t NestedJoinThreads(uint32_t requested, uint32_t pipeline_threads,
+                           uint32_t pool_threads, uint32_t couples);
 
 }  // namespace csj::pipeline
 

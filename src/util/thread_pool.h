@@ -85,8 +85,11 @@ class ThreadPool {
   uint32_t max_workers_ = 0;         ///< workers allowed into the job
   uint32_t joined_ = 0;              ///< workers that entered the job
   uint32_t active_ = 0;              ///< workers still inside DrainTasks
-  std::atomic<uint32_t> next_{0};    ///< next unclaimed task index
-  std::atomic<uint32_t> completed_{0};
+  // The two claim-loop atomics are RMW'd once per task by every worker;
+  // each gets its own cache line so claiming a task never invalidates the
+  // completion counter's line (or the mutex word) on the other cores.
+  alignas(64) std::atomic<uint32_t> next_{0};  ///< next unclaimed task
+  alignas(64) std::atomic<uint32_t> completed_{0};
   bool shutdown_ = false;
 
   std::mutex submit_mutex_;          ///< serializes external Run() calls

@@ -91,10 +91,10 @@ TEST(ParallelJoinTest, ThreadCountInvarianceForEveryMethod) {
     JoinOptions options;
     options.eps = 2;
     options.superego_threshold = 16;
-    options.threads = 1;
+    options.join_threads = 1;
     const JoinResult serial = RunMethod(method, b, a, options);
     for (const uint32_t threads : {2u, 4u, 9u}) {
-      options.threads = threads;
+      options.join_threads = threads;
       const JoinResult parallel = RunMethod(method, b, a, options);
       EXPECT_EQ(parallel.pairs, serial.pairs)
           << MethodName(method) << " threads=" << threads;
@@ -249,7 +249,7 @@ TEST(ParallelJoinTest, EventLogForcesSerialExecution) {
   const Community a = RandomCommunity(3, 20, 5, 4);
   JoinOptions options;
   options.eps = 1;
-  options.threads = 8;
+  options.join_threads = 8;
   EventLog log;
   options.event_log = &log;
   const JoinResult result = RunMethod(Method::kExBaseline, b, a, options);
@@ -270,7 +270,7 @@ TEST(ParallelJoinTest, EmptyCommunitiesWithThreads) {
   one.AddUser(std::vector<Count>{1, 2, 3, 4});
   JoinOptions options;
   options.eps = 1;
-  options.threads = 4;
+  options.join_threads = 4;
   EXPECT_TRUE(RunMethod(Method::kExBaseline, empty, one, options).pairs.empty());
   EXPECT_TRUE(RunMethod(Method::kExSuperEgo, one, empty, options).pairs.empty());
   EXPECT_TRUE(

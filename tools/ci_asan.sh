@@ -3,9 +3,10 @@
 # (tools/ci_tsan.sh) hunts races, this one hunts lifetime bugs in the
 # paths that hand out shared buffers: the encoding cache's entry
 # promotion/eviction (a join must keep its shared_ptr alive across
-# eviction), the SoA verify windows' padded tail lanes, and the scan
-# kernels' unaligned vector loads. Runs the full test suite — ASan is
-# cheap enough for that, and the join methods are where the pointers
+# eviction), the SoA verify windows' padded tail lanes, the per-chunk
+# arenas of the intra-join parallel scans (join_threads_test), and the
+# scan kernels' unaligned vector loads. Runs the full test suite — ASan
+# is cheap enough for that, and the join methods are where the pointers
 # live.
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)

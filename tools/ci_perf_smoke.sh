@@ -1,0 +1,70 @@
+#!/bin/sh
+# CI-style performance smoke gate: builds a Release tree, runs a small
+# bench_pipeline sweep at pipeline_threads {1,4} (plus the single-couple
+# join_threads sweep), and FAILS when the JSON reports a scaling
+# regression (threads=4 slower than threads=1 beyond the bench's 10%
+# noise margin) or any report-identity mismatch. This is the check that
+# keeps "parallelism going backwards" out of BENCH_pipeline.json instead
+# of buried in it.
+#
+# Usage:
+#   tools/ci_perf_smoke.sh [build-dir]          build + sweep + check
+#                                               (default: build-perf)
+#   tools/ci_perf_smoke.sh --check-json FILE    only check an existing
+#                                               bench_pipeline JSON
+set -eu
+
+check_json() {
+  json_file="$1"
+  if [ ! -f "${json_file}" ]; then
+    echo "error: ${json_file} not found" >&2
+    exit 1
+  fi
+  fail=0
+  if grep -q '"scaling_ok": false' "${json_file}"; then
+    echo "FAIL: scaling_ok=false in ${json_file} (pipeline_threads=4 slower than 1)" >&2
+    fail=1
+  fi
+  if grep -q '"join_scaling_ok": false' "${json_file}"; then
+    echo "FAIL: join_scaling_ok=false in ${json_file} (join_threads=4 slower than serial)" >&2
+    fail=1
+  fi
+  if grep -q '"report_identical": false' "${json_file}"; then
+    echo "FAIL: report_identical=false in ${json_file} (a parallel run diverged from serial)" >&2
+    fail=1
+  fi
+  if grep -q '"arms_agree": false' "${json_file}"; then
+    echo "FAIL: arms_agree=false in ${json_file} (screen+refine missed an exact winner)" >&2
+    fail=1
+  fi
+  if [ "${fail}" -ne 0 ]; then
+    exit 1
+  fi
+  echo "perf smoke check passed: ${json_file}"
+}
+
+if [ "${1:-}" = "--check-json" ]; then
+  check_json "${2:?usage: ci_perf_smoke.sh --check-json FILE}"
+  exit 0
+fi
+
+build_dir="${1:-build-perf}"
+
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCSJ_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j --target bench_pipeline
+
+git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+json_out="${build_dir}/perf_smoke.json"
+
+# Small enough to finish in seconds, large enough that the parallel paths
+# genuinely run (multiple couples per worker, multiple chunks per join).
+"${build_dir}/bench/bench_pipeline" \
+  --size=1200 --candidates=10 --allpairs=8 \
+  --pipeline_threads=1,4 --join_threads=1,4 \
+  --json="${json_out}" \
+  --git_sha="${git_sha}" --build_type=Release
+
+check_json "${json_out}"
+echo "perf smoke gate passed."

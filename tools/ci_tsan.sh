@@ -1,9 +1,11 @@
 #!/bin/sh
 # CI-style ThreadSanitizer gate for the concurrency-sensitive pieces: the
 # persistent thread pool, the ParallelFor chunk merge, the parallel
-# screening pipeline, and the shared encoding cache (concurrent build
-# dedup, eviction, Clear). Configures a dedicated build tree with
-# CSJ_ENABLE_TSAN=ON and runs the relevant test binaries under TSAN.
+# screening pipeline, the intra-join chunked scans (join_threads, incl.
+# nesting under pipeline_threads), and the shared encoding cache
+# (concurrent build dedup, shared-lock hit path, eviction, Clear).
+# Configures a dedicated build tree with CSJ_ENABLE_TSAN=ON and runs the
+# relevant test binaries under TSAN.
 #
 # Usage: tools/ci_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -15,11 +17,12 @@ cmake -B "${build_dir}" -S . \
   -DCSJ_BUILD_BENCHMARKS=OFF \
   -DCSJ_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j \
-  --target thread_pool_test parallel_test pipeline_test encoding_cache_test
+  --target thread_pool_test parallel_test join_threads_test pipeline_test \
+           encoding_cache_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling'
 
 echo "TSAN gate passed."

@@ -136,6 +136,9 @@ int RunSimilarity(int argc, char** argv) {
   flags.Define("eps", "1", "per-dimension absolute-difference threshold");
   flags.Define("parts", "4", "MinMax encoding parts");
   flags.Define("matcher", "csf", "exact-method matcher: csf | maximum");
+  flags.Define("join_threads", "1",
+               "threads inside the join's scan+verify phase (0 = all "
+               "cores; any value gives identical results)");
   flags.Define("json", "false", "emit a JSON report instead of text");
   flags.Define("pairs", "0", "print up to N matched pairs");
   if (!flags.Parse(argc, argv)) return 1;
@@ -159,6 +162,11 @@ int RunSimilarity(int argc, char** argv) {
   options.matcher = flags.GetString("matcher") == "maximum"
                         ? csj::matching::MatcherKind::kMaxMatching
                         : csj::matching::MatcherKind::kCsf;
+  const auto join_threads =
+      static_cast<uint32_t>(flags.GetInt("join_threads"));
+  options.join_threads = join_threads == 0
+                             ? csj::util::ThreadPool::DefaultThreads()
+                             : join_threads;
 
   const auto result = csj::ComputeSimilarityAutoOrder(*method, *b, *a,
                                                       options);
@@ -237,6 +245,9 @@ int RunPipeline(int argc, char** argv) {
   flags.Define("refine", "Ex-MinMax", "refinement method");
   flags.Define("threads", "1",
                "couples screened/refined concurrently (0 = all cores)");
+  flags.Define("join_threads", "1",
+               "threads inside each join, budgeted against --threads "
+               "(0 = all cores; any value gives identical reports)");
   flags.Define("cache", "true",
                "share encoded buffers between screen and refine");
   flags.Define("cache_mb", "0",
@@ -284,6 +295,11 @@ int RunPipeline(int argc, char** argv) {
   const auto threads = static_cast<uint32_t>(flags.GetInt("threads"));
   options.pipeline_threads =
       threads == 0 ? csj::util::ThreadPool::DefaultThreads() : threads;
+  const auto join_threads =
+      static_cast<uint32_t>(flags.GetInt("join_threads"));
+  options.join.join_threads =
+      join_threads == 0 ? csj::util::ThreadPool::DefaultThreads()
+                        : join_threads;
 
   std::optional<csj::EncodingCache> cache;
   if (flags.GetBool("cache")) {

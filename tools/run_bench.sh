@@ -52,4 +52,9 @@ echo "== bench_micro_kernels (epsilon kernels, encoder, matchers) =="
   --benchmark_context=build_type="${build_type}"
 
 echo
+echo "== perf smoke check (scaling + report identity) =="
+script_dir="$(dirname "$0")"
+sh "${script_dir}/ci_perf_smoke.sh" --check-json BENCH_pipeline.json
+
+echo
 echo "wrote BENCH_pipeline.json and BENCH_micro_kernels.json (${git_sha}, ${build_type})"

@@ -178,7 +178,9 @@ JoinResult ExBaselineJoin(const Community& b, const Community& a,
 
   result.stats.candidate_pairs = candidates.size();
   result.stats.csf_flushes = 1;
+  util::Timer match_timer;
   result.pairs = matching::RunMatcher(options.matcher, candidates);
+  result.stats.matching_seconds = match_timer.Seconds();
   result.stats.seconds = timer.Seconds();
   return result;
 }

@@ -265,7 +265,9 @@ JoinResult ExMinMaxEgoJoin(const Community& b, const Community& a,
   result.stats.min_prunes = ego_stats.strategy_prunes;
   result.stats.candidate_pairs = candidates.size();
   result.stats.csf_flushes = 1;
+  util::Timer match_timer;
   result.pairs = matching::RunMatcher(options.matcher, candidates);
+  result.stats.matching_seconds = match_timer.Seconds();
   result.stats.seconds = timer.Seconds();
   return result;
 }

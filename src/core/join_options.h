@@ -69,10 +69,25 @@ struct JoinOptions {
   /// also forces serial execution (traces need per-candidate order).
   uint32_t join_threads = 1;
 
-  /// Pool the intra-join chunks run on; null = ThreadPool::Global().
-  /// Injection seam for tests and embedders (a join called from inside a
-  /// pool task degrades to an inline chunk loop either way, so nesting
-  /// under pipeline_threads never oversubscribes).
+  /// Worker threads for the refine-phase one-to-one matching. Ex-MinMax
+  /// flushes many independent CSF segments per join; with a value > 1 the
+  /// join defers each flushed segment into a SegmentMatchFarm and runs
+  /// them as individual tasks on the persistent pool instead of matching
+  /// inline. Matched pairs are appended in SEGMENT ORDER and each matcher
+  /// is deterministic on its own segment, so pairs, `candidate_pairs`,
+  /// `csf_flushes` and every other counter are byte-identical to the
+  /// serial run for ANY value here. The single-segment exact methods
+  /// (Ex-Baseline, Ex-SuperEGO, Ex-MinMaxEGO, Ex-GridHash) run one
+  /// matcher call and are unaffected; so are the approximate methods
+  /// (no matcher at all). Composes with `join_threads`: the scan chunks
+  /// and the segment tasks share the same pool, and the pipeline budgets
+  /// both through NestedJoinThreads.
+  uint32_t matching_threads = 1;
+
+  /// Pool the intra-join chunks and deferred segment matchings run on;
+  /// null = ThreadPool::Global(). Injection seam for tests and embedders
+  /// (a join called from inside a pool task degrades to an inline loop
+  /// either way, so nesting under pipeline_threads never oversubscribes).
   util::ThreadPool* pool = nullptr;
 
   /// Optional community-level encoded-buffer cache. When set, the methods

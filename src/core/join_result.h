@@ -59,6 +59,11 @@ struct JoinStats {
   uint64_t cache_misses = 0;        ///< encoding-cache lookups that built
   uint64_t cache_bytes_built = 0;   ///< bytes of entries this join built
   double seconds = 0.0;             ///< wall-clock of the whole join
+  /// Wall-clock spent in the one-to-one matcher (the refine phase's CSF /
+  /// Hopcroft-Karp calls) as the submitting thread saw it. Like `seconds`
+  /// this is a timing field: excluded from Merge() and from the
+  /// determinism contract.
+  double matching_seconds = 0.0;
 
   void Count(Event event) {
     switch (event) {

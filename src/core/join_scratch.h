@@ -7,6 +7,7 @@
 
 #include "core/epsilon_predicate.h"
 #include "core/join_result.h"
+#include "matching/matcher.h"
 
 namespace csj {
 namespace internal {
@@ -97,6 +98,12 @@ struct JoinScratch {
   /// (the chunks themselves may execute on pool workers; only the slots
   /// live here, and each worker touches exactly one).
   ChunkArenas chunk_arenas;
+
+  /// Deferred per-segment matching farm of Ex-MinMax's refine phase
+  /// (JoinOptions::matching_threads > 1). Per-segment edge arenas live in
+  /// the slots and are reused across joins; the matching tasks may run on
+  /// pool workers, but each task touches exactly one slot.
+  matching::SegmentMatchFarm match_farm;
 };
 
 /// The calling thread's scratch. Never hold the reference across a point

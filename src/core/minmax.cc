@@ -372,6 +372,19 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
   segment.clear();
   uint64_t max_v = 0;
 
+  // Deferred per-segment matching: with matching_threads > 1 a flushed
+  // segment is enqueued on the farm instead of matched inline, and
+  // drain_farm() runs all segments as pool tasks before the join returns.
+  // The segment partition is a pure function of the candidate-edge stream
+  // and the farm appends matched pairs in segment order, so pairs and
+  // every counter are byte-identical to the inline path for any value.
+  const uint32_t matching_threads =
+      options.event_log != nullptr
+          ? 1
+          : std::max<uint32_t>(options.matching_threads, 1);
+  matching::SegmentMatchFarm& farm = internal::GetJoinScratch().match_farm;
+  farm.Reset();
+
   auto flush_segment = [&]() {
     if (segment.empty()) {
       max_v = 0;
@@ -379,11 +392,25 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
     }
     result.stats.candidate_pairs += segment.size();
     ++result.stats.csf_flushes;
-    std::vector<MatchedPair> matched =
-        matching::RunMatcher(options.matcher, segment);
-    result.pairs.insert(result.pairs.end(), matched.begin(), matched.end());
-    segment.clear();
+    if (matching_threads > 1) {
+      farm.Enqueue(&segment);
+    } else {
+      util::Timer match_timer;
+      std::vector<MatchedPair> matched =
+          matching::RunMatcher(options.matcher, segment);
+      result.stats.matching_seconds += match_timer.Seconds();
+      result.pairs.insert(result.pairs.end(), matched.begin(), matched.end());
+      segment.clear();
+    }
     max_v = 0;
+  };
+
+  auto drain_farm = [&]() {
+    if (matching_threads <= 1) return;
+    util::Timer match_timer;
+    farm.MatchAll(options.matcher, matching_threads, options.pool,
+                  &result.pairs);
+    result.stats.matching_seconds += match_timer.Seconds();
   };
 
   const uint32_t threads = options.event_log != nullptr
@@ -424,6 +451,7 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
       }
     }
     flush_segment();
+    drain_farm();
     result.stats.seconds = timer.Seconds();
     return result;
   }
@@ -477,6 +505,7 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
       if (next_id > max_v) flush_segment();
     }
     flush_segment();
+    drain_farm();
     result.stats.seconds = timer.Seconds();
     return result;
   }
@@ -535,6 +564,7 @@ JoinResult ExMinMaxJoin(const Community& b, const Community& a,
     if (next_id > max_v) flush_segment();
   }
   flush_segment();  // defensive: loop above already flushed at ib == nb-1
+  drain_farm();     // no-op here: event_log pins matching_threads to 1
 
   result.stats.seconds = timer.Seconds();
   return result;

@@ -246,7 +246,9 @@ JoinResult ExSuperEgoJoin(const Community& b, const Community& a,
   FoldEgoStats(ego_stats, &result.stats);
   result.stats.candidate_pairs = candidates.size();
   result.stats.csf_flushes = 1;  // one matcher call after the recursion
+  util::Timer match_timer;
   result.pairs = matching::RunMatcher(options.matcher, candidates);
+  result.stats.matching_seconds = match_timer.Seconds();
   result.stats.seconds = timer.Seconds();
   return result;
 }

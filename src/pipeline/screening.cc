@@ -150,6 +150,7 @@ void RefineAndRank(
     report->cache_hits += stats.cache_hits;
     report->cache_misses += stats.cache_misses;
     report->cache_bytes_built += stats.cache_bytes_built;
+    report->matching_seconds += stats.matching_seconds;
   }
 
   std::sort(report->entries.begin(), report->entries.end(),
@@ -188,6 +189,13 @@ PipelineReport ScreenRefineCouples(std::vector<CoupleTask> tasks,
   options.join.join_threads =
       NestedJoinThreads(options.join.join_threads, options.pipeline_threads,
                         pool_threads, num_tasks);
+  // The deferred segment matching shares the same pool and the same
+  // budget rule: with many couples in flight each join matches its
+  // segments with its fair share (usually serially), while a
+  // single-couple run inherits the whole pool for its segment farm.
+  options.join.matching_threads =
+      NestedJoinThreads(options.join.matching_threads,
+                        options.pipeline_threads, pool_threads, num_tasks);
 
   std::vector<ScreenSlot> slots(num_tasks);
   RunCoupleTasks(options, MostExpensiveFirstOrder(tasks), [&](uint32_t i) {

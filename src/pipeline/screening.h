@@ -102,6 +102,11 @@ struct PipelineReport {
   /// they can exceed total_seconds — that surplus IS the parallel win.
   double screen_seconds = 0.0;
   double refine_seconds = 0.0;
+  /// Thread-seconds the refine phase spent inside the one-to-one matcher
+  /// (summed JoinStats::matching_seconds of every refined couple, in
+  /// survivor order). The matcher share of refine_seconds — what the
+  /// matching_threads knob can attack.
+  double matching_seconds = 0.0;
   /// Wall-clock of each phase as the submitting thread saw it (screen =
   /// enumerate + screen joins; refine = survivor selection + exact joins
   /// + ranking). Unlike the thread-second sums above these SHRINK when

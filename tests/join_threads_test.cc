@@ -14,6 +14,7 @@
 #include "core/encoding_cache.h"
 #include "core/method.h"
 #include "pipeline/screening.h"
+#include "test_seed.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -63,8 +64,8 @@ void ExpectResultsIdentical(const JoinResult& serial,
 /// real worker threads regardless of what ThreadPool::Global() was sized
 /// to, which is what makes this the TSAN target for the chunked scans.
 TEST(JoinThreadsTest, ByteIdenticalForEveryMethodOnInjectedPool) {
-  const Community b = RandomCommunity(8, 280, 10, 11);
-  const Community a = RandomCommunity(8, 330, 10, 12);
+  const Community b = RandomCommunity(8, 280, 10, testing::TestSeed(11));
+  const Community a = RandomCommunity(8, 330, 10, testing::TestSeed(12));
   util::ThreadPool pool(4);
   std::vector<Method> methods(std::begin(kAllMethods), std::end(kAllMethods));
   methods.insert(methods.end(), std::begin(kExtensionMethods),
@@ -84,12 +85,86 @@ TEST(JoinThreadsTest, ByteIdenticalForEveryMethodOnInjectedPool) {
   }
 }
 
+/// Deferred segment matching: every method x matching_threads in
+/// {1, 2, 5, 8} must be byte-identical to the serial inline-flush run.
+/// Only Ex-MinMax actually farms segments out (the other methods run one
+/// matcher call or none), but the sweep runs ALL TEN methods so the knob
+/// is proven inert where it must be inert. Both matchers are covered:
+/// CSF's per-segment tie-breaks and Hopcroft-Karp's per-segment optimum
+/// must each survive the farm's reordering of WORK (never of output).
+TEST(JoinThreadsTest, ByteIdenticalForEveryMethodWithMatchingThreads) {
+  const Community b = RandomCommunity(8, 280, 10, testing::TestSeed(13));
+  const Community a = RandomCommunity(8, 330, 10, testing::TestSeed(14));
+  util::ThreadPool pool(4);
+  std::vector<Method> methods(std::begin(kAllMethods), std::end(kAllMethods));
+  methods.insert(methods.end(), std::begin(kExtensionMethods),
+                 std::end(kExtensionMethods));
+  for (const Method method : methods) {
+    for (const matching::MatcherKind matcher :
+         {matching::MatcherKind::kCsf, matching::MatcherKind::kMaxMatching}) {
+      JoinOptions options;
+      options.eps = 2;
+      options.superego_threshold = 16;
+      options.matcher = matcher;
+      options.matching_threads = 1;
+      const JoinResult serial = RunMethod(method, b, a, options);
+      options.pool = &pool;
+      for (const uint32_t matching_threads : {1u, 2u, 5u, 8u}) {
+        options.matching_threads = matching_threads;
+        ExpectResultsIdentical(serial, RunMethod(method, b, a, options),
+                               method, matching_threads);
+      }
+    }
+  }
+}
+
+/// Both intra-join axes at once: chunked candidate collection
+/// (join_threads) feeding the deferred segment farm (matching_threads) on
+/// one shared pool. The axes compose — the scan's deterministic merge
+/// replays the segment-close rule, then the farm matches those segments —
+/// so the cross product must still telescope to the serial result.
+TEST(JoinThreadsTest, ScanAndMatchingThreadsComposeDeterministically) {
+  // Clustered data: users sit in tight groups spaced far beyond eps, so
+  // the encoded scan closes one CSF segment per populated cluster run —
+  // the multi-segment shape the farm exists for.
+  auto clustered = [](uint32_t n, uint64_t seed) {
+    util::Rng rng(seed);
+    Community c(6);
+    std::vector<Count> vec(6);
+    for (uint32_t i = 0; i < n; ++i) {
+      const Count center = static_cast<Count>(rng.Below(24)) * 100;
+      for (auto& v : vec) v = center + static_cast<Count>(rng.Below(4));
+      c.AddUser(vec);
+    }
+    return c;
+  };
+  const Community b = clustered(260, testing::TestSeed(15));
+  const Community a = clustered(320, testing::TestSeed(16));
+  util::ThreadPool pool(4);
+  JoinOptions options;
+  options.eps = 2;
+  const JoinResult serial = RunMethod(Method::kExMinMax, b, a, options);
+  EXPECT_GT(serial.stats.csf_flushes, 1u);  // multiple segments, or the
+                                            // farm has nothing to prove
+  options.pool = &pool;
+  for (const uint32_t join_threads : {1u, 2u, 8u}) {
+    for (const uint32_t matching_threads : {2u, 5u, 8u}) {
+      options.join_threads = join_threads;
+      options.matching_threads = matching_threads;
+      ExpectResultsIdentical(serial,
+                             RunMethod(Method::kExMinMax, b, a, options),
+                             Method::kExMinMax,
+                             join_threads * 100 + matching_threads);
+    }
+  }
+}
+
 /// The cached and cache-less paths must agree under parallel chunking too
 /// (the chunks read the SAME shared immutable encoded buffers when a
 /// cache is wired — the read-share the shared_mutex fast path protects).
 TEST(JoinThreadsTest, ByteIdenticalWithEncodingCache) {
-  const Community b = RandomCommunity(6, 240, 8, 21);
-  const Community a = RandomCommunity(6, 300, 8, 22);
+  const Community b = RandomCommunity(6, 240, 8, testing::TestSeed(21));
+  const Community a = RandomCommunity(6, 300, 8, testing::TestSeed(22));
   util::ThreadPool pool(4);
   for (const Method method :
        {Method::kExMinMax, Method::kExBaseline, Method::kExSuperEgo,
@@ -157,7 +232,7 @@ TEST(JoinThreadsTest, NestedUnderPipelineThreadsIsDeterministic) {
   std::vector<Community> catalog;
   const uint32_t sizes[] = {200, 150, 260, 170, 230};
   for (uint32_t i = 0; i < 5; ++i) {
-    Community c = RandomCommunity(6, sizes[i], 6, 300 + i);
+    Community c = RandomCommunity(6, sizes[i], 6, testing::TestSeed(300 + i));
     std::string name = "n";
     name += std::to_string(i);
     c.set_name(name);
@@ -191,6 +266,20 @@ TEST(JoinThreadsTest, NestedUnderPipelineThreadsIsDeterministic) {
                              pipeline_threads, join_threads);
     }
   }
+
+  // Third axis: deferred segment matching nested under both of the above.
+  // NestedJoinThreads budgets matching_threads exactly like join_threads,
+  // and the farm degrades to an inline loop on a worker thread — the
+  // report must not move a bit.
+  for (const uint32_t matching_threads : {2u, 8u}) {
+    EncodingCache cache;
+    options.cache = &cache;
+    options.pipeline_threads = 4;
+    options.join.join_threads = 2;
+    options.join.matching_threads = matching_threads;
+    ExpectReportsIdentical(serial, ScreenAndRefineAllPairs(pointers, options),
+                           4, 200 + matching_threads);
+  }
 }
 
 }  // namespace nested
@@ -200,10 +289,10 @@ TEST(JoinThreadsTest, NestedUnderPipelineThreadsIsDeterministic) {
 /// join work. The cost-aware order must schedule the expensive couple
 /// first so it cannot land last and serialize the tail.
 TEST(CostAwareSchedulingTest, SkewedWorkloadSchedulesExpensiveCoupleFirst) {
-  const Community wide_b = RandomCommunity(100, 10, 5, 41);
-  const Community wide_a = RandomCommunity(100, 10, 5, 42);
-  const Community narrow_b = RandomCommunity(1, 12, 5, 43);
-  const Community narrow_a = RandomCommunity(1, 12, 5, 44);
+  const Community wide_b = RandomCommunity(100, 10, 5, testing::TestSeed(41));
+  const Community wide_a = RandomCommunity(100, 10, 5, testing::TestSeed(42));
+  const Community narrow_b = RandomCommunity(1, 12, 5, testing::TestSeed(43));
+  const Community narrow_a = RandomCommunity(1, 12, 5, testing::TestSeed(44));
   EXPECT_GT(pipeline::EstimatedCoupleCost(wide_b, wide_a),
             pipeline::EstimatedCoupleCost(narrow_b, narrow_a));
 

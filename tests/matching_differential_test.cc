@@ -1,0 +1,343 @@
+// Differential matching tests: every production matcher is checked
+// against the independent brute-force oracle (tests/matching_oracle.h)
+// on hundreds of seeded random candidate graphs per regime, and the
+// SegmentMatchFarm is checked byte-identical to serial per-segment
+// matching for every matching_threads value the issue names. All
+// randomness derives from the logged master seed (tests/test_seed.h), so
+// any failure reproduces with --seed=<logged>.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/join_result.h"
+#include "matching/greedy.h"
+#include "matching/matcher.h"
+#include "matching_oracle.h"
+#include "test_seed.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace csj::matching {
+namespace {
+
+using csj::testing::OracleIsValidMatching;
+using csj::testing::OracleMaxMatchingSize;
+using csj::testing::TestSeed;
+
+// ---------------------------------------------------------------------------
+// Seeded graph generators, one per regime. Each returns the candidate-edge
+// list in generation order — the order a join would hand to the matcher.
+// ---------------------------------------------------------------------------
+
+/// Uniform G(n_b, n_a, p): every (b, a) edge present with probability p.
+std::vector<MatchedPair> RandomBipartite(util::Rng& rng, uint32_t n_b,
+                                         uint32_t n_a, double p) {
+  std::vector<MatchedPair> edges;
+  for (uint32_t b = 0; b < n_b; ++b) {
+    for (uint32_t a = 0; a < n_a; ++a) {
+      if (rng.Bernoulli(p)) edges.push_back({b, a});
+    }
+  }
+  return edges;
+}
+
+/// Skewed-star regime: a few hub b's connect to most a's, the rest of the
+/// b's get one or two edges each — the degree profile CSF's
+/// smallest-cover-first rule exists for.
+std::vector<MatchedPair> SkewedStars(util::Rng& rng, uint32_t n_b,
+                                     uint32_t n_a) {
+  std::vector<MatchedPair> edges;
+  const uint32_t hubs = 1 + static_cast<uint32_t>(rng.Below(3));
+  for (uint32_t b = 0; b < n_b; ++b) {
+    if (b < hubs) {
+      for (uint32_t a = 0; a < n_a; ++a) {
+        if (rng.Bernoulli(0.8)) edges.push_back({b, a});
+      }
+    } else {
+      const uint32_t degree = 1 + static_cast<uint32_t>(rng.Below(2));
+      for (uint32_t k = 0; k < degree; ++k) {
+        edges.push_back({b, static_cast<UserId>(rng.Below(n_a))});
+      }
+    }
+  }
+  return edges;
+}
+
+/// Multi-component regime: several disjoint dense blocks with id gaps in
+/// between — the shape Ex-MinMax's segment flushing produces.
+std::vector<MatchedPair> DisjointBlocks(util::Rng& rng, uint32_t blocks,
+                                        uint32_t block_size) {
+  std::vector<MatchedPair> edges;
+  uint32_t base = 0;
+  for (uint32_t c = 0; c < blocks; ++c) {
+    for (uint32_t b = 0; b < block_size; ++b) {
+      for (uint32_t a = 0; a < block_size; ++a) {
+        if (rng.Bernoulli(0.6)) edges.push_back({base + b, base + a});
+      }
+    }
+    base += block_size + 1 + static_cast<uint32_t>(rng.Below(5));  // id gap
+  }
+  return edges;
+}
+
+/// Perfect-chain regime: edges (i, i) and (i, i+1) — maximum matching is
+/// always n, but greedy choices can cascade; a known CSF stress shape.
+std::vector<MatchedPair> PerfectChain(uint32_t n) {
+  std::vector<MatchedPair> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    edges.push_back({i, i});
+    if (i + 1 < n) edges.push_back({i, i + 1});
+  }
+  return edges;
+}
+
+/// Asserts the full differential contract on one graph:
+///  - kMaxMatching (Hopcroft-Karp) is valid and EXACTLY oracle-optimal,
+///  - kCsf is valid and never exceeds the optimum.
+void CheckAgainstOracle(const std::vector<MatchedPair>& edges,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  const size_t optimum = OracleMaxMatchingSize(edges);
+
+  const std::vector<MatchedPair> exact =
+      RunMatcher(MatcherKind::kMaxMatching, edges);
+  EXPECT_TRUE(OracleIsValidMatching(exact, edges));
+  EXPECT_EQ(exact.size(), optimum);
+
+  const std::vector<MatchedPair> csf = RunMatcher(MatcherKind::kCsf, edges);
+  EXPECT_TRUE(OracleIsValidMatching(csf, edges));
+  EXPECT_LE(csf.size(), optimum);
+
+  // The approximate methods' inline commit rule, replayed standalone: any
+  // first-fit scan is a maximal-matching heuristic, so it is valid and
+  // within [optimum/2, optimum].
+  const std::vector<MatchedPair> first_fit = GreedyFirstFit(edges);
+  EXPECT_TRUE(OracleIsValidMatching(first_fit, edges));
+  EXPECT_LE(first_fit.size(), optimum);
+  EXPECT_GE(2 * first_fit.size(), optimum);
+}
+
+std::string Context(const char* regime, uint64_t salt, uint64_t iteration,
+                    size_t edges) {
+  return std::string(regime) + " salt=" + std::to_string(salt) +
+         " iteration=" + std::to_string(iteration) +
+         " edges=" + std::to_string(edges) +
+         " (rerun with --seed=" + std::to_string(TestSeed()) + ")";
+}
+
+constexpr uint64_t kTrialsPerRegime = 220;  // the issue demands >= 200
+
+TEST(MatchingDifferentialTest, SparseRandomGraphsMatchOracle) {
+  for (uint64_t i = 0; i < kTrialsPerRegime; ++i) {
+    util::Rng rng(TestSeed(1000 + i));
+    const uint32_t n_b = 1 + static_cast<uint32_t>(rng.Below(40));
+    const uint32_t n_a = 1 + static_cast<uint32_t>(rng.Below(40));
+    const auto edges = RandomBipartite(rng, n_b, n_a, 0.08);
+    CheckAgainstOracle(edges, Context("sparse", 1000 + i, i, edges.size()));
+  }
+}
+
+TEST(MatchingDifferentialTest, DenseRandomGraphsMatchOracle) {
+  for (uint64_t i = 0; i < kTrialsPerRegime; ++i) {
+    util::Rng rng(TestSeed(2000 + i));
+    const uint32_t n_b = 2 + static_cast<uint32_t>(rng.Below(18));
+    const uint32_t n_a = 2 + static_cast<uint32_t>(rng.Below(18));
+    const auto edges = RandomBipartite(rng, n_b, n_a, 0.65);
+    CheckAgainstOracle(edges, Context("dense", 2000 + i, i, edges.size()));
+  }
+}
+
+TEST(MatchingDifferentialTest, SkewedStarGraphsMatchOracle) {
+  for (uint64_t i = 0; i < kTrialsPerRegime; ++i) {
+    util::Rng rng(TestSeed(3000 + i));
+    const uint32_t n_b = 3 + static_cast<uint32_t>(rng.Below(25));
+    const uint32_t n_a = 3 + static_cast<uint32_t>(rng.Below(25));
+    const auto edges = SkewedStars(rng, n_b, n_a);
+    CheckAgainstOracle(edges, Context("skewed", 3000 + i, i, edges.size()));
+  }
+}
+
+TEST(MatchingDifferentialTest, MultiComponentGraphsMatchOracle) {
+  for (uint64_t i = 0; i < kTrialsPerRegime; ++i) {
+    util::Rng rng(TestSeed(4000 + i));
+    const uint32_t blocks = 2 + static_cast<uint32_t>(rng.Below(4));
+    const uint32_t block_size = 2 + static_cast<uint32_t>(rng.Below(6));
+    const auto edges = DisjointBlocks(rng, blocks, block_size);
+    CheckAgainstOracle(edges,
+                       Context("components", 4000 + i, i, edges.size()));
+  }
+}
+
+TEST(MatchingDifferentialTest, DegenerateGraphsMatchOracle) {
+  // Fixed degenerate shapes, each with its known optimum.
+  const std::vector<MatchedPair> empty;
+  EXPECT_EQ(OracleMaxMatchingSize(empty), 0u);
+  EXPECT_TRUE(RunMatcher(MatcherKind::kMaxMatching, empty).empty());
+  EXPECT_TRUE(RunMatcher(MatcherKind::kCsf, empty).empty());
+
+  const std::vector<MatchedPair> single = {{7, 3}};
+  CheckAgainstOracle(single, "single edge");
+  EXPECT_EQ(OracleMaxMatchingSize(single), 1u);
+
+  // Duplicate edges must not inflate the matching.
+  const std::vector<MatchedPair> duplicates = {{1, 2}, {1, 2}, {1, 2}, {4, 5}};
+  CheckAgainstOracle(duplicates, "duplicate edges");
+  EXPECT_EQ(OracleMaxMatchingSize(duplicates), 2u);
+
+  // One b connected to every a (and vice versa): optimum is exactly 1.
+  std::vector<MatchedPair> star;
+  for (uint32_t a = 0; a < 20; ++a) star.push_back({0, a});
+  CheckAgainstOracle(star, "b-star");
+  EXPECT_EQ(OracleMaxMatchingSize(star), 1u);
+
+  std::vector<MatchedPair> inverse_star;
+  for (uint32_t b = 0; b < 20; ++b) inverse_star.push_back({b, 0});
+  CheckAgainstOracle(inverse_star, "a-star");
+  EXPECT_EQ(OracleMaxMatchingSize(inverse_star), 1u);
+
+  // Perfect chains of several lengths: the optimum is always n, and
+  // Hopcroft-Karp must recover it even though a wrong greedy cascade
+  // would lose pairs.
+  for (uint32_t n : {1u, 2u, 3u, 8u, 33u}) {
+    const auto chain = PerfectChain(n);
+    CheckAgainstOracle(chain, "chain n=" + std::to_string(n));
+    EXPECT_EQ(OracleMaxMatchingSize(chain), n);
+    EXPECT_EQ(RunMatcher(MatcherKind::kMaxMatching, chain).size(), n);
+  }
+
+  // Randomized degenerate ids: tiny graphs with huge, colliding user ids
+  // exercise the matchers' id compression far from dense [0, n) ranges.
+  for (uint64_t i = 0; i < kTrialsPerRegime; ++i) {
+    util::Rng rng(TestSeed(5000 + i));
+    std::vector<MatchedPair> edges;
+    const uint32_t count = static_cast<uint32_t>(rng.Below(12));
+    for (uint32_t e = 0; e < count; ++e) {
+      edges.push_back({static_cast<UserId>(rng.Below(1u << 30)),
+                       static_cast<UserId>(rng.Below(1u << 30))});
+    }
+    CheckAgainstOracle(edges, Context("huge-ids", 5000 + i, i, edges.size()));
+  }
+}
+
+// Every matcher's output must also satisfy the library's own one-to-one
+// predicate — ties the oracle's validity notion to the production one.
+TEST(MatchingDifferentialTest, OutputsSatisfyProductionOneToOnePredicate) {
+  for (uint64_t i = 0; i < 50; ++i) {
+    util::Rng rng(TestSeed(6000 + i));
+    const auto edges = RandomBipartite(rng, 20, 20, 0.3);
+    for (MatcherKind kind : {MatcherKind::kCsf, MatcherKind::kMaxMatching}) {
+      EXPECT_TRUE(IsOneToOne(RunMatcher(kind, edges)))
+          << MatcherName(kind) << " iteration " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentMatchFarm: parallel deferred matching must be byte-identical to
+// matching each segment inline, in segment order, for every thread count.
+// ---------------------------------------------------------------------------
+
+/// Builds `segments` random edge lists with disjoint id ranges (as the
+/// Ex-MinMax flush rule guarantees) plus some empty-adjacent gaps.
+std::vector<std::vector<MatchedPair>> RandomSegments(util::Rng& rng,
+                                                     uint32_t segments) {
+  std::vector<std::vector<MatchedPair>> out;
+  uint32_t base = 0;
+  for (uint32_t s = 0; s < segments; ++s) {
+    const uint32_t size = 1 + static_cast<uint32_t>(rng.Below(12));
+    std::vector<MatchedPair> edges;
+    for (uint32_t b = 0; b < size; ++b) {
+      for (uint32_t a = 0; a < size; ++a) {
+        if (rng.Bernoulli(0.5)) edges.push_back({base + b, base + a});
+      }
+    }
+    if (edges.empty()) edges.push_back({base, base});
+    out.push_back(std::move(edges));
+    base += size + 2;
+  }
+  return out;
+}
+
+TEST(SegmentMatchFarmTest, MatchesSerialConcatenationForAllThreadCounts) {
+  util::ThreadPool pool(4);
+  SegmentMatchFarm farm;
+  for (MatcherKind kind : {MatcherKind::kCsf, MatcherKind::kMaxMatching}) {
+    for (uint64_t trial = 0; trial < 30; ++trial) {
+      util::Rng rng(TestSeed(7000 + trial));
+      const uint32_t count = 1 + static_cast<uint32_t>(rng.Below(9));
+      const auto segments = RandomSegments(rng, count);
+
+      // Reference: match each segment inline, concatenate in order.
+      std::vector<MatchedPair> expected;
+      for (const auto& segment : segments) {
+        const auto matched = RunMatcher(kind, segment);
+        expected.insert(expected.end(), matched.begin(), matched.end());
+      }
+
+      for (uint32_t threads : {1u, 2u, 5u, 8u}) {
+        farm.Reset();
+        for (const auto& segment : segments) {
+          std::vector<MatchedPair> copy = segment;
+          farm.Enqueue(&copy);
+          EXPECT_TRUE(copy.empty());  // Enqueue takes by swap
+        }
+        EXPECT_EQ(farm.segments(), count);
+        std::vector<MatchedPair> actual;
+        farm.MatchAll(kind, threads, &pool, &actual);
+        EXPECT_EQ(actual, expected)
+            << MatcherName(kind) << " trial " << trial << " threads "
+            << threads;
+        EXPECT_EQ(farm.segments(), 0u);  // MatchAll resets the farm
+      }
+    }
+  }
+}
+
+TEST(SegmentMatchFarmTest, AppendsAfterExistingOutput) {
+  // MatchAll must append, not overwrite — the join accumulates pairs from
+  // earlier (inline) flushes and from the prescreen path.
+  util::ThreadPool pool(4);
+  SegmentMatchFarm farm;
+  std::vector<MatchedPair> segment = {{0, 0}, {1, 1}};
+  farm.Enqueue(&segment);
+  std::vector<MatchedPair> out = {{100, 100}};
+  farm.MatchAll(MatcherKind::kCsf, 2, &pool, &out);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0], (MatchedPair{100, 100}));
+}
+
+TEST(SegmentMatchFarmTest, EmptyFarmIsANoOp) {
+  SegmentMatchFarm farm;
+  std::vector<MatchedPair> out;
+  farm.MatchAll(MatcherKind::kCsf, 4, nullptr, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SegmentMatchFarmTest, SlotReuseAcrossJoinsIsClean) {
+  // A farm borrowed by successive joins must not leak a previous join's
+  // segments: enqueue 3 segments, drain, then enqueue 1 and drain again.
+  util::ThreadPool pool(2);
+  SegmentMatchFarm farm;
+  for (uint32_t s = 0; s < 3; ++s) {
+    std::vector<MatchedPair> segment = {{s * 10, s * 10}};
+    farm.Enqueue(&segment);
+  }
+  std::vector<MatchedPair> first;
+  farm.MatchAll(MatcherKind::kCsf, 2, &pool, &first);
+  EXPECT_EQ(first.size(), 3u);
+
+  std::vector<MatchedPair> segment = {{99, 99}};
+  farm.Enqueue(&segment);
+  EXPECT_EQ(farm.segments(), 1u);
+  std::vector<MatchedPair> second;
+  farm.MatchAll(MatcherKind::kCsf, 2, &pool, &second);
+  const std::vector<MatchedPair> expected = {{99, 99}};
+  EXPECT_EQ(second, expected);
+}
+
+}  // namespace
+}  // namespace csj::matching

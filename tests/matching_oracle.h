@@ -1,0 +1,90 @@
+#ifndef CSJ_TESTS_MATCHING_ORACLE_H_
+#define CSJ_TESTS_MATCHING_ORACLE_H_
+
+// Brute-force maximum-bipartite-matching oracle for the differential
+// matching tests: Kuhn's augmenting-path algorithm, O(V * E) total (one
+// O(E) DFS per left vertex). Deliberately shares NO code with the
+// production matchers — no CandidateGraph, no Hopcroft-Karp phases, no
+// bucket queues — so a bug in src/matching/ cannot hide behind the same
+// bug here. Slow and obviously correct is the whole point; keep it that
+// way.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/join_result.h"
+#include "core/types.h"
+
+namespace csj::testing {
+
+/// Size of a maximum one-to-one matching of the bipartite graph whose
+/// edges are `edges` (original user ids on both sides; duplicate edges
+/// are harmless). Standard König/Berge argument: a matching is maximum
+/// iff it admits no augmenting path, and Kuhn's scan tries every left
+/// vertex once, so the returned cardinality is exactly the optimum.
+inline size_t OracleMaxMatchingSize(const std::vector<MatchedPair>& edges) {
+  // Compress the b side into consecutive indices with an ordered map (a
+  // different structure than the production id compression on purpose).
+  std::map<UserId, std::vector<UserId>> adjacency;
+  for (const MatchedPair& edge : edges) {
+    adjacency[edge.b].push_back(edge.a);
+  }
+
+  std::map<UserId, UserId> matched_a;  // a -> b currently matched to it
+
+  // DFS over alternating paths: returns true when `b` can be matched,
+  // rematching conflicting b's recursively. `visited_a` guards one scan.
+  struct Augmenter {
+    const std::map<UserId, std::vector<UserId>>& adjacency;
+    std::map<UserId, UserId>& matched_a;
+    std::set<UserId> visited_a;
+
+    bool TryMatch(UserId b) {
+      const auto it = adjacency.find(b);
+      if (it == adjacency.end()) return false;
+      for (const UserId a : it->second) {
+        if (!visited_a.insert(a).second) continue;
+        const auto owner = matched_a.find(a);
+        if (owner == matched_a.end() || TryMatch(owner->second)) {
+          matched_a[a] = b;
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  Augmenter augmenter{adjacency, matched_a, {}};
+  size_t matched = 0;
+  for (const auto& [b, unused] : adjacency) {
+    augmenter.visited_a.clear();
+    if (augmenter.TryMatch(b)) ++matched;
+  }
+  return matched;
+}
+
+/// True iff `pairs` is a one-to-one matching that only uses edges present
+/// in `edges` — what every matcher output must satisfy regardless of
+/// cardinality. (Independent of matching/greedy.h's IsOneToOne.)
+inline bool OracleIsValidMatching(const std::vector<MatchedPair>& pairs,
+                                  const std::vector<MatchedPair>& edges) {
+  std::set<std::pair<UserId, UserId>> edge_set;
+  for (const MatchedPair& edge : edges) {
+    edge_set.emplace(edge.b, edge.a);
+  }
+  std::set<UserId> used_b;
+  std::set<UserId> used_a;
+  for (const MatchedPair& pair : pairs) {
+    if (edge_set.find({pair.b, pair.a}) == edge_set.end()) return false;
+    if (!used_b.insert(pair.b).second) return false;
+    if (!used_a.insert(pair.a).second) return false;
+  }
+  return true;
+}
+
+}  // namespace csj::testing
+
+#endif  // CSJ_TESTS_MATCHING_ORACLE_H_

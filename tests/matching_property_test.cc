@@ -1,0 +1,253 @@
+// Metamorphic properties of the matching layer, checked end to end
+// through the join methods: reorder the inputs, widen the threshold, or
+// plant a known-perfect instance, and the similarity must move exactly as
+// the theory says. Every property below is a THEOREM for the method /
+// matcher combination it is asserted on — combinations where the property
+// is only a heuristic tendency (CSF tie-breaks, greedy scan order) are
+// deliberately not asserted.
+//
+// Seeds derive from the logged master seed (tests/test_seed.h); rerun
+// with --seed=<logged> to reproduce a failure.
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/community.h"
+#include "core/epsilon_predicate.h"
+#include "core/method.h"
+#include "test_seed.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+Community RandomCommunity(util::Rng& rng, Dim d, uint32_t n, Count max_value) {
+  Community c(d);
+  std::vector<Count> vec(d);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (auto& v : vec) v = static_cast<Count>(rng.Below(max_value + 1));
+    c.AddUser(vec);
+  }
+  return c;
+}
+
+/// The same community with its users re-inserted in `order`.
+Community Permuted(const Community& c, const std::vector<UserId>& order) {
+  Community out(c.d());
+  for (const UserId id : order) out.AddUser(c.User(id));
+  return out;
+}
+
+std::vector<UserId> RandomOrder(util::Rng& rng, uint32_t n) {
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  util::Shuffle(order, rng);
+  return order;
+}
+
+/// Exact methods whose candidate graph lives in the integer domain — safe
+/// to compare against each other and across permutations at any params.
+constexpr Method kIntegerExactMethods[] = {
+    Method::kExBaseline, Method::kExMinMax, Method::kExMinMaxEgo,
+    Method::kExGridHash};
+
+// ---------------------------------------------------------------------------
+// Permutation invariance. With kMaxMatching the matched-pair COUNT is a
+// property of the candidate graph as a set, and the candidate graph is a
+// set property of the two user multisets — so shuffling the insertion
+// order of B's (or A's) users must not move the similarity. (Not asserted
+// for kCsf: its cover-smallest-first tie-breaks are order-sensitive by
+// design; and not for the Ap methods, whose greedy scan is the order.)
+// ---------------------------------------------------------------------------
+
+TEST(MatchingPropertyTest, ExactSimilarityIsPermutationInvariant) {
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    util::Rng rng(csj::testing::TestSeed(8100 + trial));
+    const Dim d = 1 + static_cast<Dim>(rng.Below(6));
+    const Community b = RandomCommunity(rng, d, 40, 8);
+    const Community a = RandomCommunity(rng, d, 55, 8);
+
+    JoinOptions options;
+    options.eps = 1 + static_cast<Epsilon>(rng.Below(2));
+    options.matcher = matching::MatcherKind::kMaxMatching;
+
+    const Community b_shuffled = Permuted(b, RandomOrder(rng, b.size()));
+    const Community a_shuffled = Permuted(a, RandomOrder(rng, a.size()));
+    for (const Method method : kIntegerExactMethods) {
+      const size_t reference = RunMethod(method, b, a, options).pairs.size();
+      EXPECT_EQ(RunMethod(method, b_shuffled, a, options).pairs.size(),
+                reference)
+          << MethodName(method) << " B-shuffle trial " << trial;
+      EXPECT_EQ(RunMethod(method, b, a_shuffled, options).pairs.size(),
+                reference)
+          << MethodName(method) << " A-shuffle trial " << trial;
+      EXPECT_EQ(
+          RunMethod(method, b_shuffled, a_shuffled, options).pairs.size(),
+          reference)
+          << MethodName(method) << " both-shuffle trial " << trial;
+    }
+  }
+}
+
+TEST(MatchingPropertyTest, SuperEgoExactSimilarityIsPermutationInvariant) {
+  // SuperEGO matches in the normalized float domain; with a power-of-two
+  // norm_max and small counters every quotient is an exact float, so the
+  // float candidate graph equals the integer one and the same set
+  // argument applies.
+  for (uint64_t trial = 0; trial < 4; ++trial) {
+    util::Rng rng(csj::testing::TestSeed(8200 + trial));
+    const Dim d = 1 + static_cast<Dim>(rng.Below(4));
+    const Community b = RandomCommunity(rng, d, 35, 8);
+    const Community a = RandomCommunity(rng, d, 45, 8);
+
+    JoinOptions options;
+    options.eps = 1;
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    options.superego_norm_max = 8;  // power of two: exact float division
+
+    const size_t reference =
+        RunMethod(Method::kExSuperEgo, b, a, options).pairs.size();
+    const Community b_shuffled = Permuted(b, RandomOrder(rng, b.size()));
+    const Community a_shuffled = Permuted(a, RandomOrder(rng, a.size()));
+    EXPECT_EQ(
+        RunMethod(Method::kExSuperEgo, b_shuffled, a_shuffled, options)
+            .pairs.size(),
+        reference)
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epsilon monotonicity. Widening eps can only ADD candidate edges, and a
+// maximum matching of a supergraph is never smaller — so exact similarity
+// with kMaxMatching is non-decreasing in eps.
+// ---------------------------------------------------------------------------
+
+TEST(MatchingPropertyTest, ExactSimilarityIsMonotoneInEpsilon) {
+  for (uint64_t trial = 0; trial < 6; ++trial) {
+    util::Rng rng(csj::testing::TestSeed(8300 + trial));
+    const Dim d = 1 + static_cast<Dim>(rng.Below(5));
+    const Community b = RandomCommunity(rng, d, 45, 12);
+    const Community a = RandomCommunity(rng, d, 60, 12);
+
+    JoinOptions options;
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    for (const Method method : kIntegerExactMethods) {
+      size_t previous = 0;
+      for (const Epsilon eps : {0u, 1u, 2u, 3u, 5u, 8u, 12u}) {
+        options.eps = eps;
+        const size_t found = RunMethod(method, b, a, options).pairs.size();
+        EXPECT_GE(found, previous)
+            << MethodName(method) << " eps " << eps << " trial " << trial;
+        previous = found;
+      }
+      // At eps >= max_value every pair matches: similarity must be 1.
+      EXPECT_EQ(previous, b.size()) << MethodName(method);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planted-perfect instances. When every user of B also appears in A, the
+// identity map is a perfect matching at eps = 0, so every exact method
+// with kMaxMatching must report similarity exactly 1.0.
+// ---------------------------------------------------------------------------
+
+TEST(MatchingPropertyTest, SubsetCommunityReachesSimilarityOneAtEpsZero) {
+  for (uint64_t trial = 0; trial < 6; ++trial) {
+    util::Rng rng(csj::testing::TestSeed(8400 + trial));
+    const Dim d = 1 + static_cast<Dim>(rng.Below(6));
+    const Community b = RandomCommunity(rng, d, 40, 20);
+
+    // A = a shuffled copy of B plus extra distinct-ish users.
+    Community a(d);
+    for (const UserId id : RandomOrder(rng, b.size())) a.AddUser(b.User(id));
+    std::vector<Count> vec(d);
+    const uint32_t extras = static_cast<uint32_t>(rng.Below(20));
+    for (uint32_t i = 0; i < extras; ++i) {
+      for (auto& v : vec) v = static_cast<Count>(rng.Below(21));
+      a.AddUser(vec);
+    }
+
+    JoinOptions options;
+    options.eps = 0;
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    for (const Method method : kIntegerExactMethods) {
+      const JoinResult result = RunMethod(method, b, a, options);
+      EXPECT_EQ(result.pairs.size(), b.size())
+          << MethodName(method) << " trial " << trial;
+      EXPECT_DOUBLE_EQ(result.Similarity(), 1.0) << MethodName(method);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact dominates approximate. With kMaxMatching the exact arm returns a
+// MAXIMUM matching of the candidate graph while the approximate arm
+// returns SOME valid matching of a subgraph of it — so for every method
+// family, on every input, Ap <= Ex.
+// ---------------------------------------------------------------------------
+
+TEST(MatchingPropertyTest, ExactDominatesApproximateForEveryFamily) {
+  struct Family {
+    Method ap;
+    Method ex;
+  };
+  const Family families[] = {
+      {Method::kApBaseline, Method::kExBaseline},
+      {Method::kApMinMax, Method::kExMinMax},
+      {Method::kApSuperEgo, Method::kExSuperEgo},
+      {Method::kApMinMaxEgo, Method::kExMinMaxEgo},
+      {Method::kApGridHash, Method::kExGridHash},
+  };
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    util::Rng rng(csj::testing::TestSeed(8500 + trial));
+    const Dim d = 1 + static_cast<Dim>(rng.Below(8));
+    const Community b = RandomCommunity(rng, d, 50, 10);
+    const Community a = RandomCommunity(rng, d, 70, 10);
+
+    JoinOptions options;
+    options.eps = 1 + static_cast<Epsilon>(rng.Below(3));
+    options.matcher = matching::MatcherKind::kMaxMatching;
+    options.superego_norm_max = 16;  // power of two: exact float regime
+    for (const Family& family : families) {
+      const size_t approx = RunMethod(family.ap, b, a, options).pairs.size();
+      const size_t exact = RunMethod(family.ex, b, a, options).pairs.size();
+      EXPECT_LE(approx, exact)
+          << MethodName(family.ap) << " vs " << MethodName(family.ex)
+          << " trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matcher upgrade dominance: on the same method, kMaxMatching never finds
+// fewer pairs than kCsf (both consume the identical candidate graph; one
+// is provably maximum).
+// ---------------------------------------------------------------------------
+
+TEST(MatchingPropertyTest, MaxMatchingDominatesCsfOnEveryExactMethod) {
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    util::Rng rng(csj::testing::TestSeed(8600 + trial));
+    const Dim d = 1 + static_cast<Dim>(rng.Below(6));
+    const Community b = RandomCommunity(rng, d, 45, 8);
+    const Community a = RandomCommunity(rng, d, 60, 8);
+
+    JoinOptions options;
+    options.eps = 1;
+    for (const Method method : kIntegerExactMethods) {
+      options.matcher = matching::MatcherKind::kCsf;
+      const size_t csf = RunMethod(method, b, a, options).pairs.size();
+      options.matcher = matching::MatcherKind::kMaxMatching;
+      const size_t maximum = RunMethod(method, b, a, options).pairs.size();
+      EXPECT_LE(csf, maximum) << MethodName(method) << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,85 @@
+// Shared main for every csjoin test binary (replaces GTest::gtest_main):
+// resolves the master seed for randomized tests from --seed / the
+// CSJ_TEST_SEED environment variable / the fixed default, strips the
+// --seed flag before gtest sees it, and logs the resolved value so any
+// failure reproduces deterministically (see tests/test_seed.h and
+// docs/API.md, "Testing strategy").
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_seed.h"
+#include "util/rng.h"
+
+namespace csj::testing {
+namespace {
+
+uint64_t g_master_seed = kDefaultTestSeed;
+
+/// Parses "--seed=N" / "--seed N"; returns true (and advances *index for
+/// the two-token form) when `argv[index]` is a seed flag.
+bool ParseSeedFlag(int argc, char** argv, int* index, uint64_t* seed) {
+  const char* arg = argv[*index];
+  if (std::strncmp(arg, "--seed=", 7) == 0) {
+    *seed = std::strtoull(arg + 7, nullptr, 10);
+    return true;
+  }
+  if (std::strcmp(arg, "--seed") == 0 && *index + 1 < argc) {
+    *seed = std::strtoull(argv[*index + 1], nullptr, 10);
+    ++*index;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t TestSeed() { return g_master_seed; }
+
+uint64_t TestSeed(uint64_t salt) {
+  // Golden-ratio spread keeps nearby salts (0, 1, 2, ...) from producing
+  // correlated SplitMix64 inputs.
+  uint64_t state = g_master_seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return util::SplitMix64(state);
+}
+
+}  // namespace csj::testing
+
+int main(int argc, char** argv) {
+  const char* source = "default";
+  if (const char* env = std::getenv("CSJ_TEST_SEED");
+      env != nullptr && env[0] != '\0') {
+    csj::testing::g_master_seed = std::strtoull(env, nullptr, 10);
+    source = "CSJ_TEST_SEED";
+  }
+  bool listing = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t seed = 0;
+    if (csj::testing::ParseSeedFlag(argc, argv, &i, &seed)) {
+      csj::testing::g_master_seed = seed;
+      source = "--seed";
+      continue;  // strip: gtest rejects flags it does not know
+    }
+    if (std::strncmp(argv[i], "--gtest_list_tests", 18) == 0) listing = true;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+
+  // Silent while gtest_discover_tests parses --gtest_list_tests output;
+  // any extra line there would be misread as a test name.
+  if (!listing) {
+    std::printf("[csjoin] master test seed = %" PRIu64
+                " (%s; override with --seed=N or CSJ_TEST_SEED)\n",
+                csj::testing::g_master_seed, source);
+  }
+
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,35 @@
+#ifndef CSJ_TESTS_TEST_SEED_H_
+#define CSJ_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+
+namespace csj::testing {
+
+/// Seed that every randomized test derives its generators from. Resolved
+/// once by the shared test main (tests/test_main.cc), highest priority
+/// first:
+///
+///   1. `--seed=N` on the test binary's command line,
+///   2. the `CSJ_TEST_SEED` environment variable,
+///   3. kDefaultTestSeed.
+///
+/// The resolved value is logged at startup, so a CI failure always names
+/// the seed that reproduces it: rerun the binary with `--seed=<logged>`
+/// (plus `--gtest_filter` for the failing case) and the exact same
+/// communities, graphs and schedules are regenerated.
+uint64_t TestSeed();
+
+/// Deterministic per-site derivation: mixes `salt` (a test-local constant
+/// — suite number, parameter index, iteration counter) into the master
+/// seed, so every call site gets an independent stream that still moves
+/// when the master seed is overridden. SplitMix64 under the hood; equal
+/// (master, salt) always yields the same value on every platform.
+uint64_t TestSeed(uint64_t salt);
+
+/// The master seed used when neither override is present. A fixed
+/// constant: the default `ctest` run is bit-reproducible.
+inline constexpr uint64_t kDefaultTestSeed = 2024;
+
+}  // namespace csj::testing
+
+#endif  // CSJ_TESTS_TEST_SEED_H_

@@ -4,10 +4,12 @@
 # paths that hand out shared buffers: the encoding cache's entry
 # promotion/eviction (a join must keep its shared_ptr alive across
 # eviction), the SoA verify windows' padded tail lanes, the per-chunk
-# arenas of the intra-join parallel scans (join_threads_test), and the
-# scan kernels' unaligned vector loads. Runs the full test suite — ASan
-# is cheap enough for that, and the join methods are where the pointers
-# live.
+# arenas of the intra-join parallel scans (join_threads_test), the
+# segment-matching farm's swapped edge buffers (matching_differential_
+# test), and the scan kernels' unaligned vector loads. Runs the full test
+# suite — ASan is cheap enough for that, and the join methods are where
+# the pointers live; that includes the new matching oracle/differential,
+# matching-property and epsilon-boundary suites.
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -eu

@@ -2,8 +2,10 @@
 # CI-style ThreadSanitizer gate for the concurrency-sensitive pieces: the
 # persistent thread pool, the ParallelFor chunk merge, the parallel
 # screening pipeline, the intra-join chunked scans (join_threads, incl.
-# nesting under pipeline_threads), and the shared encoding cache
-# (concurrent build dedup, shared-lock hit path, eviction, Clear).
+# nesting under pipeline_threads), the deferred segment-matching farm
+# (matching_threads; SegmentMatchFarm + the oracle-differential suite),
+# and the shared encoding cache (concurrent build dedup, shared-lock hit
+# path, eviction, Clear).
 # Configures a dedicated build tree with CSJ_ENABLE_TSAN=ON and runs the
 # relevant test binaries under TSAN.
 #
@@ -18,11 +20,11 @@ cmake -B "${build_dir}" -S . \
   -DCSJ_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_test join_threads_test pipeline_test \
-           encoding_cache_test
+           encoding_cache_test matching_differential_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential'
 
 echo "TSAN gate passed."

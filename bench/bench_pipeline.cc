@@ -42,11 +42,14 @@
 // --json writes the whole run as machine-readable JSON, stamped with
 // --git_sha/--build_type.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/encoding_cache.h"
@@ -555,6 +558,13 @@ int main(int argc, char** argv) {
     json.String(flags.GetString("git_sha"));
     json.Key("build_type");
     json.String(flags.GetString("build_type"));
+    // Host parallelism, so scaling numbers are interpretable offline: a
+    // thread-count sweep on a 1-core container is a determinism check,
+    // not a speedup measurement.
+    json.Key("host_cores");
+    json.Uint(std::thread::hardware_concurrency());
+    json.Key("host_nproc_online");
+    json.Int(static_cast<int64_t>(sysconf(_SC_NPROCESSORS_ONLN)));
     json.Key("size");
     json.Uint(size);
     json.Key("candidates");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace csj {
 
@@ -70,6 +71,26 @@ double SimilarityUpperBound(const Community& b, const Community& a,
   if (b.empty()) return 0.0;
   return static_cast<double>(MatchingUpperBound(b, a, eps)) /
          static_cast<double>(b.size());
+}
+
+std::vector<double> SimilarityUpperBounds(
+    const std::vector<std::pair<const Community*, const Community*>>& couples,
+    Epsilon eps, util::ThreadPool* pool, uint32_t threads) {
+  std::vector<double> bounds(couples.size(), 0.0);
+  const auto bound_one = [&](uint32_t i) {
+    CSJ_CHECK(couples[i].first != nullptr && couples[i].second != nullptr);
+    bounds[i] = SimilarityUpperBound(*couples[i].first, *couples[i].second,
+                                     eps);
+  };
+  const auto tasks = static_cast<uint32_t>(couples.size());
+  if (threads <= 1 || tasks <= 1) {
+    for (uint32_t i = 0; i < tasks; ++i) bound_one(i);
+    return bounds;
+  }
+  util::ThreadPool& run_pool =
+      pool != nullptr ? *pool : util::ThreadPool::Global();
+  run_pool.Run(tasks, bound_one, threads);
+  return bounds;
 }
 
 }  // namespace csj

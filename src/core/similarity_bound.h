@@ -2,11 +2,17 @@
 #define CSJ_CORE_SIMILARITY_BOUND_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/community.h"
 #include "core/types.h"
 
 namespace csj {
+
+namespace util {
+class ThreadPool;
+}  // namespace util
 
 /// Cheap upper bound on the EXACT CSJ matched-pair count — no
 /// d-dimensional comparisons, no candidate graph.
@@ -29,6 +35,15 @@ uint32_t MatchingUpperBound(const Community& b, const Community& a,
 /// B is empty.
 double SimilarityUpperBound(const Community& b, const Community& a,
                             Epsilon eps);
+
+/// Batched bounds — the serving subsystem's bound-phase entry point:
+/// result[i] = SimilarityUpperBound(*couples[i].first, *couples[i].second,
+/// eps). With `threads > 1` the couples run as tasks on `pool` (null =
+/// the global pool); each task writes only its own slot, so the result
+/// is byte-identical to the serial loop for any thread count.
+std::vector<double> SimilarityUpperBounds(
+    const std::vector<std::pair<const Community*, const Community*>>& couples,
+    Epsilon eps, util::ThreadPool* pool = nullptr, uint32_t threads = 1);
 
 }  // namespace csj
 

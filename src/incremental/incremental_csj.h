@@ -72,6 +72,11 @@ class IncrementalCsj {
   /// Live A users (initial size plus additions minus removals).
   uint32_t live_a_users() const { return live_a_users_; }
 
+  /// Dimensionality and threshold this structure was built with; the
+  /// serving layer validates attachment requests against them.
+  Dim d() const { return a_.d(); }
+  Epsilon eps() const { return eps_; }
+
   /// similarity(B, A) over the LIVE B users (Eq. 1). 0 when B is empty.
   double Similarity() const;
 

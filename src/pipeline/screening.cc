@@ -109,9 +109,19 @@ void RefineAndRank(
       survivors.push_back(i);
     }
   }
+  // Ties at the refine_top_k boundary break by candidate order: which of
+  // two equally-screened candidates gets the k-th refine slot must be a
+  // function of the data, not of introsort's permutation — that is what
+  // keeps the refined ranking identical when use_upper_bound_prune
+  // shifts entry indices (pipeline_test's prune on/off differential).
   std::sort(survivors.begin(), survivors.end(), [&](size_t x, size_t y) {
-    return report->entries[x].screened_similarity >
-           report->entries[y].screened_similarity;
+    if (report->entries[x].screened_similarity !=
+        report->entries[y].screened_similarity) {
+      return report->entries[x].screened_similarity >
+             report->entries[y].screened_similarity;
+    }
+    return report->entries[x].candidate_index <
+           report->entries[y].candidate_index;
   });
   if (options.refine_top_k > 0 && survivors.size() > options.refine_top_k) {
     survivors.resize(options.refine_top_k);

@@ -1,0 +1,139 @@
+#include "service/catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/encoding.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace csj::service {
+
+LiveCoupleSession::LiveCoupleSession(const CommunityCatalog* catalog,
+                                     CatalogEntry entry,
+                                     const JoinOptions& join)
+    : catalog_(catalog),
+      entry_(std::move(entry)),
+      live_(*entry_.community, join) {}
+
+bool LiveCoupleSession::Stale() const {
+  const CatalogEntry current = catalog_->Get(entry_.id);
+  return current.community == nullptr || current.version != entry_.version;
+}
+
+CommunityCatalog::CommunityCatalog() : CommunityCatalog(Options{}) {}
+
+CommunityCatalog::CommunityCatalog(Options options) : options_(options) {
+  options_.shards = std::max(options_.shards, 1u);
+  shards_ = std::vector<Shard>(options_.shards);
+}
+
+const CommunityCatalog::Shard& CommunityCatalog::ShardOf(uint64_t id) const {
+  // Mix before reducing so dense sequential ids (the common assignment
+  // scheme) and strided ids both spread over the shards.
+  uint64_t state = id;
+  return shards_[util::SplitMix64(state) % shards_.size()];
+}
+
+CommunityCatalog::Shard& CommunityCatalog::ShardOf(uint64_t id) {
+  return const_cast<Shard&>(
+      static_cast<const CommunityCatalog*>(this)->ShardOf(id));
+}
+
+uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
+  CSJ_CHECK(!community.empty()) << "catalog entries must be non-empty";
+  // Freeze, digest and warm OUTSIDE any lock: digesting is O(n*d) and a
+  // cache build sorts the whole community — holding a shard lock across
+  // either would stall every reader of the shard.
+  CatalogEntry entry;
+  entry.id = id;
+  entry.community = std::make_shared<const Community>(std::move(community));
+  entry.digest = DigestCommunity(*entry.community);
+  if (options_.cache != nullptr) {
+    // Key on the CLAMPED part count, exactly as the join methods do, so
+    // the first query's lookups are hits, not parallel builds.
+    const Encoder encoder(entry.community->d(), options_.warm_eps,
+                          options_.warm_parts);
+    options_.cache->GetEncodedB(*entry.community, entry.digest,
+                                options_.warm_eps, encoder.parts(), nullptr);
+    options_.cache->GetEncodedA(*entry.community, entry.digest,
+                                options_.warm_eps, encoder.parts(), nullptr);
+    options_.cache->GetCommunityWindow(*entry.community, entry.digest,
+                                       nullptr);
+  }
+  entry.version = next_version_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& shard = ShardOf(id);
+  {
+    std::unique_lock lock(shard.mu);
+    shard.entries[id] = entry;
+  }
+  upserts_.fetch_add(1, std::memory_order_relaxed);
+  return entry.version;
+}
+
+bool CommunityCatalog::Remove(uint64_t id) {
+  Shard& shard = ShardOf(id);
+  bool removed = false;
+  {
+    std::unique_lock lock(shard.mu);
+    removed = shard.entries.erase(id) > 0;
+  }
+  if (removed) removes_.fetch_add(1, std::memory_order_relaxed);
+  return removed;
+}
+
+CatalogEntry CommunityCatalog::Get(uint64_t id) const {
+  const Shard& shard = ShardOf(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.entries.find(id);
+  return it == shard.entries.end() ? CatalogEntry{} : it->second;
+}
+
+std::vector<CatalogEntry> CommunityCatalog::Snapshot() const {
+  std::vector<CatalogEntry> snapshot;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [id, entry] : shard.entries) snapshot.push_back(entry);
+  }
+  // Shards partition ids by hash, so the concatenation is ordered within
+  // a shard but not globally; one sort restores the deterministic
+  // ascending-id order every consumer (and the top-k tie-break) assumes.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const CatalogEntry& x, const CatalogEntry& y) {
+              return x.id < y.id;
+            });
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot;
+}
+
+uint32_t CommunityCatalog::size() const {
+  uint32_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    total += static_cast<uint32_t>(shard.entries.size());
+  }
+  return total;
+}
+
+std::unique_ptr<LiveCoupleSession> CommunityCatalog::AttachLive(
+    const Community& query, uint64_t entry_id, const JoinOptions& join) const {
+  CatalogEntry entry = Get(entry_id);
+  if (entry.community == nullptr) return nullptr;
+  if (entry.community->d() != query.d()) return nullptr;
+  auto session = std::unique_ptr<LiveCoupleSession>(
+      new LiveCoupleSession(this, std::move(entry), join));
+  for (UserId u = 0; u < query.size(); ++u) {
+    session->AddSubscriber(query.User(u));
+  }
+  return session;
+}
+
+CommunityCatalog::Stats CommunityCatalog::GetStats() const {
+  Stats stats;
+  stats.upserts = upserts_.load(std::memory_order_relaxed);
+  stats.removes = removes_.load(std::memory_order_relaxed);
+  stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace csj::service

@@ -1,0 +1,189 @@
+#ifndef CSJ_SERVICE_CATALOG_H_
+#define CSJ_SERVICE_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/community.h"
+#include "core/encoding_cache.h"
+#include "core/join_options.h"
+#include "core/types.h"
+#include "incremental/incremental_csj.h"
+
+namespace csj::service {
+
+/// One resident catalog community, as handed out by Get()/Snapshot().
+///
+/// Entries are COPY-ON-WRITE: the Community behind `community` is frozen
+/// at Upsert time and never mutated afterwards — an upsert of the same id
+/// installs a NEW shared buffer under a NEW version and simply drops the
+/// shard's reference to the old one. Any reader (a snapshot, a running
+/// top-k query, a live session) that still holds the shared_ptr keeps the
+/// old buffers alive and consistent; there is no in-place mutation to
+/// race with, which is what makes long joins against a churning catalog
+/// safe.
+struct CatalogEntry {
+  uint64_t id = 0;
+  /// Catalog-wide monotonic version, unique per successful Upsert. A
+  /// larger version was installed later (across ALL ids, not just this
+  /// one), so "did this entry change since I looked?" is one compare.
+  uint64_t version = 0;
+  std::shared_ptr<const Community> community;
+  /// Content fingerprint + max counter, precomputed once at Upsert so
+  /// queries hitting the encoding cache never re-scan the counters.
+  CommunityDigest digest;
+};
+
+/// A live, incrementally maintained exact similarity between ONE query
+/// community (the churn side, B) and ONE pinned catalog entry (A).
+///
+/// Attaching pins the entry's snapshot: the session stays valid and
+/// exact against the PINNED version even while the catalog replaces or
+/// removes the entry. `Stale()` reports when the catalog has moved on;
+/// the owner re-attaches to follow (rebuilds are the documented A-churn
+/// policy of IncrementalCsj).
+///
+/// A session is externally synchronized: one owner drives it (the
+/// subscriber-churn stream of one query), concurrency across sessions
+/// and against the catalog is free.
+class LiveCoupleSession {
+ public:
+  using Handle = incremental::IncrementalCsj::Handle;
+
+  /// Subscriber churn on the query side; exact matching maintained after
+  /// every call (see incremental/incremental_csj.h).
+  Handle AddSubscriber(std::span<const Count> vec) {
+    return live_.AddUser(vec);
+  }
+  bool RemoveSubscriber(Handle handle) { return live_.RemoveUser(handle); }
+
+  double Similarity() const { return live_.Similarity(); }
+  uint32_t live_subscribers() const { return live_.live_users(); }
+  uint32_t matched_pairs() const { return live_.matched_pairs(); }
+  bool SizesAdmissible() const { return live_.SizesAdmissible(); }
+
+  /// The catalog entry this session is pinned to (its frozen snapshot).
+  const CatalogEntry& entry() const { return entry_; }
+
+  /// True when the catalog no longer holds exactly the pinned version of
+  /// the entry (it was upserted again or removed). The session itself
+  /// remains valid and exact against the pinned snapshot.
+  bool Stale() const;
+
+ private:
+  friend class CommunityCatalog;
+  LiveCoupleSession(const class CommunityCatalog* catalog, CatalogEntry entry,
+                    const JoinOptions& join);
+
+  const class CommunityCatalog* catalog_;
+  CatalogEntry entry_;
+  incremental::IncrementalCsj live_;
+};
+
+/// Sharded, versioned community catalog — the stateful half of the
+/// serving subsystem. Holds the platform's brand communities behind
+/// per-shard shared_mutexes so concurrent Upsert/Remove/Snapshot/Get
+/// from many server workers never serialize on one lock.
+///
+/// Snapshot semantics: a snapshot is PER-SHARD atomic — each shard's
+/// entries are read under one shared lock, so a snapshot never observes a
+/// torn entry or a half-applied upsert. Across shards it is NOT a global
+/// point in time: an upsert racing the snapshot may appear in a later
+/// shard but not an earlier one. Queries accept this (a request racing an
+/// upsert may legitimately see either state); anything needing stronger
+/// ordering keys off entry versions, which are catalog-wide monotonic.
+///
+/// Warmup: when a `cache` is configured, Upsert pre-builds the entry's
+/// MinMax encoded buffers (both sides) and its Baseline SoA window for
+/// (warm_eps, warm_parts) OUTSIDE any shard lock, so the first query
+/// against a fresh entry pays no encoding build on the serving path.
+class CommunityCatalog {
+ public:
+  struct Options {
+    /// Lock shards; clamped to >= 1. 8 is plenty below ~10^2 workers.
+    uint32_t shards = 8;
+    /// Optional encoding cache to warm entries into (not owned; must
+    /// outlive the catalog). Queries wanting the warmed buffers must use
+    /// the same cache via JoinOptions::cache.
+    EncodingCache* cache = nullptr;
+    /// Parameters the warmup builds for; align them with the serving
+    /// JoinOptions or the first query still builds its own.
+    Epsilon warm_eps = 1;
+    uint32_t warm_parts = 4;
+  };
+
+  // Two overloads rather than `Options options = {}`: a nested struct's
+  // default member initializers are not usable in a default argument
+  // until the enclosing class is complete.
+  CommunityCatalog();
+  explicit CommunityCatalog(Options options);
+
+  /// Installs (or replaces) the community under `id` and returns the new
+  /// catalog-wide version. The community is frozen (moved into a shared
+  /// immutable buffer); digesting and cache warmup run outside any lock.
+  uint64_t Upsert(uint64_t id, Community community);
+
+  /// Removes `id`. Returns false when absent. Readers holding the entry
+  /// keep its buffers alive; the catalog just forgets it.
+  bool Remove(uint64_t id);
+
+  /// The current entry for `id`, or an empty optional-like entry
+  /// (community == nullptr) when absent.
+  CatalogEntry Get(uint64_t id) const;
+
+  /// All resident entries, ascending id (deterministic for a quiesced
+  /// catalog). See the class comment for cross-shard semantics.
+  std::vector<CatalogEntry> Snapshot() const;
+
+  /// Resident entry count (sum over shards; racy under churn, exact when
+  /// quiesced).
+  uint32_t size() const;
+
+  /// Largest version issued so far (0 before the first upsert).
+  uint64_t latest_version() const {
+    return next_version_.load(std::memory_order_acquire) - 1;
+  }
+
+  /// Pins the current entry of `entry_id` and builds a live incremental
+  /// session for (query, entry): the query community's users are seeded
+  /// as the initial subscribers (handles 0..n-1 in user order), further
+  /// churn goes through the session. Returns nullptr when the id is
+  /// absent or the dimensionalities differ. `join` supplies eps and the
+  /// encoding part count.
+  std::unique_ptr<LiveCoupleSession> AttachLive(const Community& query,
+                                                uint64_t entry_id,
+                                                const JoinOptions& join) const;
+
+  /// Monotonic operation counters (for the server's stats surface).
+  struct Stats {
+    uint64_t upserts = 0;
+    uint64_t removes = 0;
+    uint64_t snapshots = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::map<uint64_t, CatalogEntry> entries;
+  };
+
+  const Shard& ShardOf(uint64_t id) const;
+  Shard& ShardOf(uint64_t id);
+
+  Options options_;
+  std::vector<Shard> shards_;
+  /// Next version to issue; versions are catalog-wide and monotonic.
+  std::atomic<uint64_t> next_version_{1};
+  std::atomic<uint64_t> upserts_{0};
+  std::atomic<uint64_t> removes_{0};
+  mutable std::atomic<uint64_t> snapshots_{0};
+};
+
+}  // namespace csj::service
+
+#endif  // CSJ_SERVICE_CATALOG_H_

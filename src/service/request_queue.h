@@ -1,0 +1,100 @@
+#ifndef CSJ_SERVICE_REQUEST_QUEUE_H_
+#define CSJ_SERVICE_REQUEST_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace csj::service {
+
+/// Bounded multi-producer / multi-consumer queue with reject-on-full
+/// admission control.
+///
+/// The producer side NEVER blocks: TryPush either enqueues or returns
+/// false immediately (counted in `rejected()`), so a traffic spike sheds
+/// load at the door instead of stalling upstream callers — the
+/// admission-control contract the server builds on. The consumer side
+/// blocks in Pop until an item or Close() arrives; Close() lets already-
+/// queued items drain (Pop returns nullopt only when closed AND empty).
+template <typename T>
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(size_t capacity) : capacity_(capacity) {
+    CSJ_CHECK_GT(capacity, size_t{0});
+  }
+
+  BoundedRequestQueue(const BoundedRequestQueue&) = delete;
+  BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed. Acquires the
+  /// lock but never waits for space: the caller learns the verdict in
+  /// O(1) and keeps its latency budget.
+  bool TryPush(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (!closed_ && items_.size() < capacity_) {
+        items_.push_back(std::move(item));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        // Unlock before notify would be a micro-optimization; keeping the
+        // notify under the lock is the simple, provably race-free shape.
+        ready_.notify_one();
+        return true;
+      }
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is open and
+  /// empty. Returns nullopt once the queue is closed and drained — the
+  /// consumer's shutdown signal.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer; queued
+  /// items remain poppable until drained.
+  void Close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace csj::service
+
+#endif  // CSJ_SERVICE_REQUEST_QUEUE_H_

@@ -1,0 +1,138 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace csj::service {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kDeadlineExpired: return "deadline_expired";
+    case ServeStatus::kNotFound: return "not_found";
+  }
+  return "unknown";
+}
+
+CsjServer::CsjServer(Options options) : options_(std::move(options)) {
+  options_.workers = std::max(options_.workers, 1u);
+  catalog_ = std::make_unique<CommunityCatalog>(options_.catalog);
+  topk_ = std::make_unique<TopKSimilarService>(catalog_.get());
+  queue_ = std::make_unique<BoundedRequestQueue<QueuedRequest>>(
+      options_.queue_capacity);
+  workers_.reserve(options_.workers);
+  for (uint32_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CsjServer::~CsjServer() { Shutdown(); }
+
+void CsjServer::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_->Close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+bool CsjServer::Submit(ServeRequest request,
+                       std::future<ServeResponse>* response) {
+  QueuedRequest queued;
+  queued.request = std::move(request);
+  queued.admitted = std::chrono::steady_clock::now();
+  if (queued.request.deadline_seconds > 0.0) {
+    queued.deadline =
+        queued.admitted + std::chrono::duration_cast<Deadline::duration>(
+                              std::chrono::duration<double>(
+                                  queued.request.deadline_seconds));
+  }
+  std::future<ServeResponse> future = queued.promise.get_future();
+  if (!queue_->TryPush(std::move(queued))) return false;
+  if (response != nullptr) *response = std::move(future);
+  return true;
+}
+
+ServeResponse CsjServer::SubmitAndWait(ServeRequest request) {
+  std::future<ServeResponse> future;
+  if (!Submit(std::move(request), &future)) {
+    ServeResponse rejected;
+    rejected.status = ServeStatus::kRejected;
+    return rejected;
+  }
+  return future.get();
+}
+
+void CsjServer::WorkerLoop() {
+  while (true) {
+    std::optional<QueuedRequest> queued = queue_->Pop();
+    if (!queued.has_value()) return;  // closed and drained
+    ServeResponse response = Execute(*queued);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (response.status == ServeStatus::kDeadlineExpired) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    queued->promise.set_value(std::move(response));
+  }
+}
+
+ServeResponse CsjServer::Execute(QueuedRequest& queued) {
+  const ServeRequest& request = queued.request;
+  ServeResponse response;
+  response.queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    queued.admitted)
+          .count();
+
+  // Phase boundary 1: a request that burned its whole budget in the
+  // queue is dropped before any join work.
+  if (queued.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *queued.deadline) {
+    response.status = ServeStatus::kDeadlineExpired;
+  } else {
+    switch (request.kind) {
+      case RequestKind::kTopK: {
+        CSJ_CHECK(request.community != nullptr);
+        response.topk = topk_->Query(*request.community, request.topk,
+                                     queued.deadline);
+        response.status = response.topk.deadline_expired
+                              ? ServeStatus::kDeadlineExpired
+                              : ServeStatus::kOk;
+        break;
+      }
+      case RequestKind::kUpsert: {
+        CSJ_CHECK(request.community != nullptr);
+        response.version =
+            catalog_->Upsert(request.id, Community(*request.community));
+        response.status = ServeStatus::kOk;
+        break;
+      }
+      case RequestKind::kRemove: {
+        response.status = catalog_->Remove(request.id)
+                              ? ServeStatus::kOk
+                              : ServeStatus::kNotFound;
+        break;
+      }
+    }
+  }
+
+  response.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    queued.admitted)
+          .count();
+  return response;
+}
+
+CsjServer::Stats CsjServer::GetStats() const {
+  Stats stats;
+  stats.accepted = queue_->accepted();
+  stats.rejected = queue_->rejected();
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace csj::service

@@ -1,0 +1,145 @@
+#ifndef CSJ_SERVICE_SERVER_H_
+#define CSJ_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/community.h"
+#include "service/catalog.h"
+#include "service/request_queue.h"
+#include "service/topk.h"
+
+namespace csj::service {
+
+/// What a request asks the server to do.
+enum class RequestKind : uint8_t {
+  kTopK,    ///< rank the catalog against `query`
+  kUpsert,  ///< install `query` as catalog entry `id`
+  kRemove,  ///< drop catalog entry `id`
+};
+
+enum class ServeStatus : uint8_t {
+  kOk,
+  kRejected,         ///< admission control: queue full (never executed)
+  kDeadlineExpired,  ///< ran out of budget between phases
+  kNotFound,         ///< kRemove of an absent id
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kTopK;
+  /// Target entry for kUpsert / kRemove.
+  uint64_t id = 0;
+  /// The query community (kTopK) or the payload to install (kUpsert).
+  /// Shared so producers can reuse one community across many requests
+  /// without copying megabytes per request.
+  std::shared_ptr<const Community> community;
+  /// Per-request top-k parameters (kTopK only).
+  TopKOptions topk;
+  /// Latency budget in seconds, measured from ADMISSION (TryPush), so
+  /// queueing time counts against it — a request stuck behind a burst
+  /// expires instead of consuming refine work nobody is waiting for.
+  /// 0 = no deadline.
+  double deadline_seconds = 0.0;
+};
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  /// kTopK result (possibly partial when status == kDeadlineExpired).
+  TopKResult topk;
+  /// Version installed by kUpsert.
+  uint64_t version = 0;
+  /// Seconds from admission to execution start (queue wait) and to
+  /// completion (what the client experienced).
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The long-running serving front end: a bounded request queue feeding a
+/// fixed crew of worker threads that execute against the shared
+/// CommunityCatalog / TopKSimilarService.
+///
+/// Threading model: producers (any thread) call Submit, which either
+/// admits the request — returning a future the producer may wait on — or
+/// rejects it immediately when the queue is full. Workers pop requests
+/// and execute them one at a time; per-request parallelism comes from
+/// TopKOptions::query_threads (usually 1 under heavy traffic — the
+/// workers ARE the parallelism), catalog mutations are safe by the
+/// catalog's own sharded locking.
+///
+/// Deadlines are checked between request phases: after the queue wait,
+/// after the bound phase, and between refine waves. An expired request
+/// completes with kDeadlineExpired and whatever partial ranking it had.
+class CsjServer {
+ public:
+  struct Options {
+    uint32_t workers = 2;          ///< dedicated worker threads (>= 1)
+    size_t queue_capacity = 256;   ///< admission-control bound
+    CommunityCatalog::Options catalog;
+  };
+
+  /// Builds the catalog and starts the workers; the server is accepting
+  /// requests when the constructor returns.
+  explicit CsjServer(Options options);
+
+  /// Stops accepting, drains queued requests, joins the workers.
+  ~CsjServer();
+
+  CsjServer(const CsjServer&) = delete;
+  CsjServer& operator=(const CsjServer&) = delete;
+
+  /// Admission: enqueues the request and hands back the future its
+  /// response will arrive on. Returns false — and completes no future —
+  /// when the queue is full or the server is shutting down; the caller
+  /// sheds the request (counted in stats().rejected).
+  bool Submit(ServeRequest request, std::future<ServeResponse>* response);
+
+  /// Convenience for tests and simple callers: Submit + wait. A rejected
+  /// request returns status kRejected instead of blocking.
+  ServeResponse SubmitAndWait(ServeRequest request);
+
+  /// Stops accepting new requests, drains the queue, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  const CommunityCatalog& catalog() const { return *catalog_; }
+  CommunityCatalog& catalog() { return *catalog_; }
+  const TopKSimilarService& topk() const { return *topk_; }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t deadline_expired = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct QueuedRequest {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point admitted;
+    std::optional<Deadline> deadline;
+  };
+
+  void WorkerLoop();
+  ServeResponse Execute(QueuedRequest& queued);
+
+  Options options_;
+  std::unique_ptr<CommunityCatalog> catalog_;
+  std::unique_ptr<TopKSimilarService> topk_;
+  std::unique_ptr<BoundedRequestQueue<QueuedRequest>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace csj::service
+
+#endif  // CSJ_SERVICE_SERVER_H_

@@ -1,0 +1,207 @@
+#include "service/topk.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "core/similarity.h"
+#include "core/similarity_bound.h"
+#include "pipeline/screening.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace csj::service {
+
+namespace {
+
+/// One admissible candidate of the walk.
+struct Candidate {
+  uint32_t snapshot_index = 0;
+  double bound = 0.0;
+};
+
+/// The top-k order: similarity descending, id ascending. A strict weak
+/// ordering over (similarity, id), so the running top-k set is unique —
+/// no two entries share an id within one snapshot.
+struct RankedLess {
+  bool operator()(const TopKEntry& x, const TopKEntry& y) const {
+    if (x.similarity != y.similarity) return x.similarity > y.similarity;
+    return x.id < y.id;
+  }
+};
+
+bool DeadlinePassed(const std::optional<Deadline>& deadline) {
+  return deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *deadline;
+}
+
+/// Orients one couple by the auto-order rule (smaller side plays B; the
+/// query wins ties, matching ComputeSimilarityAutoOrder(query, entry)).
+void OrientCouple(const Community& query, const Community& entry,
+                  const Community** b, const Community** a) {
+  const bool query_is_b = query.size() <= entry.size();
+  *b = query_is_b ? &query : &entry;
+  *a = query_is_b ? &entry : &query;
+}
+
+}  // namespace
+
+TopKSimilarService::TopKSimilarService(const CommunityCatalog* catalog)
+    : catalog_(catalog) {
+  CSJ_CHECK(catalog != nullptr);
+}
+
+TopKResult TopKSimilarService::Query(
+    const Community& query, const TopKOptions& options,
+    const std::optional<Deadline>& deadline) const {
+  return QuerySnapshot(query, catalog_->Snapshot(), options, deadline);
+}
+
+TopKResult TopKSimilarService::QuerySnapshot(
+    const Community& query, const std::vector<CatalogEntry>& snapshot,
+    const TopKOptions& options,
+    const std::optional<Deadline>& deadline) const {
+  TopKResult result;
+  result.stats.catalog_entries = static_cast<uint32_t>(snapshot.size());
+  const uint32_t k = std::max(options.k, 1u);
+
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::Global();
+  const uint32_t threads =
+      std::max(1u, std::min(options.query_threads, pool.threads()));
+
+  // Phase 1: orientation + admissibility + batched bounds. Couples are
+  // enumerated in snapshot (ascending-id) order; slot-per-index keeps the
+  // bound vector deterministic for any thread count.
+  util::Timer bound_timer;
+  std::vector<uint32_t> admissible;
+  std::vector<std::pair<const Community*, const Community*>> couples;
+  for (uint32_t i = 0; i < snapshot.size(); ++i) {
+    const CatalogEntry& entry = snapshot[i];
+    CSJ_CHECK(entry.community != nullptr);
+    if (entry.community->d() != query.d() || query.empty()) {
+      ++result.stats.inadmissible;
+      continue;
+    }
+    const Community* b = nullptr;
+    const Community* a = nullptr;
+    OrientCouple(query, *entry.community, &b, &a);
+    if (!SizesAdmissible(b->size(), a->size())) {
+      ++result.stats.inadmissible;
+      continue;
+    }
+    admissible.push_back(i);
+    couples.emplace_back(b, a);
+  }
+  result.stats.admissible = static_cast<uint32_t>(admissible.size());
+
+  const std::vector<double> bounds = SimilarityUpperBounds(
+      couples, options.join.eps, threads > 1 ? &pool : nullptr, threads);
+
+  // Walk order: bound descending, id ascending (snapshot order is
+  // ascending id, so a stable sort on the bound alone would do — the
+  // explicit tie-break documents the contract).
+  std::vector<Candidate> candidates(admissible.size());
+  for (uint32_t c = 0; c < admissible.size(); ++c) {
+    candidates[c] = Candidate{admissible[c], bounds[c]};
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& x, const Candidate& y) {
+              if (x.bound != y.bound) return x.bound > y.bound;
+              return snapshot[x.snapshot_index].id <
+                     snapshot[y.snapshot_index].id;
+            });
+  result.stats.bound_seconds = bound_timer.Seconds();
+
+  if (DeadlinePassed(deadline)) {
+    result.deadline_expired = true;
+    return result;
+  }
+
+  // Phase 2: refine waves, best bound first, cutoff between waves.
+  util::Timer refine_timer;
+  const uint32_t wave_size =
+      options.batch_size > 0 ? options.batch_size : threads;
+  // The intra-join budget mirrors the pipeline's rule: with up to
+  // `threads` joins in flight per wave, each join gets its fair share of
+  // the pool (the whole pool when the wave is a single giant couple).
+  JoinOptions join = options.join;
+  if (join.pool == nullptr) join.pool = &pool;
+  std::set<TopKEntry, RankedLess> best;
+  std::vector<TopKEntry> wave_results;
+
+  uint32_t next = 0;
+  while (next < candidates.size()) {
+    if (DeadlinePassed(deadline)) {
+      result.deadline_expired = true;
+      break;
+    }
+    if (options.use_bound_cutoff && best.size() >= k &&
+        candidates[next].bound < std::prev(best.end())->similarity) {
+      // Every remaining candidate c has similarity <= bound(c) <=
+      // bound(next) < kth similarity: strictly below k refined entries,
+      // hence outside the top-k under any tie-break. Stop.
+      result.stats.bound_skipped =
+          static_cast<uint32_t>(candidates.size() - next);
+      break;
+    }
+
+    const uint32_t wave_end =
+        std::min(next + wave_size, static_cast<uint32_t>(candidates.size()));
+    const uint32_t wave = wave_end - next;
+    ++result.stats.waves;
+    wave_results.assign(wave, TopKEntry{});
+
+    std::vector<std::pair<const Community*, const Community*>> wave_couples;
+    wave_couples.reserve(wave);
+    for (uint32_t w = 0; w < wave; ++w) {
+      const CatalogEntry& entry =
+          snapshot[candidates[next + w].snapshot_index];
+      const Community* b = nullptr;
+      const Community* a = nullptr;
+      OrientCouple(query, *entry.community, &b, &a);
+      wave_couples.emplace_back(b, a);
+    }
+    JoinOptions wave_join = join;
+    wave_join.join_threads = pipeline::NestedJoinThreads(
+        join.join_threads, threads, pool.threads(), wave);
+    wave_join.matching_threads = pipeline::NestedJoinThreads(
+        join.matching_threads, threads, pool.threads(), wave);
+
+    const auto refine_one = [&](uint32_t w) {
+      const CatalogEntry& entry =
+          snapshot[candidates[next + w].snapshot_index];
+      const auto refined =
+          ComputeSimilarity(options.method, *wave_couples[w].first,
+                            *wave_couples[w].second, wave_join);
+      CSJ_CHECK(refined.has_value());  // admissibility checked in phase 1
+      wave_results[w] =
+          TopKEntry{entry.id, entry.version, refined->Similarity()};
+    };
+    if (threads > 1 && wave > 1) {
+      // Cost-aware order inside the wave: the pool claims tasks in the
+      // given sequence, so most-expensive-first keeps a skewed giant from
+      // landing last and serializing the wave's tail.
+      const std::vector<uint32_t> order =
+          pipeline::CostAwareOrder(wave_couples);
+      pool.Run(wave, [&](uint32_t t) { refine_one(order[t]); }, threads);
+    } else {
+      for (uint32_t w = 0; w < wave; ++w) refine_one(w);
+    }
+
+    // Merge in wave (bound) order — deterministic for any thread count.
+    for (const TopKEntry& refined : wave_results) {
+      best.insert(refined);
+      if (best.size() > k) best.erase(std::prev(best.end()));
+    }
+    result.stats.refined += wave;
+    next = wave_end;
+  }
+  result.stats.refine_seconds = refine_timer.Seconds();
+
+  result.entries.assign(best.begin(), best.end());
+  return result;
+}
+
+}  // namespace csj::service

@@ -1,0 +1,138 @@
+#ifndef CSJ_SERVICE_TOPK_H_
+#define CSJ_SERVICE_TOPK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/community.h"
+#include "core/join_options.h"
+#include "core/method.h"
+#include "service/catalog.h"
+
+namespace csj::util {
+class ThreadPool;
+}  // namespace csj::util
+
+namespace csj::service {
+
+/// Deadline for one request, as a steady-clock point. Checked BETWEEN
+/// phases (never inside a join): admission -> bound phase -> each refine
+/// batch. A request that blows its deadline returns what it has, flagged.
+using Deadline = std::chrono::steady_clock::time_point;
+
+struct TopKOptions {
+  /// Result size; clamped to >= 1.
+  uint32_t k = 10;
+
+  /// Exact method used to refine survivors (the cutoff proof needs
+  /// exactness: approximate similarities are not dominated by the bound).
+  Method method = Method::kExMinMax;
+
+  /// Join parameters (eps, parts, matcher, cache...). Point `join.cache`
+  /// at the catalog's warmup cache to serve from prebuilt encodings.
+  JoinOptions join;
+
+  /// The best-bound-first cutoff walk. false refines every admissible
+  /// entry — the exhaustive oracle arm the differential test compares
+  /// against; results are identical either way, only work differs.
+  bool use_bound_cutoff = true;
+
+  /// Exact joins executed per refine wave. Within a wave, joins run as
+  /// pool tasks in cost-aware (most-expensive-first) order; between
+  /// waves the cutoff re-checks. 0 = auto: the applied thread count, so
+  /// a serial query degenerates to the classic one-at-a-time walk with
+  /// the tightest possible cutoff. Larger batches trade a few extra
+  /// refinements for fewer pool round-trips; results never change.
+  uint32_t batch_size = 0;
+
+  /// Threads applied WITHIN this query (bound phase + each refine wave).
+  /// 1 = fully inline, no pool interaction — a server running many
+  /// concurrent requests gets its parallelism across requests instead.
+  uint32_t query_threads = 1;
+
+  /// Pool override; null = ThreadPool::Global().
+  util::ThreadPool* pool = nullptr;
+};
+
+/// One ranked result: a catalog entry and its EXACT similarity to the
+/// query under the auto-ordered couple (smaller side plays B).
+struct TopKEntry {
+  uint64_t id = 0;
+  uint64_t version = 0;
+  double similarity = 0.0;
+
+  friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
+};
+
+struct TopKQueryStats {
+  uint32_t catalog_entries = 0;  ///< snapshot size
+  uint32_t admissible = 0;       ///< couples passing the CSJ size rule
+  uint32_t inadmissible = 0;
+  uint32_t refined = 0;        ///< exact joins actually executed
+  uint32_t bound_skipped = 0;  ///< admissible entries the cutoff pruned
+  uint32_t waves = 0;          ///< refine waves executed
+  double bound_seconds = 0.0;  ///< wall-clock of the bound phase
+  double refine_seconds = 0.0; ///< wall-clock of all refine waves
+};
+
+struct TopKResult {
+  /// At most k entries, ranked by (similarity desc, id asc) — the total
+  /// order the cutoff proof and the differential test are stated in.
+  std::vector<TopKEntry> entries;
+  TopKQueryStats stats;
+  /// The deadline expired between phases; `entries` ranks only what was
+  /// refined so far (a valid lower-bound answer, not the exact top-k).
+  bool deadline_expired = false;
+};
+
+/// The catalog-backed top-k similarity query engine.
+///
+/// Algorithm (QuerySnapshot): for every snapshot entry, orient the couple
+/// by size (smaller side plays B, query wins ties) and drop inadmissible
+/// couples; compute SimilarityUpperBound for every admissible couple
+/// (batched on the pool); walk candidates in (bound desc, id asc) order,
+/// refining in waves and maintaining the current top-k; STOP as soon as
+/// the next candidate's bound is strictly below the current k-th
+/// similarity with the top-k full.
+///
+/// Cutoff correctness (the "provably identical" contract): for an exact
+/// method, similarity(B, A) <= SimilarityUpperBound(B, A) on the same
+/// couple — the bound is the optimum of a relaxation (encoded-window
+/// interval matching) of the real candidate graph, and both are divided
+/// by the same |B|. Candidates are walked in non-increasing bound order,
+/// so when the walk stops at a candidate with bound < kth_similarity,
+/// every unrefined candidate c satisfies
+///     similarity(c) <= bound(c) <= bound(stop) < kth_similarity,
+/// i.e. c ranks strictly below k refined entries under (similarity desc,
+/// id asc) and cannot appear in the top-k. Ties are why the stop rule is
+/// STRICT: a candidate with bound == kth_similarity could still realize
+/// exactly kth_similarity and win the tie on a smaller id, so it must be
+/// refined. Hence the returned ranking is byte-identical — same (id,
+/// version, similarity) triples, same double bits — to refining every
+/// admissible entry and truncating (topk_service_test proves this on
+/// hundreds of seeded catalogs).
+class TopKSimilarService {
+ public:
+  /// `catalog` is not owned and must outlive the service.
+  explicit TopKSimilarService(const CommunityCatalog* catalog);
+
+  /// Snapshots the catalog and runs QuerySnapshot.
+  TopKResult Query(const Community& query, const TopKOptions& options,
+                   const std::optional<Deadline>& deadline = {}) const;
+
+  /// Runs the query against an explicit snapshot (the server reuses one
+  /// snapshot across phases of a request; tests pin synthetic ones).
+  TopKResult QuerySnapshot(const Community& query,
+                           const std::vector<CatalogEntry>& snapshot,
+                           const TopKOptions& options,
+                           const std::optional<Deadline>& deadline = {}) const;
+
+ private:
+  const CommunityCatalog* catalog_;
+};
+
+}  // namespace csj::service
+
+#endif  // CSJ_SERVICE_TOPK_H_

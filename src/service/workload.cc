@@ -1,0 +1,104 @@
+#include "service/workload.h"
+
+#include <algorithm>
+#include <string>
+
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "util/logging.h"
+
+namespace csj::service {
+
+namespace {
+
+data::Category CategoryOf(uint32_t index) {
+  return static_cast<data::Category>(index % data::kNumCategories);
+}
+
+uint32_t JitteredSize(const WorkloadOptions& options, util::Rng& rng) {
+  const double jitter = std::clamp(options.size_jitter, 0.0, 0.9);
+  const auto lo = static_cast<uint32_t>(
+      static_cast<double>(options.community_size) * (1.0 - jitter));
+  const auto hi = static_cast<uint32_t>(
+      static_cast<double>(options.community_size) * (1.0 + jitter));
+  return static_cast<uint32_t>(
+      rng.Between(std::max(lo, 8u), std::max(hi, std::max(lo, 8u))));
+}
+
+}  // namespace
+
+ServeWorkload::ServeWorkload(const WorkloadOptions& options)
+    : options_(options),
+      popularity_(std::max(options.catalog_size, 1u),
+                  std::max(options.zipf_s, 0.0)) {
+  CSJ_CHECK_GT(options_.catalog_size, 0u);
+  util::Rng rng(options_.seed);
+  communities_.reserve(options_.catalog_size);
+  for (uint32_t i = 0; i < options_.catalog_size; ++i) {
+    data::VkLikeGenerator gen(CategoryOf(i));
+    const uint32_t size = JitteredSize(options_, rng);
+    Community community(gen.d());
+    if (i % 3 == 0 || anchors_.empty()) {
+      anchors_.push_back(i);
+      community = data::MakeCommunity(gen, size, rng);
+    } else {
+      // Cluster member: plant 15-35% of the anchor's audience so the
+      // exact top-k has genuine, graded winners.
+      const Community& anchor = *communities_[anchors_.back()];
+      data::CoupleSpec spec;
+      spec.size_b = size;
+      spec.eps = options_.eps;
+      spec.target_similarity = 0.15 + 0.05 * static_cast<double>(i % 5);
+      community = data::PlantCommunityAgainst(anchor, gen, spec, rng);
+    }
+    community.set_name("brand_" + std::to_string(i + 1));
+    communities_.push_back(
+        std::make_shared<const Community>(std::move(community)));
+  }
+}
+
+void ServeWorkload::Populate(CsjServer* server) const {
+  for (uint32_t i = 0; i < communities_.size(); ++i) {
+    server->catalog().Upsert(i + 1, Community(*communities_[i]));
+  }
+}
+
+std::shared_ptr<const Community> ServeWorkload::MintCommunity(
+    util::Rng& rng) const {
+  const uint32_t anchor_index = anchors_[rng.Below(anchors_.size())];
+  const Community& anchor = *communities_[anchor_index];
+  data::VkLikeGenerator gen(CategoryOf(anchor_index));
+  data::CoupleSpec spec;
+  spec.size_b = JitteredSize(options_, rng);
+  spec.eps = options_.eps;
+  spec.target_similarity = 0.10 + 0.20 * rng.NextDouble();
+  util::Rng fork = rng.Fork();
+  return std::make_shared<const Community>(
+      data::PlantCommunityAgainst(anchor, gen, spec, fork));
+}
+
+ServeRequest ServeWorkload::NextRequest(
+    util::Rng& rng, const TopKOptions& topk_template) const {
+  ServeRequest request;
+  request.deadline_seconds = options_.deadline_seconds;
+  const double roll = rng.NextDouble();
+  if (roll < options_.upsert_fraction) {
+    request.kind = RequestKind::kUpsert;
+    request.id = 1 + rng.Below(options_.catalog_size);
+    request.community = MintCommunity(rng);
+  } else if (roll < options_.upsert_fraction + options_.remove_fraction) {
+    request.kind = RequestKind::kRemove;
+    request.id = 1 + rng.Below(options_.catalog_size);
+  } else {
+    request.kind = RequestKind::kTopK;
+    // Popularity-ranked pivot: rank r maps to community r (rank 0 = the
+    // hottest brand). With zipf_s = 0 this is uniform.
+    const uint32_t rank = popularity_.Sample(rng);
+    request.community = communities_[std::min(
+        rank, static_cast<uint32_t>(communities_.size()) - 1)];
+    request.topk = topk_template;
+  }
+  return request;
+}
+
+}  // namespace csj::service

@@ -29,6 +29,28 @@ double Histogram::Fraction(uint32_t index) const {
   return static_cast<double>(counts_[index]) / static_cast<double>(total_);
 }
 
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, ceil: the paper-standard
+  // "smallest value with CDF >= q" definition).
+  const auto rank = static_cast<uint64_t>(std::max<double>(
+      1.0, std::ceil(q * static_cast<double>(total_))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= rank) {
+      // Interpolate within the bucket: the (rank - seen)-th of counts_[i]
+      // observations assumed evenly spread over the bucket.
+      const double within = static_cast<double>(rank - seen) /
+                            static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + within) * width_;
+    }
+    seen += counts_[i];
+  }
+  return hi_;
+}
+
 double Histogram::AdjacencyCollisionProbability() const {
   if (total_ == 0) return 1.0;
   double p = 0.0;

@@ -27,6 +27,13 @@ class Histogram {
   /// Fraction of observed mass in `index`; 0 when the histogram is empty.
   double Fraction(uint32_t index) const;
 
+  /// Empirical q-quantile (q in [0, 1]) with linear interpolation inside
+  /// the bucket holding the q-th observation: the serving benchmarks'
+  /// p50/p95/p99 latency reporter. Resolution is the bucket width —
+  /// callers wanting tight tails size [lo, hi] from observed extremes and
+  /// use enough buckets. 0 when the histogram is empty.
+  double Quantile(double q) const;
+
   /// Probability that two independent draws from this empirical
   /// distribution land in the same or adjacent buckets — the chance an
   /// epsilon-grid filter with cell width == bucket width FAILS to prune a

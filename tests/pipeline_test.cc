@@ -1,6 +1,9 @@
 // Tests for the screen-then-refine pipeline (the paper §3's two-phase
 // approximate -> exact workflow).
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,6 +12,7 @@
 #include "data/community_sampler.h"
 #include "data/generator.h"
 #include "pipeline/screening.h"
+#include "test_seed.h"
 #include "util/rng.h"
 
 namespace csj::pipeline {
@@ -141,6 +145,111 @@ TEST_F(PipelineTest, AllPairsCoversEveryAdmissibleCouple) {
     EXPECT_LT(i, j);
     EXPECT_LT(j, communities.size());
   }
+}
+
+// The refined ranking one pipeline run produced, as exact bytes:
+// (candidate_index, refined_similarity) in final entry order.
+std::vector<std::pair<uint32_t, double>> RefinedRanking(
+    const PipelineReport& report) {
+  std::vector<std::pair<uint32_t, double>> ranking;
+  for (const PipelineEntry& entry : report.entries) {
+    if (entry.refined) {
+      ranking.emplace_back(entry.candidate_index, entry.refined_similarity);
+    }
+  }
+  return ranking;
+}
+
+TEST(PipelinePruneDifferentialTest, PruneOnOffRefinedRankingsIdentical) {
+  // use_upper_bound_prune may only discard couples that could never
+  // survive the screen (the bound dominates both similarities), so the
+  // refined RANKING — order included, not just the set — must be
+  // byte-identical with the prune on and off. ~200 seeded catalogs,
+  // with the threshold pinned to an ACHIEVED screened similarity (an
+  // exact tie at the screen cutoff) and refine_top_k cutting through
+  // duplicate candidates (an exact tie at the top-k boundary).
+  constexpr uint64_t kCatalogs = 200;
+  uint64_t pruned_total = 0;
+  for (uint64_t s = 0; s < kCatalogs; ++s) {
+    util::Rng rng(csj::testing::TestSeed(4200 + s));
+    data::VkLikeGenerator gen(
+        static_cast<data::Category>(s % data::kNumCategories));
+    const auto pivot_size = static_cast<uint32_t>(rng.Between(20, 40));
+    const Community pivot = data::MakeCommunity(gen, pivot_size, rng);
+
+    std::vector<Community> owned;
+    for (uint32_t c = 0; c < 7; ++c) {
+      const auto size = static_cast<uint32_t>(rng.Between(15, 40));
+      if (rng.NextDouble() < 0.6) {
+        data::CoupleSpec spec;
+        spec.size_b = size;
+        spec.eps = 1;
+        // Cap the target so the planted user count stays within the
+        // pivot's size (the sampler's precondition).
+        const double target = 0.05 + 0.12 * static_cast<double>(c % 5);
+        const double cap = 0.9 * static_cast<double>(pivot.size()) /
+                           static_cast<double>(size);
+        spec.target_similarity = std::min(target, cap);
+        owned.push_back(data::PlantCommunityAgainst(pivot, gen, spec, rng));
+      } else {
+        owned.push_back(data::MakeCommunity(gen, size, rng));
+      }
+    }
+    std::vector<const Community*> candidates;
+    for (const Community& community : owned) candidates.push_back(&community);
+    // A duplicate pointer: its couple screens to EXACTLY the same
+    // similarity as the original, forcing a tie wherever they land.
+    candidates.push_back(&owned[2]);
+
+    // Calibration: learn the achieved screened similarities so the
+    // threshold and the top-k boundary sit exactly ON a data point.
+    PipelineOptions options;
+    options.join.eps = 1;
+    options.screen_threshold = 0.0;
+    options.use_upper_bound_prune = false;
+    const PipelineReport calibration =
+        ScreenAndRefine(pivot, candidates, options);
+    if (calibration.entries.empty()) continue;
+    std::vector<double> screened;
+    for (const PipelineEntry& entry : calibration.entries) {
+      screened.push_back(entry.screened_similarity);
+    }
+    std::sort(screened.begin(), screened.end(), std::greater<>());
+    // Even catalogs: the median achieved similarity — an exact tie at
+    // the screen cutoff. Odd catalogs: the MAXIMUM achieved similarity —
+    // still an achieved tie, and high enough that weak couples' upper
+    // bounds fall below it, so the prune actually fires.
+    options.screen_threshold =
+        screened[s % 2 == 0 ? screened.size() / 2 : 0];
+    options.refine_top_k =
+        std::max<uint32_t>(1, static_cast<uint32_t>(screened.size()) / 2);
+
+    options.use_upper_bound_prune = true;
+    const PipelineReport with_prune =
+        ScreenAndRefine(pivot, candidates, options);
+    options.use_upper_bound_prune = false;
+    const PipelineReport without_prune =
+        ScreenAndRefine(pivot, candidates, options);
+
+    // Pruning only moves candidates between "screened below threshold"
+    // and "bound pruned" — never changes who refines.
+    EXPECT_EQ(with_prune.screened + with_prune.bound_pruned,
+              without_prune.screened)
+        << "catalog " << s;
+    const auto ranking_on = RefinedRanking(with_prune);
+    const auto ranking_off = RefinedRanking(without_prune);
+    ASSERT_EQ(ranking_on.size(), ranking_off.size()) << "catalog " << s;
+    for (size_t i = 0; i < ranking_on.size(); ++i) {
+      EXPECT_EQ(ranking_on[i].first, ranking_off[i].first)
+          << "catalog " << s << " rank " << i;
+      EXPECT_EQ(ranking_on[i].second, ranking_off[i].second)
+          << "catalog " << s << " rank " << i;
+    }
+    pruned_total += with_prune.bound_pruned;
+  }
+  // The prune must fire somewhere across the suite or the differential
+  // proves nothing.
+  EXPECT_GT(pruned_total, 0u);
 }
 
 TEST(DecodePairIndexTest, RoundTrips) {

@@ -192,6 +192,44 @@ TEST(HistogramTest, AdjacencyCollisionProbabilityExtremes) {
   EXPECT_EQ(empty.AdjacencyCollisionProbability(), 1.0);
 }
 
+TEST(HistogramTest, QuantileOnEvenSpread) {
+  // 100 observations at the centers of 100 unit buckets: the q-quantile
+  // is the ceil(100q)-th observation, interpolated to its bucket's right
+  // edge (each bucket holds exactly one observation).
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.Quantile(0.50), 50.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(1.0), 100.0, 1e-9);
+  // q = 0 clamps to the first observation's bucket.
+  EXPECT_NEAR(h.Quantile(0.0), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinABucket) {
+  // All mass in one bucket [0, 10): the k-th of 4 observations sits at
+  // k/4 of the bucket width.
+  Histogram h(0.0, 10.0, 1);
+  for (int i = 0; i < 4; ++i) h.Add(5.0);
+  EXPECT_NEAR(h.Quantile(0.25), 2.5, 1e-9);
+  EXPECT_NEAR(h.Quantile(0.50), 5.0, 1e-9);
+  EXPECT_NEAR(h.Quantile(1.00), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileSkipsEmptyBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);  // bucket 0
+  h.Add(9.5);  // bucket 9
+  // The median (rank 1 of 2) is in bucket 0; p99 (rank 2) in bucket 9.
+  EXPECT_LT(h.Quantile(0.50), 1.0 + 1e-9);
+  EXPECT_GT(h.Quantile(0.99), 9.0 - 1e-9);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
 TEST(FormatTest, WithCommas) {
   EXPECT_EQ(WithCommas(0), "0");
   EXPECT_EQ(WithCommas(5), "5");

@@ -8,8 +8,10 @@
 # segment-matching farm's swapped edge buffers (matching_differential_
 # test), and the scan kernels' unaligned vector loads. Runs the full test
 # suite — ASan is cheap enough for that, and the join methods are where
-# the pointers live; that includes the new matching oracle/differential,
-# matching-property and epsilon-boundary suites.
+# the pointers live; that includes the matching oracle/differential,
+# matching-property and epsilon-boundary suites, plus the serving
+# subsystem's catalog/top-k/stress suites (copy-on-write entries pinned
+# across Remove, result buffers outliving catalog churn).
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -eu

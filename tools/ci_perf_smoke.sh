@@ -5,7 +5,9 @@
 # reports a scaling regression (threads=4 slower than threads=1 beyond
 # the bench's 10% noise margin) or any report-identity mismatch. This is the check that
 # keeps "parallelism going backwards" out of BENCH_pipeline.json instead
-# of buried in it.
+# of buried in it. Also runs the serve_smoke gate: csj_serve at low load
+# must complete every request with zero rejects and emit a parseable
+# latency report.
 #
 # Usage:
 #   tools/ci_perf_smoke.sh [build-dir]          build + sweep + check
@@ -60,7 +62,7 @@ build_dir="${1:-build-perf}"
 cmake -B "${build_dir}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCSJ_BUILD_EXAMPLES=OFF
-cmake --build "${build_dir}" -j --target bench_pipeline
+cmake --build "${build_dir}" -j --target bench_pipeline csj_serve
 
 git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 json_out="${build_dir}/perf_smoke.json"
@@ -74,4 +76,29 @@ json_out="${build_dir}/perf_smoke.json"
   --git_sha="${git_sha}" --build_type=Release
 
 check_json "${json_out}"
+
+# serve_smoke: the serving subsystem end to end at LOW load (clients <
+# workers, roomy queue) — every request must complete, zero rejects, and
+# the emitted report must carry the latency percentiles. csj_serve exits
+# non-zero itself when serve_ok is false; the greps keep the gate honest
+# against report-schema drift.
+serve_json="${build_dir}/serve_smoke.json"
+"${build_dir}/tools/csj_serve" \
+  --catalog=12 --size=100 --requests=120 --clients=2 --workers=4 \
+  --queue_capacity=64 --upsert_fraction=0.05 \
+  --json="${serve_json}" \
+  --git_sha="${git_sha}" --build_type=Release
+if ! grep -Eq '"rejected": ?0[,}]' "${serve_json}"; then
+  echo "FAIL: rejects at low load in ${serve_json}" >&2
+  exit 1
+fi
+if ! grep -Eq '"serve_ok": ?true' "${serve_json}"; then
+  echo "FAIL: serve_ok!=true in ${serve_json}" >&2
+  exit 1
+fi
+if ! grep -q '"p99":' "${serve_json}"; then
+  echo "FAIL: latency percentiles missing from ${serve_json}" >&2
+  exit 1
+fi
+echo "serve smoke gate passed: ${serve_json}"
 echo "perf smoke gate passed."

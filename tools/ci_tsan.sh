@@ -4,8 +4,12 @@
 # screening pipeline, the intra-join chunked scans (join_threads, incl.
 # nesting under pipeline_threads), the deferred segment-matching farm
 # (matching_threads; SegmentMatchFarm + the oracle-differential suite),
-# and the shared encoding cache (concurrent build dedup, shared-lock hit
-# path, eviction, Clear).
+# the shared encoding cache (concurrent build dedup, shared-lock hit
+# path, eviction, Clear), and the serving subsystem (sharded catalog
+# upsert/remove/snapshot churn, top-k queries against a churning catalog,
+# live-session staleness, and the server's bounded queue + admission +
+# shutdown paths — service_stress_test is written specifically for this
+# gate).
 # Configures a dedicated build tree with CSJ_ENABLE_TSAN=ON and runs the
 # relevant test binaries under TSAN.
 #
@@ -20,11 +24,12 @@ cmake -B "${build_dir}" -S . \
   -DCSJ_BUILD_EXAMPLES=OFF
 cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_test join_threads_test pipeline_test \
-           encoding_cache_test matching_differential_test
+           encoding_cache_test matching_differential_test \
+           catalog_test topk_service_test service_stress_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|LiveCoupleSession|TopKService|ServiceStress'
 
 echo "TSAN gate passed."

@@ -1,0 +1,283 @@
+// csj_serve — closed-loop load driver for the serving subsystem.
+//
+// Boots a CsjServer (sharded catalog + warmed encoding cache + bounded
+// request queue + worker crew), populates it with a seeded brand catalog,
+// then replays a deterministic request mix (top-k reads with uniform or
+// zipf-skewed query popularity, plus upsert/remove churn) from N
+// closed-loop client threads. Reports throughput and p50/p95/p99 latency
+// (util::Histogram) and writes the BENCH_*.json schema.
+//
+//   ./csj_serve --catalog=24 --size=150 --requests=200 --clients=4
+//               --workers=2 --zipf=1.1 --upsert_fraction=0.05
+//               --json=BENCH_serve.json
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/encoding_cache.h"
+#include "core/method.h"
+#include "service/server.h"
+#include "service/workload.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/histogram.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Per-client tallies, merged after the run (client order, deterministic).
+struct ClientResult {
+  std::vector<double> latencies_ms;  ///< completed requests only
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t not_found = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  csj::util::Flags flags;
+  flags.Define("catalog", "24", "seeded catalog entries");
+  flags.Define("size", "150", "mean users per community");
+  flags.Define("k", "5", "top-k result size per query");
+  flags.Define("requests", "200", "total requests across all clients");
+  flags.Define("clients", "4", "closed-loop client threads");
+  flags.Define("workers", "2", "server worker threads");
+  flags.Define("queue_capacity", "64", "admission-control queue bound");
+  flags.Define("upsert_fraction", "0.05", "share of requests that upsert");
+  flags.Define("remove_fraction", "0.0", "share of requests that remove");
+  flags.Define("zipf", "0.0",
+               "query-popularity skew (0 = uniform, ~1.1 = web-like)");
+  flags.Define("eps", "1", "per-dimension epsilon");
+  flags.Define("method", "Ex-MinMax", "exact refine method");
+  flags.Define("deadline_ms", "0", "per-request deadline (0 = none)");
+  flags.Define("query_threads", "1", "threads per query (bound+refine)");
+  flags.Define("no_cutoff", "false",
+               "disable the best-bound-first cutoff (exhaustive oracle arm)");
+  flags.Define("seed", "42", "workload seed");
+  flags.Define("json", "", "write the results as JSON to this path");
+  flags.Define("git_sha", "", "source revision stamped into the JSON");
+  flags.Define("build_type", "", "CMake build type stamped into the JSON");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const auto requests = static_cast<uint64_t>(flags.GetInt("requests"));
+  const auto clients =
+      std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("clients")));
+  const auto method = csj::ParseMethod(flags.GetString("method"));
+  if (!method.has_value() || !csj::IsExact(*method)) {
+    std::fprintf(stderr, "--method must name an exact (Ex-*) method\n");
+    return 1;
+  }
+
+  // The serving cache: entries warmed at Upsert, hit by every query.
+  csj::EncodingCache cache;
+
+  csj::service::CsjServer::Options server_options;
+  server_options.workers =
+      std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("workers")));
+  server_options.queue_capacity = std::max<size_t>(
+      1, static_cast<size_t>(flags.GetInt("queue_capacity")));
+  server_options.catalog.cache = &cache;
+  server_options.catalog.warm_eps =
+      static_cast<csj::Epsilon>(flags.GetInt("eps"));
+
+  csj::service::WorkloadOptions workload_options;
+  workload_options.catalog_size =
+      std::max<uint32_t>(2, static_cast<uint32_t>(flags.GetInt("catalog")));
+  workload_options.community_size =
+      std::max<uint32_t>(16, static_cast<uint32_t>(flags.GetInt("size")));
+  workload_options.eps = static_cast<csj::Epsilon>(flags.GetInt("eps"));
+  workload_options.upsert_fraction = flags.GetDouble("upsert_fraction");
+  workload_options.remove_fraction = flags.GetDouble("remove_fraction");
+  workload_options.zipf_s = flags.GetDouble("zipf");
+  workload_options.deadline_seconds = flags.GetDouble("deadline_ms") / 1e3;
+  workload_options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  csj::service::TopKOptions topk;
+  topk.k = std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("k")));
+  topk.method = *method;
+  topk.join.eps = workload_options.eps;
+  topk.join.cache = &cache;
+  topk.use_bound_cutoff = !flags.GetBool("no_cutoff");
+  topk.query_threads = std::max<uint32_t>(
+      1, static_cast<uint32_t>(flags.GetInt("query_threads")));
+
+  std::printf("building workload: %u communities of ~%u users...\n",
+              workload_options.catalog_size, workload_options.community_size);
+  const csj::service::ServeWorkload workload(workload_options);
+
+  csj::service::CsjServer server(server_options);
+  csj::util::Timer populate_timer;
+  workload.Populate(&server);
+  const double populate_seconds = populate_timer.Seconds();
+
+  // The closed loop: each client forks an independent Rng stream and
+  // drives one request at a time until the shared budget is spent.
+  std::vector<ClientResult> results(clients);
+  std::atomic<uint64_t> issued{0};
+  csj::util::Timer wall;
+  std::vector<std::thread> crew;
+  crew.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    crew.emplace_back([&, c] {
+      csj::util::Rng rng(workload_options.seed ^
+                         (0x9E3779B97F4A7C15ULL * (c + 1)));
+      ClientResult& mine = results[c];
+      while (issued.fetch_add(1, std::memory_order_relaxed) < requests) {
+        csj::service::ServeRequest request = workload.NextRequest(rng, topk);
+        csj::util::Timer latency;
+        const csj::service::ServeResponse response =
+            server.SubmitAndWait(std::move(request));
+        switch (response.status) {
+          case csj::service::ServeStatus::kOk:
+            ++mine.ok;
+            mine.latencies_ms.push_back(latency.Millis());
+            break;
+          case csj::service::ServeStatus::kRejected:
+            ++mine.rejected;
+            break;
+          case csj::service::ServeStatus::kDeadlineExpired:
+            ++mine.deadline_expired;
+            mine.latencies_ms.push_back(latency.Millis());
+            break;
+          case csj::service::ServeStatus::kNotFound:
+            ++mine.not_found;
+            mine.latencies_ms.push_back(latency.Millis());
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& client : crew) client.join();
+  const double seconds = wall.Seconds();
+  server.Shutdown();
+
+  // Merge in client order; totals are deterministic for a fixed seed and
+  // request budget (which client issued which request is not).
+  ClientResult total;
+  for (const ClientResult& r : results) {
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.deadline_expired += r.deadline_expired;
+    total.not_found += r.not_found;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  const uint64_t completed = total.latencies_ms.size();
+  const double throughput =
+      seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0;
+
+  // Percentiles via util::Histogram sized from the observed extremes —
+  // 2048 buckets keeps the p99 resolution under 0.05% of the range.
+  double max_ms = 0.0;
+  double sum_ms = 0.0;
+  for (const double ms : total.latencies_ms) {
+    max_ms = std::max(max_ms, ms);
+    sum_ms += ms;
+  }
+  csj::util::Histogram latency_histogram(0.0, std::max(max_ms, 1e-6), 2048);
+  for (const double ms : total.latencies_ms) latency_histogram.Add(ms);
+  const double p50 = latency_histogram.Quantile(0.50);
+  const double p95 = latency_histogram.Quantile(0.95);
+  const double p99 = latency_histogram.Quantile(0.99);
+  const double mean_ms =
+      completed > 0 ? sum_ms / static_cast<double>(completed) : 0.0;
+
+  const csj::EncodingCache::Stats cache_stats = cache.GetStats();
+  const csj::service::CsjServer::Stats server_stats = server.GetStats();
+  const bool serve_ok =
+      total.rejected == 0 && total.deadline_expired == 0 &&
+      completed + total.rejected == requests && completed > 0;
+
+  std::printf(
+      "\n%llu requests in %s (%.1f req/s): %llu ok, %llu rejected, %llu "
+      "deadline-expired, %llu not-found\n",
+      static_cast<unsigned long long>(requests),
+      csj::util::SecondsCell(seconds).c_str(), throughput,
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(total.deadline_expired),
+      static_cast<unsigned long long>(total.not_found));
+  std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms, "
+              "mean %.2f ms\n",
+              p50, p95, p99, max_ms, mean_ms);
+  std::printf("cache: %llu hits / %llu misses (%.0f%% hit rate), catalog "
+              "populate %s\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              cache_stats.HitRate() * 100.0,
+              csj::util::SecondsCell(populate_seconds).c_str());
+  std::printf("serve_ok: %s\n", serve_ok ? "true" : "false");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    csj::util::JsonWriter json;
+    json.BeginObject();
+    json.Key("benchmark"); json.String("serve");
+    json.Key("git_sha"); json.String(flags.GetString("git_sha"));
+    json.Key("build_type"); json.String(flags.GetString("build_type"));
+    // Machine-readable host parallelism: the ROADMAP's "1-core container"
+    // caveat as data instead of prose.
+    json.Key("host_cores");
+    json.Uint(std::thread::hardware_concurrency());
+    json.Key("host_nproc_online");
+    json.Int(static_cast<int64_t>(sysconf(_SC_NPROCESSORS_ONLN)));
+    json.Key("catalog"); json.Uint(workload_options.catalog_size);
+    json.Key("community_size"); json.Uint(workload_options.community_size);
+    json.Key("k"); json.Uint(topk.k);
+    json.Key("eps"); json.Uint(workload_options.eps);
+    json.Key("method"); json.String(csj::MethodName(topk.method));
+    json.Key("bound_cutoff"); json.Bool(topk.use_bound_cutoff);
+    json.Key("requests"); json.Uint(requests);
+    json.Key("clients"); json.Uint(clients);
+    json.Key("workers"); json.Uint(server_options.workers);
+    json.Key("queue_capacity");
+    json.Uint(static_cast<uint64_t>(server_options.queue_capacity));
+    json.Key("upsert_fraction");
+    json.Double(workload_options.upsert_fraction);
+    json.Key("remove_fraction");
+    json.Double(workload_options.remove_fraction);
+    json.Key("zipf_s"); json.Double(workload_options.zipf_s);
+    json.Key("deadline_ms"); json.Double(flags.GetDouble("deadline_ms"));
+    json.Key("seed"); json.Uint(workload_options.seed);
+    json.Key("populate_seconds"); json.Double(populate_seconds);
+    json.Key("seconds"); json.Double(seconds);
+    json.Key("throughput_rps"); json.Double(throughput);
+    json.Key("completed"); json.Uint(completed);
+    json.Key("ok"); json.Uint(total.ok);
+    json.Key("rejected"); json.Uint(total.rejected);
+    json.Key("deadline_expired"); json.Uint(total.deadline_expired);
+    json.Key("not_found"); json.Uint(total.not_found);
+    json.Key("latency_ms");
+    json.BeginObject();
+    json.Key("p50"); json.Double(p50);
+    json.Key("p95"); json.Double(p95);
+    json.Key("p99"); json.Double(p99);
+    json.Key("max"); json.Double(max_ms);
+    json.Key("mean"); json.Double(mean_ms);
+    json.EndObject();
+    json.Key("cache");
+    json.BeginObject();
+    json.Key("hits"); json.Uint(cache_stats.hits);
+    json.Key("misses"); json.Uint(cache_stats.misses);
+    json.Key("hit_rate"); json.Double(cache_stats.HitRate());
+    json.EndObject();
+    json.Key("server_accepted"); json.Uint(server_stats.accepted);
+    json.Key("serve_ok"); json.Bool(serve_ok);
+    json.EndObject();
+    std::ofstream out(json_path);
+    out << json.Take() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return serve_ok ? 0 : 1;
+}

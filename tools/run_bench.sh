@@ -4,6 +4,7 @@
 # current directory:
 #   BENCH_pipeline.json       - ablation arms + cached all-pairs sweep
 #   BENCH_micro_kernels.json  - google-benchmark JSON for the hot kernels
+#   BENCH_serve.json          - serving throughput + latency percentiles
 #
 # Numbers from non-Release builds are meaningless, so the script verifies
 # the build tree's CMAKE_BUILD_TYPE and refuses to run otherwise. Every
@@ -52,9 +53,17 @@ echo "== bench_micro_kernels (epsilon kernels, encoder, matchers) =="
   --benchmark_context=build_type="${build_type}"
 
 echo
+echo "== csj_serve (catalog serving: throughput + latency percentiles) =="
+"${build_dir}/tools/csj_serve" \
+  --catalog=24 --size=150 --requests=400 --clients=4 --workers=2 \
+  --zipf=1.1 --upsert_fraction=0.05 \
+  --json=BENCH_serve.json \
+  --git_sha="${git_sha}" --build_type="${build_type}"
+
+echo
 echo "== perf smoke check (scaling + report identity) =="
 script_dir="$(dirname "$0")"
 sh "${script_dir}/ci_perf_smoke.sh" --check-json BENCH_pipeline.json
 
 echo
-echo "wrote BENCH_pipeline.json and BENCH_micro_kernels.json (${git_sha}, ${build_type})"
+echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json and BENCH_serve.json (${git_sha}, ${build_type})"

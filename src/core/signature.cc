@@ -1,0 +1,313 @@
+#include "core/signature.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/similarity.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+constexpr uint32_t kMinQuantiles = 2;
+constexpr uint32_t kMaxQuantiles = 256;
+
+uint32_t ClampQuantiles(uint32_t q) {
+  return std::clamp(q, kMinQuantiles, kMaxQuantiles);
+}
+
+/// Rank of breakpoint j over `sampled` sorted values: j * (sampled-1) / Q.
+/// Monotone in j, 0 at j = 0, sampled - 1 at j = Q.
+inline uint32_t RankOf(uint32_t j, uint32_t sampled, uint32_t quantiles) {
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(j) * (sampled - 1)) / quantiles);
+}
+
+}  // namespace
+
+CommunitySignature::CommunitySignature(const Community& community,
+                                       const SignatureOptions& options) {
+  CSJ_CHECK(community.size() > 0) << "cannot sketch an empty community";
+  n_ = community.size();
+  d_ = community.d();
+  quantiles_ = ClampQuantiles(options.quantiles);
+
+  // recall_target < 1: deterministic per-user coin from the seed and the
+  // user's position. The same (community, options) always sketches the
+  // same subset, independent of build thread or call order.
+  std::vector<UserId> users;
+  const double recall = std::clamp(options.recall_target, 0.0, 1.0);
+  if (recall >= 1.0) {
+    users.resize(n_);
+    std::iota(users.begin(), users.end(), UserId{0});
+  } else {
+    users.reserve(n_);
+    const uint64_t threshold = static_cast<uint64_t>(
+        recall * static_cast<double>(UINT64_MAX));
+    for (UserId u = 0; u < n_; ++u) {
+      uint64_t state = options.seed ^ (0xD1B54A32D192ED03ULL * (u + 1));
+      if (util::SplitMix64(state) <= threshold) users.push_back(u);
+    }
+    if (users.empty()) users.push_back(0);  // a sketch needs >= 1 user
+  }
+  sampled_ = static_cast<uint32_t>(users.size());
+
+  table_.resize(static_cast<size_t>(d_) * (quantiles_ + 1));
+  std::vector<Count> column(sampled_);
+  for (Dim k = 0; k < d_; ++k) {
+    for (uint32_t i = 0; i < sampled_; ++i) {
+      column[i] = community.User(users[i])[k];
+    }
+    std::sort(column.begin(), column.end());
+    Count* row = table_.data() + static_cast<size_t>(k) * (quantiles_ + 1);
+    for (uint32_t j = 0; j <= quantiles_; ++j) {
+      row[j] = column[RankOf(j, sampled_, quantiles_)];
+    }
+  }
+}
+
+uint32_t SignatureCountUpperBound(std::span<const Count> row, uint32_t sampled,
+                                  int64_t lo, int64_t hi) {
+  const uint32_t quantiles = static_cast<uint32_t>(row.size()) - 1;
+  if (hi < static_cast<int64_t>(row[0]) ||
+      lo > static_cast<int64_t>(row[quantiles])) {
+    return 0;
+  }
+  // Upper bound on count(value <= hi): the smallest breakpoint above hi
+  // sits at rank r_j, so at most r_j values can be <= hi.
+  uint32_t ub_leq = sampled;
+  for (uint32_t j = 0; j <= quantiles; ++j) {
+    if (static_cast<int64_t>(row[j]) > hi) {
+      ub_leq = RankOf(j, sampled, quantiles);
+      break;
+    }
+  }
+  // Lower bound on count(value < lo): the largest breakpoint below lo at
+  // rank r_j proves at least r_j + 1 values are < lo.
+  uint32_t lb_lt = 0;
+  for (uint32_t j = quantiles + 1; j-- > 0;) {
+    if (static_cast<int64_t>(row[j]) < lo) {
+      lb_lt = RankOf(j, sampled, quantiles) + 1;
+      break;
+    }
+  }
+  return ub_leq > lb_lt ? ub_leq - lb_lt : 0;
+}
+
+namespace {
+
+/// Shared sweep kernel over raw rows; `*_table` point at dimension-major
+/// rows of (quantiles + 1) breakpoints. Returns the certified cap, early
+/// exiting (same verdict, possibly looser value) below `early_exit_below`.
+double CapOverRows(const Count* query_table, uint32_t query_sampled,
+                   uint32_t query_size, const Count* entry_table,
+                   uint32_t entry_sampled, uint32_t entry_size,
+                   uint32_t quantiles, Epsilon eps,
+                   std::span<const Dim> probe_order,
+                   double early_exit_below) {
+  const uint32_t row_len = quantiles + 1;
+  const uint32_t bn = std::min(query_size, entry_size);
+  // matched <= min(|B|, |A|) trivially; each probed dimension can only
+  // lower the bound.
+  uint32_t ub = bn;
+  const double need = early_exit_below * static_cast<double>(bn);
+  for (Dim k : probe_order) {
+    const Count* query_row = query_table + static_cast<size_t>(k) * row_len;
+    const Count* entry_row = entry_table + static_cast<size_t>(k) * row_len;
+    // Matched users of either side must land inside the other side's
+    // eps-extended value span in this dimension.
+    const uint32_t in_query = SignatureCountUpperBound(
+        {query_row, row_len}, query_sampled,
+        static_cast<int64_t>(entry_row[0]) - eps,
+        static_cast<int64_t>(entry_row[quantiles]) + eps);
+    const uint32_t in_entry = SignatureCountUpperBound(
+        {entry_row, row_len}, entry_sampled,
+        static_cast<int64_t>(query_row[0]) - eps,
+        static_cast<int64_t>(query_row[quantiles]) + eps);
+    ub = std::min(ub, std::min(in_query, in_entry));
+    if (ub == 0 || static_cast<double>(ub) < need) break;
+  }
+  return static_cast<double>(ub) / static_cast<double>(bn);
+}
+
+}  // namespace
+
+double SignatureSimilarityCap(const CommunitySignature& query,
+                              const CommunitySignature& entry, Epsilon eps,
+                              std::span<const Dim> probe_order,
+                              double early_exit_below) {
+  CSJ_CHECK(query.d() == entry.d()) << "dimensionality mismatch";
+  CSJ_CHECK(query.quantiles() == entry.quantiles())
+      << "signatures built with different resolutions";
+  CSJ_CHECK(probe_order.size() == query.d());
+  return CapOverRows(query.table().data(), query.sampled(), query.size(),
+                     entry.table().data(), entry.sampled(), entry.size(),
+                     query.quantiles(), eps, probe_order, early_exit_below);
+}
+
+std::vector<Dim> SignatureProbeOrder(const CommunitySignature& query) {
+  std::vector<Dim> order(query.d());
+  std::iota(order.begin(), order.end(), Dim{0});
+  std::sort(order.begin(), order.end(), [&](Dim a, Dim b) {
+    const Count min_a = query.DimTable(a)[0];
+    const Count min_b = query.DimTable(b)[0];
+    if (min_a != min_b) return min_a > min_b;
+    return a < b;
+  });
+  return order;
+}
+
+SignatureIndex::SignatureIndex(uint32_t shards,
+                               const SignatureOptions& options)
+    : options_(options), shards_(std::max(shards, 1u)) {
+  options_.quantiles = ClampQuantiles(options_.quantiles);
+}
+
+void SignatureIndex::Install(uint32_t shard_index, uint64_t id,
+                             uint64_t version,
+                             std::shared_ptr<const CommunitySignature> signature) {
+  CSJ_CHECK(shard_index < shards_.size());
+  CSJ_CHECK(signature != nullptr);
+  CSJ_CHECK(signature->quantiles() == options_.quantiles)
+      << "signature resolution does not match the index";
+  Shard& shard = shards_[shard_index];
+  auto it = shard.locate.find(id);
+  if (it != shard.locate.end()) {
+    // Replace: drop the old slot first — the community may have changed
+    // dimensionality, which moves it to a different pack.
+    RemoveSlot(shard, it->second.first, it->second.second);
+  }
+  const Dim d = signature->d();
+  Pack& pack = shard.packs[d];
+  if (pack.ids.empty()) {
+    pack.d = d;
+    pack.stride = static_cast<uint32_t>(d) * (options_.quantiles + 1);
+  }
+  const uint32_t slot = static_cast<uint32_t>(pack.ids.size());
+  pack.ids.push_back(id);
+  pack.versions.push_back(version);
+  pack.sizes.push_back(signature->size());
+  pack.sampled.push_back(signature->sampled());
+  pack.table.insert(pack.table.end(), signature->table().begin(),
+                    signature->table().end());
+  pack.signatures.push_back(std::move(signature));
+  shard.locate[id] = {d, slot};
+}
+
+bool SignatureIndex::Remove(uint32_t shard_index, uint64_t id) {
+  CSJ_CHECK(shard_index < shards_.size());
+  Shard& shard = shards_[shard_index];
+  auto it = shard.locate.find(id);
+  if (it == shard.locate.end()) return false;
+  RemoveSlot(shard, it->second.first, it->second.second);
+  return true;
+}
+
+void SignatureIndex::RemoveSlot(Shard& shard, Dim d, uint32_t slot) {
+  auto pack_it = shard.packs.find(d);
+  CSJ_CHECK(pack_it != shard.packs.end());
+  Pack& pack = pack_it->second;
+  const uint32_t last = static_cast<uint32_t>(pack.ids.size()) - 1;
+  shard.locate.erase(pack.ids[slot]);
+  if (slot != last) {
+    // Swap-with-last keeps the columns dense; only the moved id's locate
+    // entry needs fixing.
+    pack.ids[slot] = pack.ids[last];
+    pack.versions[slot] = pack.versions[last];
+    pack.sizes[slot] = pack.sizes[last];
+    pack.sampled[slot] = pack.sampled[last];
+    std::memcpy(pack.table.data() + static_cast<size_t>(slot) * pack.stride,
+                pack.table.data() + static_cast<size_t>(last) * pack.stride,
+                static_cast<size_t>(pack.stride) * sizeof(Count));
+    pack.signatures[slot] = std::move(pack.signatures[last]);
+    shard.locate[pack.ids[slot]] = {d, slot};
+  }
+  pack.ids.pop_back();
+  pack.versions.pop_back();
+  pack.sizes.pop_back();
+  pack.sampled.pop_back();
+  pack.table.resize(pack.table.size() - pack.stride);
+  pack.signatures.pop_back();
+}
+
+void SignatureIndex::ProbeShard(uint32_t shard_index, const ProbeQuery& query,
+                                std::vector<PrescreenCandidate>* out,
+                                PrescreenStats* stats) const {
+  CSJ_CHECK(shard_index < shards_.size());
+  CSJ_CHECK(query.signature != nullptr);
+  CSJ_CHECK(query.probe_order.size() == query.signature->d());
+  const Shard& shard = shards_[shard_index];
+  const CommunitySignature& query_sig = *query.signature;
+  const uint32_t query_size = query_sig.size();
+  const uint32_t quantiles = query_sig.quantiles();
+  for (const auto& [pack_d, pack] : shard.packs) {
+    const uint64_t slots = pack.ids.size();
+    stats->examined += slots;
+    if (pack_d != query_sig.d()) {
+      // A whole pack of differently-dimensioned entries rejects for free
+      // (the scan path counts these as inadmissible, one by one).
+      stats->skipped_dim += slots;
+      continue;
+    }
+    for (uint32_t slot = 0; slot < slots; ++slot) {
+      const uint32_t entry_size = pack.sizes[slot];
+      const uint32_t smaller = std::min(query_size, entry_size);
+      const uint32_t larger = std::max(query_size, entry_size);
+      if (!SizesAdmissible(smaller, larger)) {
+        ++stats->skipped_inadmissible;
+        continue;
+      }
+      const double cap = CapOverRows(
+          query_sig.table().data(), query_sig.sampled(), query_size,
+          pack.table.data() + static_cast<size_t>(slot) * pack.stride,
+          pack.sampled[slot], entry_size, quantiles, query.eps,
+          query.probe_order, query.threshold);
+      if (cap >= query.threshold) {
+        ++stats->passed;
+        out->push_back({pack.ids[slot], pack.versions[slot]});
+      } else {
+        ++stats->skipped_cap;
+      }
+    }
+  }
+}
+
+std::shared_ptr<const CommunitySignature> SignatureIndex::Lookup(
+    uint32_t shard_index, uint64_t id, uint64_t* version) const {
+  CSJ_CHECK(shard_index < shards_.size());
+  const Shard& shard = shards_[shard_index];
+  auto it = shard.locate.find(id);
+  if (it == shard.locate.end()) return nullptr;
+  const auto& pack = shard.packs.at(it->second.first);
+  if (version != nullptr) *version = pack.versions[it->second.second];
+  return pack.signatures[it->second.second];
+}
+
+uint64_t SignatureIndex::size() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.locate.size();
+  return total;
+}
+
+size_t SignatureIndex::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  for (const Shard& shard : shards_) {
+    for (const auto& [d, pack] : shard.packs) {
+      total += pack.ids.capacity() * sizeof(uint64_t) +
+               pack.versions.capacity() * sizeof(uint64_t) +
+               pack.sizes.capacity() * sizeof(uint32_t) +
+               pack.sampled.capacity() * sizeof(uint32_t) +
+               pack.table.capacity() * sizeof(Count);
+      for (const auto& sig : pack.signatures) {
+        if (sig != nullptr) total += sig->MemoryBytes();
+      }
+    }
+    total += shard.locate.size() *
+             (sizeof(uint64_t) + sizeof(std::pair<Dim, uint32_t>));
+  }
+  return total;
+}
+
+}  // namespace csj

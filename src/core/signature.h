@@ -1,0 +1,234 @@
+#ifndef CSJ_CORE_SIGNATURE_H_
+#define CSJ_CORE_SIGNATURE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/community.h"
+#include "core/types.h"
+
+namespace csj {
+
+/// The prescreen signature layer: compact per-community sketches that let
+/// a top-k query discard most of the catalog WITHOUT computing the exact
+/// interval-matching bound, while keeping the exact path authoritative.
+///
+/// Why not minhash over the encoded totals: every eps-match satisfies
+/// encoded_id(b) ∈ [encoded_min(a), encoded_max(a)], but the encoded ids
+/// are user activity TOTALS, and real communities share one activity
+/// distribution regardless of topic — measured on the serving workload,
+/// the totals-based SimilarityUpperBound lands in [0.89, 1.0] for EVERY
+/// catalog entry while true similarities are almost all 0. Any sketch of
+/// the totals windows (banded minhash included) inherits that blindness.
+/// The discriminative signal is per-dimension: at parts = d the MinMax
+/// encoding's windows degenerate to [v_k - eps, v_k + eps] per category,
+/// and THOSE separate communities sharply (a cooking brand's subscribers
+/// hold large cooking counters; a sports brand's almost none).
+///
+/// The sketch (an LSF-style filter bank in the locality-sensitive
+/// FILTERING sense of LSF-Join — deterministic filters, not probabilistic
+/// hashes): per dimension k, the community's counter column is summarized
+/// by `quantiles + 1` equi-rank breakpoints (sorted column values at
+/// ranks j*(n-1)/Q). From two sketches alone one can certify an upper
+/// bound on the number of users either side can contribute to ANY
+/// eps-matching, per dimension:
+///
+///   every matched pair <b, a> has |v_b[k] - v_a[k]| <= eps in EVERY
+///   dimension k, and matched pairs are disjoint on both sides, so
+///     matched <= #{users of B with v[k] inside A's eps-extended value
+///                  span}          (and symmetrically for A)
+///   for every k. The breakpoint table upper-bounds those counts by rank
+///   arithmetic (SignatureCountUpperBound), hence
+///     similarity = matched / |B| <= SignatureSimilarityCap.
+///
+/// A candidate filter that admits exactly the entries whose cap reaches a
+/// threshold therefore has NO false dismissals among entries with true
+/// similarity >= threshold — the containment guarantee the serving
+/// fallback contract builds on (docs/API.md "Candidate generation").
+struct SignatureOptions {
+  /// Breakpoints per dimension (table stores quantiles + 1 values).
+  /// More quantiles -> tighter caps, bigger sketch. Clamped to [2, 256].
+  uint32_t quantiles = 16;
+
+  /// Recall control in the spirit of CPSJoin: at 1.0 (default) every
+  /// user enters the sketch and the containment guarantee above is exact.
+  /// Below 1.0 each community's users are subsampled (deterministically,
+  /// from `seed`) before the quantile tables are built — sketches build
+  /// faster and caps become estimates, so entries near the threshold may
+  /// be dismissed; expected recall degrades gracefully with the sampling
+  /// rate. Serving keeps 1.0; the knob exists for offline sweeps.
+  /// Clamped to (0, 1].
+  double recall_target = 1.0;
+
+  /// Seed for the recall_target subsampling. Signatures are functions of
+  /// (community bytes, options) only — same seed, same sketch, on any
+  /// thread count.
+  uint64_t seed = 0x5349474E41545552ULL;  // "SIGNATUR"
+};
+
+/// One community's sketch: d equi-rank breakpoint rows, dimension-major.
+class CommunitySignature {
+ public:
+  CommunitySignature(const Community& community,
+                     const SignatureOptions& options);
+
+  /// True community size (admissibility checks, the cap's denominator).
+  uint32_t size() const { return n_; }
+  /// Users actually sketched (== size() at recall_target 1.0).
+  uint32_t sampled() const { return sampled_; }
+  Dim d() const { return d_; }
+  uint32_t quantiles() const { return quantiles_; }
+
+  /// Breakpoint row of dimension `k`: quantiles() + 1 ascending values.
+  std::span<const Count> DimTable(Dim k) const {
+    const size_t row = static_cast<size_t>(k) * (quantiles_ + 1);
+    return {table_.data() + row, quantiles_ + 1};
+  }
+
+  /// The whole dimension-major table (the index copies it into its
+  /// packed sweep columns).
+  std::span<const Count> table() const { return table_; }
+
+  size_t MemoryBytes() const {
+    return table_.capacity() * sizeof(Count) + sizeof(*this);
+  }
+
+ private:
+  uint32_t n_ = 0;
+  uint32_t sampled_ = 0;
+  uint32_t quantiles_ = 0;
+  Dim d_ = 0;
+  std::vector<Count> table_;  ///< d * (quantiles + 1), dimension-major
+};
+
+/// Certified upper bound on the number of sketched users whose value in
+/// the row's dimension lies in [lo, hi]. `row` is one DimTable row
+/// (quantiles + 1 breakpoints over `sampled` sorted values). The bound is
+/// exact rank arithmetic: if breakpoint j (at rank r_j = j*(sampled-1)/Q)
+/// exceeds hi, at most r_j values are <= hi; if it is below lo, at least
+/// r_j + 1 values are < lo.
+uint32_t SignatureCountUpperBound(std::span<const Count> row,
+                                  uint32_t sampled, int64_t lo, int64_t hi);
+
+/// Upper bound on similarity(B, A) for the couple behind the two
+/// sketches (B = the smaller community, query wins ties — the same
+/// auto-orientation the top-k service uses). Probes dimensions in
+/// `probe_order` (a permutation of [0, d)) and may stop early once the
+/// running cap drops below `early_exit_below` (the returned value is
+/// then still an upper bound of the final cap's pass/fail verdict at
+/// that threshold, just not the exact minimum). Pass a negative
+/// `early_exit_below` for the exact cap.
+double SignatureSimilarityCap(const CommunitySignature& query,
+                              const CommunitySignature& entry, Epsilon eps,
+                              std::span<const Dim> probe_order,
+                              double early_exit_below = -1.0);
+
+/// The query's probe order: dimensions sorted by descending smallest
+/// breakpoint (ties: ascending dimension). Dimensions where the query's
+/// every user holds a large counter — its home categories — reject
+/// unrelated communities in one probe, so they go first and the sweep's
+/// early exit fires after 1-3 dimensions for most entries.
+std::vector<Dim> SignatureProbeOrder(const CommunitySignature& query);
+
+/// Sweep accounting, accumulated across shards by one probe.
+struct PrescreenStats {
+  uint64_t examined = 0;              ///< index slots looked at
+  uint64_t passed = 0;                ///< cap >= threshold
+  uint64_t skipped_cap = 0;           ///< certified below threshold
+  uint64_t skipped_inadmissible = 0;  ///< CSJ size rule fails
+  uint64_t skipped_dim = 0;           ///< dimensionality mismatch
+};
+
+struct PrescreenCandidate {
+  uint64_t id = 0;
+  uint64_t version = 0;
+};
+
+/// Sharded packed sketch store — the structure a prescreen query sweeps
+/// instead of computing exact bounds against the whole catalog.
+///
+/// Sharding mirrors the community catalog's: the OWNER maps an id to a
+/// shard (the catalog uses its own id hash) and passes the shard index
+/// to every call. The index keeps per-shard, per-dimensionality packs of
+/// slot-major rows (ids, versions, sizes, breakpoint tables) so a probe
+/// is one cache-friendly linear sweep per pack with no pointer chasing.
+///
+/// Concurrency: externally synchronized PER SHARD. The index takes no
+/// locks of its own; the community catalog wraps every Install/Remove in
+/// the same exclusive shard lock that guards the entry map and every
+/// ProbeShard in the same shared lock — so the sketch store and the
+/// entry map can never disagree about which (id, version) is resident,
+/// which is what makes a probe's candidate list consistent with the
+/// snapshot a query refines against.
+class SignatureIndex {
+ public:
+  SignatureIndex(uint32_t shards, const SignatureOptions& options);
+
+  const SignatureOptions& options() const { return options_; }
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  /// Installs (or replaces) the sketch for `id`. `signature` must be
+  /// built with options() (one resolution per index).
+  void Install(uint32_t shard, uint64_t id, uint64_t version,
+               std::shared_ptr<const CommunitySignature> signature);
+
+  /// Drops `id`'s sketch. Returns false when absent.
+  bool Remove(uint32_t shard, uint64_t id);
+
+  struct ProbeQuery {
+    const CommunitySignature* signature = nullptr;
+    Epsilon eps = 0;
+    /// Admission threshold tau: entries with certified cap < tau are
+    /// skipped. <= 0 admits everything (an inert probe).
+    double threshold = 0.0;
+    /// SignatureProbeOrder(*signature); length must equal signature->d().
+    std::span<const Dim> probe_order;
+  };
+
+  /// Sweeps one shard, appending passing (id, version) pairs to `out`
+  /// and accumulating into `stats`.
+  void ProbeShard(uint32_t shard, const ProbeQuery& query,
+                  std::vector<PrescreenCandidate>* out,
+                  PrescreenStats* stats) const;
+
+  /// The resident sketch for `id` (null when absent); `version` (if
+  /// non-null) receives its installed version.
+  std::shared_ptr<const CommunitySignature> Lookup(
+      uint32_t shard, uint64_t id, uint64_t* version = nullptr) const;
+
+  /// Resident sketch count over all shards.
+  uint64_t size() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  /// Slot-major columns of one (shard, dimensionality) group.
+  struct Pack {
+    Dim d = 0;
+    uint32_t stride = 0;  ///< d * (quantiles + 1) Counts per slot
+    std::vector<uint64_t> ids;
+    std::vector<uint64_t> versions;
+    std::vector<uint32_t> sizes;    ///< true community sizes
+    std::vector<uint32_t> sampled;  ///< sketched user counts
+    std::vector<Count> table;       ///< slot-major breakpoint rows
+    std::vector<std::shared_ptr<const CommunitySignature>> signatures;
+  };
+  struct Shard {
+    /// id -> (pack dimensionality, slot).
+    std::unordered_map<uint64_t, std::pair<Dim, uint32_t>> locate;
+    std::map<Dim, Pack> packs;
+  };
+
+  void RemoveSlot(Shard& shard, Dim d, uint32_t slot);
+
+  SignatureOptions options_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_SIGNATURE_H_

@@ -26,13 +26,21 @@ CommunityCatalog::CommunityCatalog() : CommunityCatalog(Options{}) {}
 CommunityCatalog::CommunityCatalog(Options options) : options_(options) {
   options_.shards = std::max(options_.shards, 1u);
   shards_ = std::vector<Shard>(options_.shards);
+  if (options_.signatures.has_value()) {
+    signature_index_ = std::make_unique<SignatureIndex>(
+        options_.shards, *options_.signatures);
+  }
 }
 
-const CommunityCatalog::Shard& CommunityCatalog::ShardOf(uint64_t id) const {
+uint32_t CommunityCatalog::ShardIndexOf(uint64_t id) const {
   // Mix before reducing so dense sequential ids (the common assignment
   // scheme) and strided ids both spread over the shards.
   uint64_t state = id;
-  return shards_[util::SplitMix64(state) % shards_.size()];
+  return static_cast<uint32_t>(util::SplitMix64(state) % shards_.size());
+}
+
+const CommunityCatalog::Shard& CommunityCatalog::ShardOf(uint64_t id) const {
+  return shards_[ShardIndexOf(id)];
 }
 
 CommunityCatalog::Shard& CommunityCatalog::ShardOf(uint64_t id) {
@@ -61,22 +69,39 @@ uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
     options_.cache->GetCommunityWindow(*entry.community, entry.digest,
                                        nullptr);
   }
+  if (signature_index_ != nullptr) {
+    // Sketch building sorts every counter column — also too expensive to
+    // run under the shard lock.
+    entry.signature = std::make_shared<const CommunitySignature>(
+        *entry.community, signature_index_->options());
+  }
   entry.version = next_version_.fetch_add(1, std::memory_order_acq_rel);
-  Shard& shard = ShardOf(id);
+  const uint32_t shard_index = ShardIndexOf(id);
+  Shard& shard = shards_[shard_index];
   {
     std::unique_lock lock(shard.mu);
     shard.entries[id] = entry;
+    // Entry map and sketch store commit in one critical section, so a
+    // probe (under the shared lock) always sees them in agreement.
+    if (signature_index_ != nullptr) {
+      signature_index_->Install(shard_index, id, entry.version,
+                                entry.signature);
+    }
   }
   upserts_.fetch_add(1, std::memory_order_relaxed);
   return entry.version;
 }
 
 bool CommunityCatalog::Remove(uint64_t id) {
-  Shard& shard = ShardOf(id);
+  const uint32_t shard_index = ShardIndexOf(id);
+  Shard& shard = shards_[shard_index];
   bool removed = false;
   {
     std::unique_lock lock(shard.mu);
     removed = shard.entries.erase(id) > 0;
+    if (removed && signature_index_ != nullptr) {
+      signature_index_->Remove(shard_index, id);
+    }
   }
   if (removed) removes_.fetch_add(1, std::memory_order_relaxed);
   return removed;
@@ -106,6 +131,43 @@ std::vector<CatalogEntry> CommunityCatalog::Snapshot() const {
   return snapshot;
 }
 
+CommunityCatalog::ProbeResult CommunityCatalog::ProbeCandidates(
+    const CommunitySignature& query_signature,
+    std::span<const Dim> probe_order, Epsilon eps, double threshold) const {
+  CSJ_CHECK(signature_index_ != nullptr)
+      << "ProbeCandidates requires Options::signatures";
+  ProbeResult result;
+  SignatureIndex::ProbeQuery probe;
+  probe.signature = &query_signature;
+  probe.eps = eps;
+  probe.threshold = threshold;
+  probe.probe_order = probe_order;
+  std::vector<PrescreenCandidate> passing;
+  for (uint32_t shard_index = 0; shard_index < shards_.size();
+       ++shard_index) {
+    const Shard& shard = shards_[shard_index];
+    std::shared_lock lock(shard.mu);
+    passing.clear();
+    signature_index_->ProbeShard(shard_index, probe, &passing, &result.stats);
+    for (const PrescreenCandidate& candidate : passing) {
+      const auto it = shard.entries.find(candidate.id);
+      // Index rows and entries commit under one exclusive lock, so a
+      // passing id is always resident at exactly the probed version.
+      CSJ_CHECK(it != shard.entries.end());
+      CSJ_CHECK(it->second.version == candidate.version);
+      result.candidates.push_back(it->second);
+    }
+  }
+  // Same deterministic ascending-id order as Snapshot(): the top-k walk's
+  // tie-break and the differential tests both assume it.
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const CatalogEntry& x, const CatalogEntry& y) {
+              return x.id < y.id;
+            });
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
 uint32_t CommunityCatalog::size() const {
   uint32_t total = 0;
   for (const Shard& shard : shards_) {
@@ -133,6 +195,7 @@ CommunityCatalog::Stats CommunityCatalog::GetStats() const {
   stats.upserts = upserts_.load(std::memory_order_relaxed);
   stats.removes = removes_.load(std::memory_order_relaxed);
   stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  stats.probes = probes_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -5,12 +5,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "core/community.h"
 #include "core/encoding_cache.h"
 #include "core/join_options.h"
+#include "core/signature.h"
 #include "core/types.h"
 #include "incremental/incremental_csj.h"
 
@@ -36,6 +39,9 @@ struct CatalogEntry {
   /// Content fingerprint + max counter, precomputed once at Upsert so
   /// queries hitting the encoding cache never re-scan the counters.
   CommunityDigest digest;
+  /// Prescreen sketch, built at Upsert when the catalog has a signature
+  /// index configured (null otherwise). Frozen with the community.
+  std::shared_ptr<const CommunitySignature> signature;
 };
 
 /// A live, incrementally maintained exact similarity between ONE query
@@ -114,6 +120,12 @@ class CommunityCatalog {
     /// JoinOptions or the first query still builds its own.
     Epsilon warm_eps = 1;
     uint32_t warm_parts = 4;
+    /// When set, the catalog maintains a SignatureIndex: Upsert builds
+    /// the entry's sketch (outside any lock, next to the cache warmup)
+    /// and installs it — under the SAME exclusive shard lock as the
+    /// entry map, so index and entries can never disagree. Queries use
+    /// ProbeCandidates() for sub-linear candidate generation.
+    std::optional<SignatureOptions> signatures;
   };
 
   // Two overloads rather than `Options options = {}`: a nested struct's
@@ -158,11 +170,38 @@ class CommunityCatalog {
                                                 uint64_t entry_id,
                                                 const JoinOptions& join) const;
 
+  /// Sweeps the signature index and returns the entries whose certified
+  /// similarity cap reaches `threshold` (ascending id, like Snapshot()),
+  /// plus the sweep accounting. Like a snapshot this is PER-SHARD atomic:
+  /// within a shard the index verdicts and the returned entries observe
+  /// one consistent state. Requires a configured signature index and a
+  /// query signature built with its options.
+  struct ProbeResult {
+    std::vector<CatalogEntry> candidates;
+    PrescreenStats stats;
+  };
+  ProbeResult ProbeCandidates(const CommunitySignature& query_signature,
+                              std::span<const Dim> probe_order, Epsilon eps,
+                              double threshold) const;
+
+  /// The signature configuration, or nullptr when prescreening is off.
+  const SignatureOptions* signature_options() const {
+    return signature_index_ == nullptr ? nullptr
+                                       : &signature_index_->options();
+  }
+
+  /// The underlying index (nullptr when off). Exposed for tests and
+  /// stats; mutating calls remain the catalog's alone.
+  const SignatureIndex* signature_index() const {
+    return signature_index_.get();
+  }
+
   /// Monotonic operation counters (for the server's stats surface).
   struct Stats {
     uint64_t upserts = 0;
     uint64_t removes = 0;
     uint64_t snapshots = 0;
+    uint64_t probes = 0;
   };
   Stats GetStats() const;
 
@@ -172,16 +211,21 @@ class CommunityCatalog {
     std::map<uint64_t, CatalogEntry> entries;
   };
 
+  uint32_t ShardIndexOf(uint64_t id) const;
   const Shard& ShardOf(uint64_t id) const;
   Shard& ShardOf(uint64_t id);
 
   Options options_;
   std::vector<Shard> shards_;
+  /// Sketch store mirroring shards_ one-to-one; every mutation happens
+  /// under the matching shard's exclusive lock (see Options::signatures).
+  std::unique_ptr<SignatureIndex> signature_index_;
   /// Next version to issue; versions are catalog-wide and monotonic.
   std::atomic<uint64_t> next_version_{1};
   std::atomic<uint64_t> upserts_{0};
   std::atomic<uint64_t> removes_{0};
   mutable std::atomic<uint64_t> snapshots_{0};
+  mutable std::atomic<uint64_t> probes_{0};
 };
 
 }  // namespace csj::service

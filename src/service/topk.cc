@@ -55,7 +55,65 @@ TopKSimilarService::TopKSimilarService(const CommunityCatalog* catalog)
 TopKResult TopKSimilarService::Query(
     const Community& query, const TopKOptions& options,
     const std::optional<Deadline>& deadline) const {
+  // Prescreen is inert — a plain scan — without a signature index or for
+  // an empty query (which cannot be sketched and matches nothing anyway).
+  if (options.prescreen && catalog_->signature_options() != nullptr &&
+      !query.empty()) {
+    return QueryPrescreen(query, options, deadline);
+  }
   return QuerySnapshot(query, catalog_->Snapshot(), options, deadline);
+}
+
+TopKResult TopKSimilarService::QueryPrescreen(
+    const Community& query, const TopKOptions& options,
+    const std::optional<Deadline>& deadline) const {
+  util::Timer prescreen_timer;
+  const CommunitySignature query_signature(query,
+                                           *catalog_->signature_options());
+  const std::vector<Dim> probe_order = SignatureProbeOrder(query_signature);
+  const double tau = options.prescreen_threshold;
+  const CommunityCatalog::ProbeResult probe = catalog_->ProbeCandidates(
+      query_signature, probe_order, options.join.eps, tau);
+  const double prescreen_seconds = prescreen_timer.Seconds();
+
+  TopKResult result =
+      QuerySnapshot(query, probe.candidates, options, deadline);
+  result.stats.prescreen_probed = static_cast<uint32_t>(probe.stats.passed);
+  result.stats.prescreen_skipped =
+      static_cast<uint32_t>(probe.stats.examined - probe.stats.passed);
+  result.stats.prescreen_seconds = prescreen_seconds;
+
+  // Certification: every swept-away entry has similarity < tau (the cap
+  // is a proven upper bound), so the candidate-only top-k equals the
+  // exhaustive one iff k results exist with the k-th at or above tau —
+  // nothing skipped can then displace or tie into the ranking. Anything
+  // less certifies nothing and triggers the exhaustive fallback. A probe
+  // that skipped nothing has nothing to fall back FOR; and a deadline
+  // blown on the candidate walk returns the flagged partial as a scan
+  // query would.
+  const uint32_t k = std::max(options.k, 1u);
+  const bool certified = result.entries.size() >= k &&
+                         result.entries.back().similarity >= tau;
+  if (certified || result.deadline_expired ||
+      probe.stats.passed == probe.stats.examined) {
+    result.stats.catalog_entries =
+        static_cast<uint32_t>(probe.stats.examined);
+    return result;
+  }
+
+  TopKResult full = QuerySnapshot(query, catalog_->Snapshot(), options,
+                                  deadline);
+  // Honest accounting: the fallback's totals include the candidate-phase
+  // work that preceded it.
+  full.stats.refined += result.stats.refined;
+  full.stats.waves += result.stats.waves;
+  full.stats.bound_seconds += result.stats.bound_seconds;
+  full.stats.refine_seconds += result.stats.refine_seconds;
+  full.stats.prescreen_probed = result.stats.prescreen_probed;
+  full.stats.prescreen_skipped = result.stats.prescreen_skipped;
+  full.stats.prescreen_seconds = prescreen_seconds;
+  full.stats.fallback = 1;
+  return full;
 }
 
 TopKResult TopKSimilarService::QuerySnapshot(
@@ -65,6 +123,15 @@ TopKResult TopKSimilarService::QuerySnapshot(
   TopKResult result;
   result.stats.catalog_entries = static_cast<uint32_t>(snapshot.size());
   const uint32_t k = std::max(options.k, 1u);
+
+  // An empty query is a QUERY invariant, not a per-entry condition: an
+  // empty B matches nothing, so every couple is inadmissible. Resolve it
+  // once here (same counter totals as the old per-entry accounting)
+  // instead of re-testing it on every snapshot entry.
+  if (query.empty()) {
+    result.stats.inadmissible = result.stats.catalog_entries;
+    return result;
+  }
 
   util::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : util::ThreadPool::Global();
@@ -80,7 +147,7 @@ TopKResult TopKSimilarService::QuerySnapshot(
   for (uint32_t i = 0; i < snapshot.size(); ++i) {
     const CatalogEntry& entry = snapshot[i];
     CSJ_CHECK(entry.community != nullptr);
-    if (entry.community->d() != query.d() || query.empty()) {
+    if (entry.community->d() != query.d()) {
       ++result.stats.inadmissible;
       continue;
     }

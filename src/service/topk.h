@@ -54,6 +54,25 @@ struct TopKOptions {
 
   /// Pool override; null = ThreadPool::Global().
   util::ThreadPool* pool = nullptr;
+
+  /// Sub-linear candidate generation: sketch the query, sweep the
+  /// catalog's SignatureIndex, and feed ONLY the entries whose certified
+  /// similarity cap reaches `prescreen_threshold` into the bound+refine
+  /// walk above. Results stay byte-identical to the exhaustive scan (see
+  /// the fallback contract in docs/API.md): skipped entries are PROVEN
+  /// below the threshold, and whenever the refined candidates cannot
+  /// certify a full top-k (fewer than k results, or a k-th similarity
+  /// below the threshold) the query transparently falls back to the
+  /// exhaustive scan. Inert — silently a plain scan — when the catalog
+  /// has no signature index or the query is empty.
+  bool prescreen = false;
+
+  /// The prescreen admission threshold tau. Larger values skip more of
+  /// the catalog but fall back whenever the true k-th similarity lands
+  /// below tau; <= 0 admits every entry (prescreen does nothing but add
+  /// sweep overhead). 0.10 suits the serving workload's "related
+  /// community" regime.
+  double prescreen_threshold = 0.10;
 };
 
 /// One ranked result: a catalog entry and its EXACT similarity to the
@@ -67,14 +86,27 @@ struct TopKEntry {
 };
 
 struct TopKQueryStats {
-  uint32_t catalog_entries = 0;  ///< snapshot size
-  uint32_t admissible = 0;       ///< couples passing the CSJ size rule
+  /// Entries the query was answered against: the snapshot size, or, for
+  /// a prescreen query, the index slots examined by the sweep (the whole
+  /// resident catalog). After a fallback: the fallback snapshot size.
+  uint32_t catalog_entries = 0;
+  uint32_t admissible = 0;  ///< couples passing the CSJ size rule
   uint32_t inadmissible = 0;
   uint32_t refined = 0;        ///< exact joins actually executed
   uint32_t bound_skipped = 0;  ///< admissible entries the cutoff pruned
   uint32_t waves = 0;          ///< refine waves executed
   double bound_seconds = 0.0;  ///< wall-clock of the bound phase
   double refine_seconds = 0.0; ///< wall-clock of all refine waves
+
+  /// Prescreen accounting (all zero for scan-mode queries). Invariants
+  /// for a prescreen query: prescreen_probed + prescreen_skipped ==
+  /// slots examined, and (before any fallback) admissible + inadmissible
+  /// == prescreen_probed — the exact phases only ever saw the probed
+  /// candidates.
+  uint32_t prescreen_probed = 0;   ///< entries admitted to the exact path
+  uint32_t prescreen_skipped = 0;  ///< entries the sweep certified away
+  uint32_t fallback = 0;           ///< 1 when the exhaustive fallback ran
+  double prescreen_seconds = 0.0;  ///< query sketch + index sweep wall
 };
 
 struct TopKResult {
@@ -118,7 +150,10 @@ class TopKSimilarService {
   /// `catalog` is not owned and must outlive the service.
   explicit TopKSimilarService(const CommunityCatalog* catalog);
 
-  /// Snapshots the catalog and runs QuerySnapshot.
+  /// Snapshots the catalog and runs QuerySnapshot — or, with
+  /// TopKOptions::prescreen on a signature-indexed catalog, probes the
+  /// index and runs the same walk on the candidates only (exhaustive
+  /// fallback when the candidates cannot certify a full top-k).
   TopKResult Query(const Community& query, const TopKOptions& options,
                    const std::optional<Deadline>& deadline = {}) const;
 
@@ -130,6 +165,10 @@ class TopKSimilarService {
                            const std::optional<Deadline>& deadline = {}) const;
 
  private:
+  TopKResult QueryPrescreen(const Community& query,
+                            const TopKOptions& options,
+                            const std::optional<Deadline>& deadline) const;
+
   const CommunityCatalog* catalog_;
 };
 

@@ -25,6 +25,15 @@ uint32_t JitteredSize(const WorkloadOptions& options, util::Rng& rng) {
       rng.Between(std::max(lo, 8u), std::max(hi, std::max(lo, 8u))));
 }
 
+/// PlantCommunityAgainst copies floor(target * size_b) of the anchor's
+/// users; keep that below the anchor's own audience so wide plant bands
+/// (plant_hi near 1) stay valid against small anchors.
+double CapPlantTarget(double target, const Community& anchor,
+                      uint32_t size_b) {
+  return std::min(target, 0.9 * static_cast<double>(anchor.size()) /
+                              static_cast<double>(size_b));
+}
+
 }  // namespace
 
 ServeWorkload::ServeWorkload(const WorkloadOptions& options)
@@ -32,23 +41,31 @@ ServeWorkload::ServeWorkload(const WorkloadOptions& options)
       popularity_(std::max(options.catalog_size, 1u),
                   std::max(options.zipf_s, 0.0)) {
   CSJ_CHECK_GT(options_.catalog_size, 0u);
+  options_.cluster_size = std::max(options_.cluster_size, 1u);
+  options_.plant_lo = std::clamp(options_.plant_lo, 0.0, 1.0);
+  options_.plant_hi = std::clamp(options_.plant_hi, options_.plant_lo, 1.0);
   util::Rng rng(options_.seed);
   communities_.reserve(options_.catalog_size);
   for (uint32_t i = 0; i < options_.catalog_size; ++i) {
-    data::VkLikeGenerator gen(CategoryOf(i));
+    data::VkLikeGenerator gen(CategoryOf(i / options_.cluster_size));
     const uint32_t size = JitteredSize(options_, rng);
     Community community(gen.d());
-    if (i % 3 == 0 || anchors_.empty()) {
+    if (i % options_.cluster_size == 0 || anchors_.empty()) {
       anchors_.push_back(i);
       community = data::MakeCommunity(gen, size, rng);
     } else {
-      // Cluster member: plant 15-35% of the anchor's audience so the
-      // exact top-k has genuine, graded winners.
+      // Cluster member: plant a [plant_lo, plant_hi] slice of the
+      // anchor's audience (stepped, 5 grades) so the exact top-k has
+      // genuine, graded winners. Defaults reproduce the historical
+      // 0.15 + 0.05 * (i % 5) band exactly.
       const Community& anchor = *communities_[anchors_.back()];
       data::CoupleSpec spec;
       spec.size_b = size;
       spec.eps = options_.eps;
-      spec.target_similarity = 0.15 + 0.05 * static_cast<double>(i % 5);
+      spec.target_similarity = CapPlantTarget(
+          options_.plant_lo + (options_.plant_hi - options_.plant_lo) *
+                                  (static_cast<double>(i % 5) / 4.0),
+          anchor, size);
       community = data::PlantCommunityAgainst(anchor, gen, spec, rng);
     }
     community.set_name("brand_" + std::to_string(i + 1));
@@ -71,7 +88,8 @@ std::shared_ptr<const Community> ServeWorkload::MintCommunity(
   data::CoupleSpec spec;
   spec.size_b = JitteredSize(options_, rng);
   spec.eps = options_.eps;
-  spec.target_similarity = 0.10 + 0.20 * rng.NextDouble();
+  spec.target_similarity =
+      CapPlantTarget(0.10 + 0.20 * rng.NextDouble(), anchor, spec.size_b);
   util::Rng fork = rng.Fork();
   return std::make_shared<const Community>(
       data::PlantCommunityAgainst(anchor, gen, spec, fork));

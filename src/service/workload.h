@@ -24,10 +24,17 @@ struct WorkloadOptions {
   /// 1+jitter] so the size-admissibility rule and the cost-aware
   /// scheduler both see real variety.
   double size_jitter = 0.25;
-  /// Every third entry anchors a cluster; the rest are planted against
-  /// their cluster's anchor at 15-35% similarity (the paper's "similar
-  /// enough" band), so a query drawn from the pool has a non-trivial
-  /// exact top-k.
+  /// Every `cluster_size`-th entry anchors a cluster; the rest are
+  /// planted against their cluster's anchor in the [plant_lo, plant_hi]
+  /// similarity band (defaults: the paper's 15-35% "similar enough"
+  /// band), so a query drawn from the pool has a non-trivial exact
+  /// top-k. Large-catalog prescreen scenarios raise both: wide clusters
+  /// planted at 50-80% keep every member's top-k filled well above the
+  /// prescreen threshold, so candidate generation is the thing measured,
+  /// not fallback churn.
+  uint32_t cluster_size = 3;
+  double plant_lo = 0.15;
+  double plant_hi = 0.35;
   Epsilon eps = 1;
   /// Request mix: fractions of upserts (install a fresh community over a
   /// random id) and removes; the rest are top-k reads.

@@ -1,0 +1,330 @@
+// Core tests for the prescreen signature layer: the quantile-table count
+// bound and the per-couple similarity cap must be SOUND (never below the
+// true count / exact similarity at recall_target 1.0 — this is what the
+// serving fallback contract's exactness proof rests on), sketches must be
+// bit-deterministic across threads and seeds, and the packed
+// SignatureIndex must stay consistent through install/replace/remove
+// churn.
+
+#include "core/signature.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "data/community_sampler.h"
+#include "data/generator.h"
+#include "test_seed.h"
+#include "util/rng.h"
+
+namespace csj {
+namespace {
+
+Community RandomSmallCommunity(Dim d, uint32_t size, uint32_t value_range,
+                               util::Rng& rng) {
+  Community community(d);
+  std::vector<Count> vec(d);
+  for (uint32_t u = 0; u < size; ++u) {
+    for (Dim k = 0; k < d; ++k) {
+      vec[k] = static_cast<Count>(rng.Below(value_range));
+    }
+    community.AddUser(vec);
+  }
+  return community;
+}
+
+TEST(SignatureTest, CountUpperBoundDominatesTrueCount) {
+  util::Rng rng(testing::TestSeed(1));
+  for (uint32_t round = 0; round < 200; ++round) {
+    const Dim d = 1 + static_cast<Dim>(rng.Below(4));
+    const uint32_t size = 1 + static_cast<uint32_t>(rng.Below(60));
+    const Community community = RandomSmallCommunity(d, size, 40, rng);
+    SignatureOptions options;
+    options.quantiles = 2 + static_cast<uint32_t>(rng.Below(20));
+    const CommunitySignature signature(community, options);
+    ASSERT_EQ(signature.sampled(), size);
+    for (uint32_t probe = 0; probe < 20; ++probe) {
+      const Dim k = static_cast<Dim>(rng.Below(d));
+      const int64_t lo = static_cast<int64_t>(rng.Below(45)) - 3;
+      const int64_t hi = lo + static_cast<int64_t>(rng.Below(20));
+      uint32_t true_count = 0;
+      for (UserId u = 0; u < size; ++u) {
+        const int64_t v = community.User(u)[k];
+        if (v >= lo && v <= hi) ++true_count;
+      }
+      const uint32_t bound = SignatureCountUpperBound(
+          signature.DimTable(k), signature.sampled(), lo, hi);
+      ASSERT_GE(bound, true_count)
+          << "round " << round << " dim " << k << " range [" << lo << ","
+          << hi << "]";
+      ASSERT_LE(bound, size);
+    }
+  }
+}
+
+TEST(SignatureTest, SimilarityCapDominatesExactSimilarity) {
+  // The load-bearing soundness property: for any couple, the cap
+  // certified from the two sketches alone is >= the exact CSJ
+  // similarity. Mix of planted (high-similarity) and unrelated couples,
+  // several epsilon regimes.
+  const Epsilon eps_values[] = {0, 1, 2, 8};
+  util::Rng rng(testing::TestSeed(2));
+  SignatureOptions options;
+  uint32_t nontrivial = 0;
+  for (uint32_t round = 0; round < 120; ++round) {
+    data::VkLikeGenerator gen(
+        static_cast<data::Category>(round % data::kNumCategories));
+    const auto size_a = static_cast<uint32_t>(rng.Between(12, 30));
+    const Community a = data::MakeCommunity(gen, size_a, rng);
+    const Epsilon eps = eps_values[round % 4];
+
+    Community b(gen.d());
+    if (round % 2 == 0) {
+      data::CoupleSpec spec;
+      spec.size_b = static_cast<uint32_t>(rng.Between(10, size_a));
+      spec.eps = eps;
+      spec.target_similarity = 0.2 + 0.15 * static_cast<double>(round % 5);
+      b = data::PlantCommunityAgainst(a, gen, spec, rng);
+    } else {
+      data::VkLikeGenerator other(
+          static_cast<data::Category>((round + 7) % data::kNumCategories));
+      b = data::MakeCommunity(other,
+                              static_cast<uint32_t>(rng.Between(10, size_a)),
+                              rng);
+    }
+
+    const CommunitySignature sig_a(a, options);
+    const CommunitySignature sig_b(b, options);
+    const std::vector<Dim> order = SignatureProbeOrder(sig_b);
+    const double cap = SignatureSimilarityCap(sig_b, sig_a, eps, order);
+
+    JoinOptions join;
+    join.eps = eps;
+    const auto exact =
+        ComputeSimilarityAutoOrder(Method::kExMinMax, b, a, join);
+    if (!exact.has_value()) continue;  // inadmissible couple: no claim
+    ASSERT_GE(cap, exact->Similarity())
+        << "round " << round << " eps " << eps;
+    if (exact->Similarity() > 0.0) ++nontrivial;
+  }
+  // The property must have been exercised on couples that actually match.
+  EXPECT_GT(nontrivial, 20u);
+}
+
+TEST(SignatureTest, EarlyExitNeverChangesTheVerdict) {
+  util::Rng rng(testing::TestSeed(3));
+  SignatureOptions options;
+  for (uint32_t round = 0; round < 150; ++round) {
+    data::VkLikeGenerator gen(
+        static_cast<data::Category>(round % data::kNumCategories));
+    data::VkLikeGenerator other(
+        static_cast<data::Category>((round / 2) % data::kNumCategories));
+    const Community a =
+        data::MakeCommunity(gen, static_cast<uint32_t>(rng.Between(12, 40)),
+                            rng);
+    const Community b = data::MakeCommunity(
+        other, static_cast<uint32_t>(rng.Between(12, 40)), rng);
+    const CommunitySignature sig_a(a, options);
+    const CommunitySignature sig_b(b, options);
+    const std::vector<Dim> order = SignatureProbeOrder(sig_b);
+    const double tau = 0.05 + 0.1 * static_cast<double>(round % 5);
+    const double exact_cap = SignatureSimilarityCap(sig_b, sig_a, 1, order);
+    const double lazy_cap =
+        SignatureSimilarityCap(sig_b, sig_a, 1, order, tau);
+    // Early exit may loosen the VALUE but never flips the pass/fail
+    // verdict at its own threshold.
+    EXPECT_EQ(exact_cap >= tau, lazy_cap >= tau) << "round " << round;
+    EXPECT_GE(lazy_cap, exact_cap);
+  }
+}
+
+TEST(SignatureTest, BuildIsDeterministicAcrossThreadsAndSeedReuse) {
+  util::Rng rng(testing::TestSeed(4));
+  data::VkLikeGenerator gen(data::Category::kFoodRecipes);
+  const Community community = data::MakeCommunity(gen, 80, rng);
+
+  SignatureOptions options;
+  const CommunitySignature reference(community, options);
+
+  // Concurrent builds of the same community: bit-identical tables (no
+  // hidden global state, no thread-count sensitivity).
+  std::vector<std::unique_ptr<CommunitySignature>> built(8);
+  std::vector<std::thread> crew;
+  for (uint32_t t = 0; t < built.size(); ++t) {
+    crew.emplace_back([&, t] {
+      built[t] = std::make_unique<CommunitySignature>(community, options);
+    });
+  }
+  for (std::thread& thread : crew) thread.join();
+  for (const auto& signature : built) {
+    ASSERT_EQ(signature->sampled(), reference.sampled());
+    ASSERT_TRUE(std::equal(signature->table().begin(),
+                           signature->table().end(),
+                           reference.table().begin()));
+  }
+
+  // At recall 1.0 the seed is irrelevant — sampling never runs.
+  SignatureOptions reseeded = options;
+  reseeded.seed = 0xDEADBEEFULL;
+  const CommunitySignature reseeded_full(community, reseeded);
+  EXPECT_TRUE(std::equal(reseeded_full.table().begin(),
+                         reseeded_full.table().end(),
+                         reference.table().begin()));
+
+  // Below 1.0: a strict deterministic subsample, same for same seed.
+  SignatureOptions sampled = options;
+  sampled.recall_target = 0.5;
+  const CommunitySignature once(community, sampled);
+  const CommunitySignature twice(community, sampled);
+  EXPECT_EQ(once.sampled(), twice.sampled());
+  EXPECT_TRUE(std::equal(once.table().begin(), once.table().end(),
+                         twice.table().begin()));
+  EXPECT_LT(once.sampled(), once.size());
+  EXPECT_GE(once.sampled(), 1u);
+  EXPECT_EQ(once.size(), community.size());
+}
+
+TEST(SignatureTest, ProbeOrderIsAPermutation) {
+  util::Rng rng(testing::TestSeed(5));
+  data::VkLikeGenerator gen(data::Category::kSport);
+  const CommunitySignature signature(data::MakeCommunity(gen, 30, rng),
+                                     SignatureOptions{});
+  const std::vector<Dim> order = SignatureProbeOrder(signature);
+  ASSERT_EQ(order.size(), signature.d());
+  std::vector<bool> seen(signature.d(), false);
+  for (const Dim k : order) {
+    ASSERT_LT(k, signature.d());
+    ASSERT_FALSE(seen[k]);
+    seen[k] = true;
+  }
+  // Home dimensions (largest smallest-breakpoint) lead the order.
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(signature.DimTable(order[i - 1])[0],
+              signature.DimTable(order[i])[0]);
+  }
+}
+
+TEST(SignatureIndexTest, InstallReplaceRemoveStaysConsistent) {
+  // Reference-model differential: random install / replace / remove
+  // churn against a std::map, checking Lookup, size and probe results
+  // after every batch. Single-threaded (the index is externally
+  // synchronized; the concurrent story is the catalog's, covered in
+  // prescreen_test).
+  util::Rng rng(testing::TestSeed(6));
+  SignatureOptions options;
+  SignatureIndex index(4, options);
+  std::map<uint64_t, uint64_t> model;  // id -> version
+  data::VkLikeGenerator gen(data::Category::kTourismLeisure);
+  uint64_t next_version = 1;
+
+  const auto shard_of = [&](uint64_t id) {
+    return static_cast<uint32_t>(id % index.shards());
+  };
+
+  for (uint32_t step = 0; step < 400; ++step) {
+    const uint64_t id = 1 + rng.Below(40);
+    if (rng.NextDouble() < 0.7) {
+      const Community community = data::MakeCommunity(
+          gen, 8 + static_cast<uint32_t>(rng.Below(24)), rng);
+      const uint64_t version = next_version++;
+      index.Install(shard_of(id), id, version,
+                    std::make_shared<const CommunitySignature>(community,
+                                                               options));
+      model[id] = version;
+    } else {
+      const bool removed = index.Remove(shard_of(id), id);
+      EXPECT_EQ(removed, model.erase(id) > 0) << "step " << step;
+    }
+    ASSERT_EQ(index.size(), model.size());
+  }
+
+  // Every model entry resolves at its exact version, in its shard only.
+  for (const auto& [id, version] : model) {
+    uint64_t got_version = 0;
+    const auto signature = index.Lookup(shard_of(id), id, &got_version);
+    ASSERT_NE(signature, nullptr) << "id " << id;
+    EXPECT_EQ(got_version, version);
+    for (uint32_t s = 0; s < index.shards(); ++s) {
+      if (s != shard_of(id)) {
+        EXPECT_EQ(index.Lookup(s, id), nullptr);
+      }
+    }
+  }
+
+  // A threshold-0 probe with an admissible query returns EVERY resident
+  // admissible entry exactly once, at its current version.
+  util::Rng query_rng(testing::TestSeed(7));
+  const Community query = data::MakeCommunity(gen, 20, query_rng);
+  const CommunitySignature query_signature(query, options);
+  const std::vector<Dim> order = SignatureProbeOrder(query_signature);
+  SignatureIndex::ProbeQuery probe;
+  probe.signature = &query_signature;
+  probe.eps = 1;
+  probe.threshold = 0.0;
+  probe.probe_order = order;
+  std::vector<PrescreenCandidate> candidates;
+  PrescreenStats stats;
+  for (uint32_t s = 0; s < index.shards(); ++s) {
+    index.ProbeShard(s, probe, &candidates, &stats);
+  }
+  EXPECT_EQ(stats.examined, model.size());
+  EXPECT_EQ(stats.skipped_cap, 0u);  // threshold 0: the cap never rejects
+  std::map<uint64_t, uint64_t> probed;
+  for (const PrescreenCandidate& candidate : candidates) {
+    EXPECT_TRUE(probed.emplace(candidate.id, candidate.version).second)
+        << "duplicate candidate " << candidate.id;
+  }
+  uint32_t admissible = 0;
+  for (const auto& [id, version] : model) {
+    uint64_t model_version = 0;
+    const auto signature = index.Lookup(shard_of(id), id, &model_version);
+    const uint32_t smaller = std::min(query.size(), signature->size());
+    const uint32_t larger = std::max(query.size(), signature->size());
+    if (!SizesAdmissible(smaller, larger)) continue;
+    ++admissible;
+    const auto it = probed.find(id);
+    ASSERT_NE(it, probed.end()) << "admissible id " << id << " not probed";
+    EXPECT_EQ(it->second, version);
+  }
+  EXPECT_EQ(probed.size(), admissible);
+}
+
+TEST(SignatureIndexTest, DimensionalityMismatchRejectsAsAPack) {
+  SignatureOptions options;
+  SignatureIndex index(1, options);
+  util::Rng rng(testing::TestSeed(8));
+  // Three entries of dimensionality 5, two of dimensionality 3.
+  for (uint64_t id = 1; id <= 3; ++id) {
+    index.Install(0, id, id,
+                  std::make_shared<const CommunitySignature>(
+                      RandomSmallCommunity(5, 12, 20, rng), options));
+  }
+  for (uint64_t id = 4; id <= 5; ++id) {
+    index.Install(0, id, id,
+                  std::make_shared<const CommunitySignature>(
+                      RandomSmallCommunity(3, 12, 20, rng), options));
+  }
+  const Community query = RandomSmallCommunity(5, 12, 20, rng);
+  const CommunitySignature query_signature(query, options);
+  const std::vector<Dim> order = SignatureProbeOrder(query_signature);
+  SignatureIndex::ProbeQuery probe;
+  probe.signature = &query_signature;
+  probe.eps = 2;
+  probe.threshold = 0.0;
+  probe.probe_order = order;
+  std::vector<PrescreenCandidate> candidates;
+  PrescreenStats stats;
+  index.ProbeShard(0, probe, &candidates, &stats);
+  EXPECT_EQ(stats.examined, 5u);
+  EXPECT_EQ(stats.skipped_dim, 2u);
+  for (const PrescreenCandidate& candidate : candidates) {
+    EXPECT_LE(candidate.id, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -11,7 +11,9 @@
 # the pointers live; that includes the matching oracle/differential,
 # matching-property and epsilon-boundary suites, plus the serving
 # subsystem's catalog/top-k/stress suites (copy-on-write entries pinned
-# across Remove, result buffers outliving catalog churn).
+# across Remove, result buffers outliving catalog churn) and the
+# prescreen signature suites (packed sketch columns swapped on removal,
+# candidate lists holding (id, version) pairs across fallback reruns).
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -eu

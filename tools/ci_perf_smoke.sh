@@ -7,7 +7,13 @@
 # keeps "parallelism going backwards" out of BENCH_pipeline.json instead
 # of buried in it. Also runs the serve_smoke gate: csj_serve at low load
 # must complete every request with zero rejects and emit a parseable
-# latency report.
+# latency report. The prescreen_smoke gate then proves the signature
+# prescreen end to end: on a small catalog (where most queries take the
+# exhaustive fallback) and on a 100k-entry catalog (where almost none
+# do), the prescreen arm must return byte-identical rankings to the
+# exhaustive scan, probe under 10% of the big catalog, and beat the scan
+# arm's wall clock — the sub-linear candidate generation either pays for
+# itself or the gate fails.
 #
 # Usage:
 #   tools/ci_perf_smoke.sh [build-dir]          build + sweep + check
@@ -101,4 +107,52 @@ if ! grep -q '"p99":' "${serve_json}"; then
   exit 1
 fi
 echo "serve smoke gate passed: ${serve_json}"
+
+# prescreen_smoke, part 1: small catalog. With 24 entries and k=5 the
+# candidate set usually cannot certify a full top-k above the threshold,
+# so this leg exercises the FALLBACK path; identity must hold anyway
+# (csj_serve exits non-zero itself when the compare arms diverge). The
+# greps keep the gate honest against report-schema drift: the fallback
+# counter must be PRESENT, not merely nonzero.
+prescreen_small_json="${build_dir}/prescreen_smoke_small.json"
+"${build_dir}/tools/csj_serve" \
+  --catalog=24 --size=60 --requests=60 --clients=2 --workers=2 \
+  --upsert_fraction=0.05 --prescreen=true --compare=6 \
+  --json="${prescreen_small_json}" \
+  --git_sha="${git_sha}" --build_type=Release
+if ! grep -Eq '"compare_identical": ?true' "${prescreen_small_json}"; then
+  echo "FAIL: prescreen diverged from scan in ${prescreen_small_json}" >&2
+  exit 1
+fi
+if ! grep -q '"fallbacks":' "${prescreen_small_json}"; then
+  echo "FAIL: fallback accounting missing from ${prescreen_small_json}" >&2
+  exit 1
+fi
+
+# prescreen_smoke, part 2: the 100k point (the scenario BENCH_serve_large
+# is generated from, trimmed to smoke size). Identity is required as
+# above, plus the two performance claims: the sweep must admit under 10%
+# of the catalog (probed_fraction_ok) and the prescreen arm must finish
+# its queries in less wall time than the scan arm (prescreen_faster) —
+# both computed by csj_serve from the same compare run.
+prescreen_large_json="${build_dir}/prescreen_smoke_large.json"
+"${build_dir}/tools/csj_serve" \
+  --catalog_size=100000 --size=40 --cluster=12 --plant_lo=0.5 \
+  --plant_hi=0.8 --k=5 --requests=40 --clients=2 --workers=2 \
+  --zipf=1.1 --upsert_fraction=0 --prescreen=true --compare=4 \
+  --json="${prescreen_large_json}" \
+  --git_sha="${git_sha}" --build_type=Release
+if ! grep -Eq '"compare_identical": ?true' "${prescreen_large_json}"; then
+  echo "FAIL: prescreen diverged from scan in ${prescreen_large_json}" >&2
+  exit 1
+fi
+if ! grep -Eq '"probed_fraction_ok": ?true' "${prescreen_large_json}"; then
+  echo "FAIL: prescreen probed >= 10% of the 100k catalog in ${prescreen_large_json}" >&2
+  exit 1
+fi
+if ! grep -Eq '"prescreen_faster": ?true' "${prescreen_large_json}"; then
+  echo "FAIL: prescreen arm slower than exhaustive scan in ${prescreen_large_json}" >&2
+  exit 1
+fi
+echo "prescreen smoke gate passed: ${prescreen_small_json} ${prescreen_large_json}"
 echo "perf smoke gate passed."

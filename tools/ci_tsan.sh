@@ -9,7 +9,10 @@
 # upsert/remove/snapshot churn, top-k queries against a churning catalog,
 # live-session staleness, and the server's bounded queue + admission +
 # shutdown paths — service_stress_test is written specifically for this
-# gate).
+# gate), plus the prescreen signature layer (concurrent sketch builds in
+# signature_test, and prescreen_test's IndexTracksCatalogUnderConcurrent-
+# Churn, which probes the signature index while writers churn the same
+# shard locks).
 # Configures a dedicated build tree with CSJ_ENABLE_TSAN=ON and runs the
 # relevant test binaries under TSAN.
 #
@@ -25,11 +28,12 @@ cmake -B "${build_dir}" -S . \
 cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_test join_threads_test pipeline_test \
            encoding_cache_test matching_differential_test \
-           catalog_test topk_service_test service_stress_test
+           catalog_test topk_service_test service_stress_test \
+           signature_test prescreen_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|LiveCoupleSession|TopKService|ServiceStress'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen'
 
 echo "TSAN gate passed."

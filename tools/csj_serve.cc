@@ -10,6 +10,19 @@
 //   ./csj_serve --catalog=24 --size=150 --requests=200 --clients=4
 //               --workers=2 --zipf=1.1 --upsert_fraction=0.05
 //               --json=BENCH_serve.json
+//
+// Large-catalog prescreen scenario (sub-linear candidate generation;
+// --catalog_size is the ISSUE-style alias of --catalog):
+//
+//   ./csj_serve --catalog_size=100000 --size=40 --cluster=12
+//               --plant_lo=0.5 --plant_hi=0.8 --k=5 --requests=150
+//               --clients=2 --workers=2 --zipf=1.1 --upsert_fraction=0
+//               --prescreen --compare=6 --json=BENCH_serve_large.json
+//
+// --prescreen drives the closed loop through the signature index;
+// --compare=N additionally runs N queries through BOTH arms on the
+// quiesced catalog, verifies byte-identical results, and reports per-arm
+// rps/p50/p99 plus the probed fraction.
 
 #include <unistd.h>
 
@@ -23,6 +36,7 @@
 
 #include "core/encoding_cache.h"
 #include "core/method.h"
+#include "core/signature.h"
 #include "service/server.h"
 #include "service/workload.h"
 #include "util/flags.h"
@@ -41,14 +55,50 @@ struct ClientResult {
   uint64_t rejected = 0;
   uint64_t deadline_expired = 0;
   uint64_t not_found = 0;
+  // Prescreen accounting summed over completed top-k responses.
+  uint64_t prescreen_probed = 0;
+  uint64_t prescreen_skipped = 0;
+  uint64_t fallbacks = 0;
 };
+
+/// One compare arm's latencies, p50/p99 via util::Histogram.
+struct ArmSummary {
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+};
+
+ArmSummary SummarizeArm(const std::vector<double>& latencies_ms) {
+  ArmSummary arm;
+  double max_ms = 0.0;
+  for (const double ms : latencies_ms) {
+    arm.seconds += ms / 1e3;
+    max_ms = std::max(max_ms, ms);
+  }
+  if (latencies_ms.empty()) return arm;
+  csj::util::Histogram histogram(0.0, std::max(max_ms, 1e-6), 2048);
+  for (const double ms : latencies_ms) histogram.Add(ms);
+  arm.p50_ms = histogram.Quantile(0.50);
+  arm.p99_ms = histogram.Quantile(0.99);
+  arm.qps = arm.seconds > 0.0
+                ? static_cast<double>(latencies_ms.size()) / arm.seconds
+                : 0.0;
+  return arm;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   csj::util::Flags flags;
   flags.Define("catalog", "24", "seeded catalog entries");
+  flags.Define("catalog_size", "0",
+               "alias of --catalog for large-catalog scenarios (wins when "
+               "> 0)");
   flags.Define("size", "150", "mean users per community");
+  flags.Define("cluster", "3", "communities per topical cluster");
+  flags.Define("plant_lo", "0.15", "cluster-member plant band, low edge");
+  flags.Define("plant_hi", "0.35", "cluster-member plant band, high edge");
   flags.Define("k", "5", "top-k result size per query");
   flags.Define("requests", "200", "total requests across all clients");
   flags.Define("clients", "4", "closed-loop client threads");
@@ -64,6 +114,13 @@ int main(int argc, char** argv) {
   flags.Define("query_threads", "1", "threads per query (bound+refine)");
   flags.Define("no_cutoff", "false",
                "disable the best-bound-first cutoff (exhaustive oracle arm)");
+  flags.Define("prescreen", "false",
+               "serve reads through the signature prescreen index");
+  flags.Define("prescreen_threshold", "0.1",
+               "prescreen admission threshold tau");
+  flags.Define("compare", "0",
+               "after the closed loop, run N queries through BOTH arms "
+               "(scan + prescreen) and verify identical results");
   flags.Define("seed", "42", "workload seed");
   flags.Define("json", "", "write the results as JSON to this path");
   flags.Define("git_sha", "", "source revision stamped into the JSON");
@@ -73,6 +130,10 @@ int main(int argc, char** argv) {
   const auto requests = static_cast<uint64_t>(flags.GetInt("requests"));
   const auto clients =
       std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("clients")));
+  const bool prescreen = flags.GetBool("prescreen");
+  const double prescreen_threshold = flags.GetDouble("prescreen_threshold");
+  const auto compare_queries =
+      static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt("compare")));
   const auto method = csj::ParseMethod(flags.GetString("method"));
   if (!method.has_value() || !csj::IsExact(*method)) {
     std::fprintf(stderr, "--method must name an exact (Ex-*) method\n");
@@ -90,12 +151,22 @@ int main(int argc, char** argv) {
   server_options.catalog.cache = &cache;
   server_options.catalog.warm_eps =
       static_cast<csj::Epsilon>(flags.GetInt("eps"));
+  if (prescreen || compare_queries > 0) {
+    // Either arm needs sketches resident; scan-mode queries ignore them.
+    server_options.catalog.signatures = csj::SignatureOptions{};
+  }
 
   csj::service::WorkloadOptions workload_options;
-  workload_options.catalog_size =
-      std::max<uint32_t>(2, static_cast<uint32_t>(flags.GetInt("catalog")));
+  workload_options.catalog_size = std::max<uint32_t>(
+      2, static_cast<uint32_t>(flags.GetInt("catalog_size") > 0
+                                   ? flags.GetInt("catalog_size")
+                                   : flags.GetInt("catalog")));
   workload_options.community_size =
       std::max<uint32_t>(16, static_cast<uint32_t>(flags.GetInt("size")));
+  workload_options.cluster_size =
+      std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("cluster")));
+  workload_options.plant_lo = flags.GetDouble("plant_lo");
+  workload_options.plant_hi = flags.GetDouble("plant_hi");
   workload_options.eps = static_cast<csj::Epsilon>(flags.GetInt("eps"));
   workload_options.upsert_fraction = flags.GetDouble("upsert_fraction");
   workload_options.remove_fraction = flags.GetDouble("remove_fraction");
@@ -109,6 +180,8 @@ int main(int argc, char** argv) {
   topk.join.eps = workload_options.eps;
   topk.join.cache = &cache;
   topk.use_bound_cutoff = !flags.GetBool("no_cutoff");
+  topk.prescreen = prescreen;
+  topk.prescreen_threshold = prescreen_threshold;
   topk.query_threads = std::max<uint32_t>(
       1, static_cast<uint32_t>(flags.GetInt("query_threads")));
 
@@ -142,6 +215,9 @@ int main(int argc, char** argv) {
           case csj::service::ServeStatus::kOk:
             ++mine.ok;
             mine.latencies_ms.push_back(latency.Millis());
+            mine.prescreen_probed += response.topk.stats.prescreen_probed;
+            mine.prescreen_skipped += response.topk.stats.prescreen_skipped;
+            mine.fallbacks += response.topk.stats.fallback;
             break;
           case csj::service::ServeStatus::kRejected:
             ++mine.rejected;
@@ -162,6 +238,57 @@ int main(int argc, char** argv) {
   const double seconds = wall.Seconds();
   server.Shutdown();
 
+  // The compare arms: on the now-quiesced catalog, run the same queries
+  // through exhaustive scan and through prescreen, byte-compare the
+  // rankings, and time each arm. This is the exactness + probed-fraction
+  // + wall-time evidence the prescreen_smoke gate checks.
+  bool compare_identical = true;
+  uint64_t compare_probed = 0;
+  uint64_t compare_examined = 0;
+  uint64_t compare_fallbacks = 0;
+  std::vector<double> scan_ms;
+  std::vector<double> prescreen_ms;
+  if (compare_queries > 0) {
+    csj::util::Rng compare_rng(workload_options.seed ^
+                               0xC04BA9E5ULL);
+    csj::service::TopKOptions scan_arm = topk;
+    scan_arm.prescreen = false;
+    csj::service::TopKOptions prescreen_arm = topk;
+    prescreen_arm.prescreen = true;
+    for (uint32_t q = 0; q < compare_queries; ++q) {
+      csj::service::ServeRequest request;
+      // Draw from the same popularity distribution; churn rolls are
+      // re-rolled, not applied, so both arms see one frozen catalog.
+      do {
+        request = workload.NextRequest(compare_rng, topk);
+      } while (request.kind != csj::service::RequestKind::kTopK);
+      csj::util::Timer scan_timer;
+      const csj::service::TopKResult scan =
+          server.topk().Query(*request.community, scan_arm);
+      scan_ms.push_back(scan_timer.Millis());
+      csj::util::Timer prescreen_timer;
+      const csj::service::TopKResult screened =
+          server.topk().Query(*request.community, prescreen_arm);
+      prescreen_ms.push_back(prescreen_timer.Millis());
+      compare_identical =
+          compare_identical && scan.entries == screened.entries;
+      compare_probed += screened.stats.prescreen_probed;
+      compare_examined += screened.stats.prescreen_probed +
+                          screened.stats.prescreen_skipped;
+      compare_fallbacks += screened.stats.fallback;
+    }
+  }
+  const ArmSummary scan_summary = SummarizeArm(scan_ms);
+  const ArmSummary prescreen_summary = SummarizeArm(prescreen_ms);
+  const double compare_probed_fraction =
+      compare_examined > 0 ? static_cast<double>(compare_probed) /
+                                 static_cast<double>(compare_examined)
+                           : 0.0;
+  const bool prescreen_faster =
+      compare_queries > 0 && prescreen_summary.seconds < scan_summary.seconds;
+  const bool probed_fraction_ok =
+      compare_queries > 0 && compare_probed_fraction < 0.10;
+
   // Merge in client order; totals are deterministic for a fixed seed and
   // request budget (which client issued which request is not).
   ClientResult total;
@@ -170,6 +297,9 @@ int main(int argc, char** argv) {
     total.rejected += r.rejected;
     total.deadline_expired += r.deadline_expired;
     total.not_found += r.not_found;
+    total.prescreen_probed += r.prescreen_probed;
+    total.prescreen_skipped += r.prescreen_skipped;
+    total.fallbacks += r.fallbacks;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               r.latencies_ms.begin(), r.latencies_ms.end());
   }
@@ -217,6 +347,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache_stats.misses),
               cache_stats.HitRate() * 100.0,
               csj::util::SecondsCell(populate_seconds).c_str());
+  if (prescreen) {
+    const uint64_t swept = total.prescreen_probed + total.prescreen_skipped;
+    std::printf("prescreen: probed %llu / %llu swept (%.2f%%), %llu "
+                "fallbacks\n",
+                static_cast<unsigned long long>(total.prescreen_probed),
+                static_cast<unsigned long long>(swept),
+                swept > 0 ? 100.0 * static_cast<double>(
+                                        total.prescreen_probed) /
+                                static_cast<double>(swept)
+                          : 0.0,
+                static_cast<unsigned long long>(total.fallbacks));
+  }
+  if (compare_queries > 0) {
+    std::printf(
+        "compare (%u queries): identical %s; scan p99 %.2f ms (%.2f q/s) "
+        "vs prescreen p99 %.2f ms (%.2f q/s); probed %.2f%% of catalog, "
+        "%llu fallbacks\n",
+        compare_queries, compare_identical ? "true" : "FALSE",
+        scan_summary.p99_ms, scan_summary.qps, prescreen_summary.p99_ms,
+        prescreen_summary.qps, 100.0 * compare_probed_fraction,
+        static_cast<unsigned long long>(compare_fallbacks));
+  }
   std::printf("serve_ok: %s\n", serve_ok ? "true" : "false");
 
   const std::string json_path = flags.GetString("json");
@@ -234,6 +386,9 @@ int main(int argc, char** argv) {
     json.Int(static_cast<int64_t>(sysconf(_SC_NPROCESSORS_ONLN)));
     json.Key("catalog"); json.Uint(workload_options.catalog_size);
     json.Key("community_size"); json.Uint(workload_options.community_size);
+    json.Key("cluster"); json.Uint(workload_options.cluster_size);
+    json.Key("plant_lo"); json.Double(workload_options.plant_lo);
+    json.Key("plant_hi"); json.Double(workload_options.plant_hi);
     json.Key("k"); json.Uint(topk.k);
     json.Key("eps"); json.Uint(workload_options.eps);
     json.Key("method"); json.String(csj::MethodName(topk.method));
@@ -273,11 +428,49 @@ int main(int argc, char** argv) {
     json.Key("hit_rate"); json.Double(cache_stats.HitRate());
     json.EndObject();
     json.Key("server_accepted"); json.Uint(server_stats.accepted);
+    json.Key("prescreen");
+    json.BeginObject();
+    json.Key("enabled"); json.Bool(prescreen);
+    json.Key("threshold"); json.Double(prescreen_threshold);
+    json.Key("probed"); json.Uint(total.prescreen_probed);
+    json.Key("skipped"); json.Uint(total.prescreen_skipped);
+    json.Key("fallbacks"); json.Uint(total.fallbacks);
+    json.EndObject();
+    if (compare_queries > 0) {
+      json.Key("prescreen_compare");
+      json.BeginObject();
+      json.Key("queries"); json.Uint(compare_queries);
+      json.Key("compare_identical"); json.Bool(compare_identical);
+      // The acceptance evidence: entries the prescreen arm fed to the
+      // exact path vs entries resident (the index sweeps them all).
+      json.Key("prescreen_probed"); json.Uint(compare_probed);
+      json.Key("catalog_entries"); json.Uint(compare_examined);
+      json.Key("probed_fraction"); json.Double(compare_probed_fraction);
+      json.Key("probed_fraction_ok"); json.Bool(probed_fraction_ok);
+      json.Key("fallbacks"); json.Uint(compare_fallbacks);
+      json.Key("prescreen_faster"); json.Bool(prescreen_faster);
+      json.Key("scan");
+      json.BeginObject();
+      json.Key("seconds"); json.Double(scan_summary.seconds);
+      json.Key("qps"); json.Double(scan_summary.qps);
+      json.Key("p50_ms"); json.Double(scan_summary.p50_ms);
+      json.Key("p99_ms"); json.Double(scan_summary.p99_ms);
+      json.EndObject();
+      json.Key("prescreen");
+      json.BeginObject();
+      json.Key("seconds"); json.Double(prescreen_summary.seconds);
+      json.Key("qps"); json.Double(prescreen_summary.qps);
+      json.Key("p50_ms"); json.Double(prescreen_summary.p50_ms);
+      json.Key("p99_ms"); json.Double(prescreen_summary.p99_ms);
+      json.EndObject();
+      json.EndObject();
+    }
     json.Key("serve_ok"); json.Bool(serve_ok);
     json.EndObject();
     std::ofstream out(json_path);
     out << json.Take() << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return serve_ok ? 0 : 1;
+  // A compare mismatch is a correctness failure, not a perf blip.
+  return (serve_ok && compare_identical) ? 0 : 1;
 }

@@ -5,6 +5,12 @@
 #   BENCH_pipeline.json       - ablation arms + cached all-pairs sweep
 #   BENCH_micro_kernels.json  - google-benchmark JSON for the hot kernels
 #   BENCH_serve.json          - serving throughput + latency percentiles
+#                               (+ scan-vs-prescreen compare on the small
+#                               catalog, where fallback dominates)
+#   BENCH_serve_large.json    - the 100k-entry prescreen scenario: serve
+#                               loop in prescreen mode plus the compare
+#                               arms, reporting probed fraction and
+#                               scan-vs-prescreen qps/p99
 #
 # Numbers from non-Release builds are meaningless, so the script verifies
 # the build tree's CMAKE_BUILD_TYPE and refuses to run otherwise. Every
@@ -56,8 +62,17 @@ echo
 echo "== csj_serve (catalog serving: throughput + latency percentiles) =="
 "${build_dir}/tools/csj_serve" \
   --catalog=24 --size=150 --requests=400 --clients=4 --workers=2 \
-  --zipf=1.1 --upsert_fraction=0.05 \
+  --zipf=1.1 --upsert_fraction=0.05 --compare=8 \
   --json=BENCH_serve.json \
+  --git_sha="${git_sha}" --build_type="${build_type}"
+
+echo
+echo "== csj_serve large (100k-entry catalog: prescreen candidate generation) =="
+"${build_dir}/tools/csj_serve" \
+  --catalog_size=100000 --size=40 --cluster=12 --plant_lo=0.5 \
+  --plant_hi=0.8 --k=5 --requests=150 --clients=2 --workers=2 \
+  --zipf=1.1 --upsert_fraction=0 --prescreen=true --compare=6 \
+  --json=BENCH_serve_large.json \
   --git_sha="${git_sha}" --build_type="${build_type}"
 
 echo
@@ -66,4 +81,4 @@ script_dir="$(dirname "$0")"
 sh "${script_dir}/ci_perf_smoke.sh" --check-json BENCH_pipeline.json
 
 echo
-echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json and BENCH_serve.json (${git_sha}, ${build_type})"
+echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json, BENCH_serve.json and BENCH_serve_large.json (${git_sha}, ${build_type})"

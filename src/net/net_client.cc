@@ -1,0 +1,79 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace csj::net {
+
+std::unique_ptr<NetClient> NetClient::Connect(const std::string& host,
+                                              uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<NetClient>(new NetClient(fd));
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool NetClient::Call(const WireRequest& request, WireResponse* response) {
+  if (fd_ < 0) return false;
+  const uint32_t request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  EncodeRequestFrame(request_id, request, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+    bytes_sent_ += static_cast<uint64_t>(n);
+  }
+
+  uint8_t buffer[64 * 1024];
+  while (true) {
+    DecodedFrame decoded;
+    const WireStatus status = decoder_.Next(&decoded);
+    if (status == WireStatus::kOk) {
+      // One request in flight: the only legal frame is OUR response.
+      if (decoded.type != FrameType::kResponse ||
+          decoded.request_id != request_id) {
+        return false;
+      }
+      *response = std::move(decoded.response);
+      return true;
+    }
+    if (status != WireStatus::kNeedMore) return false;
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error mid-response
+    }
+    bytes_received_ += static_cast<uint64_t>(n);
+    decoder_.Feed(buffer, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace csj::net

@@ -1,0 +1,49 @@
+#ifndef CSJ_NET_NET_CLIENT_H_
+#define CSJ_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/wire.h"
+
+namespace csj::net {
+
+/// A blocking request/response client for one NetServer connection. One
+/// request is in flight at a time (Call sends, then reads until the
+/// matching response id arrives); drive concurrency by giving each client
+/// thread its own NetClient, exactly like the csj_serve closed loop does.
+/// Not thread-safe.
+class NetClient {
+ public:
+  /// Connects (blocking). Returns null when the server is unreachable.
+  static std::unique_ptr<NetClient> Connect(const std::string& host,
+                                            uint16_t port);
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Sends one request frame and blocks for its response. Returns false
+  /// on any transport or framing failure — the connection is dead then
+  /// (length-prefixed streams cannot resync) and the client must be
+  /// discarded.
+  bool Call(const WireRequest& request, WireResponse* response);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  FrameDecoder decoder_;
+  uint32_t next_request_id_ = 1;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace csj::net
+
+#endif  // CSJ_NET_NET_CLIENT_H_

@@ -78,6 +78,11 @@ uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
   entry.version = next_version_.fetch_add(1, std::memory_order_acq_rel);
   const uint32_t shard_index = ShardIndexOf(id);
   Shard& shard = shards_[shard_index];
+  // Mutation clock: `started` ticks BEFORE the install is visible to any
+  // reader, `finished` after it is complete — the expensive lock-free
+  // pre-work above changes no catalog state, so it stays outside the
+  // started/finished window and tagged readers are not invalidated by it.
+  mutations_started_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::unique_lock lock(shard.mu);
     shard.entries[id] = entry;
@@ -88,6 +93,7 @@ uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
                                 entry.signature);
     }
   }
+  mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
   upserts_.fetch_add(1, std::memory_order_relaxed);
   return entry.version;
 }
@@ -96,6 +102,10 @@ bool CommunityCatalog::Remove(uint64_t id) {
   const uint32_t shard_index = ShardIndexOf(id);
   Shard& shard = shards_[shard_index];
   bool removed = false;
+  // The clock must tick before we can know whether the id is resident, so
+  // a Remove of an absent id ticks too: a spurious invalidation for
+  // tagged readers, never a missed one.
+  mutations_started_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::unique_lock lock(shard.mu);
     removed = shard.entries.erase(id) > 0;
@@ -103,6 +113,7 @@ bool CommunityCatalog::Remove(uint64_t id) {
       signature_index_->Remove(shard_index, id);
     }
   }
+  mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
   if (removed) removes_.fetch_add(1, std::memory_order_relaxed);
   return removed;
 }

@@ -160,6 +160,35 @@ class CommunityCatalog {
     return next_version_.load(std::memory_order_acquire) - 1;
   }
 
+  /// The MUTATION CLOCK: two monotonic counters bumped around every
+  /// state-changing operation (Upsert and Remove — including a Remove of
+  /// an absent id, which spuriously ticks but never lies). `started` is
+  /// incremented BEFORE the operation touches any shard; `finished` AFTER
+  /// its effects are fully installed. Always finished <= started; they
+  /// are equal exactly when the catalog is quiescent.
+  ///
+  /// The clock is what makes version-tagged read results (the server's
+  /// hot-query result cache, its shared snapshot) provably safe:
+  ///
+  ///   f1 = mutations_finished();      // BEFORE the read
+  ///   ... snapshot / compute ...
+  ///   s2 = mutations_started();       // AFTER the read
+  ///
+  /// If f1 == s2, every mutation that ever started had fully finished
+  /// before the read began (finished <= started is monotone), and none
+  /// started while it ran — the read observed ONE stable state, uniquely
+  /// named by the tag f1. A tagged artifact may be reused as long as
+  /// mutations_started() still equals its tag: no mutation has begun
+  /// since the stable state it captured, so the state is bit-identical.
+  /// Any in-flight or later mutation bumps `started` first and the tag
+  /// check fails — invalidation costs one relaxed load.
+  uint64_t mutations_started() const {
+    return mutations_started_.load(std::memory_order_acquire);
+  }
+  uint64_t mutations_finished() const {
+    return mutations_finished_.load(std::memory_order_acquire);
+  }
+
   /// Pins the current entry of `entry_id` and builds a live incremental
   /// session for (query, entry): the query community's users are seeded
   /// as the initial subscribers (handles 0..n-1 in user order), further
@@ -222,6 +251,10 @@ class CommunityCatalog {
   std::unique_ptr<SignatureIndex> signature_index_;
   /// Next version to issue; versions are catalog-wide and monotonic.
   std::atomic<uint64_t> next_version_{1};
+  /// The mutation clock (see mutations_started()). Bumped around BOTH
+  /// mutating entry points so tagged readers detect any concurrent churn.
+  std::atomic<uint64_t> mutations_started_{0};
+  std::atomic<uint64_t> mutations_finished_{0};
   std::atomic<uint64_t> upserts_{0};
   std::atomic<uint64_t> removes_{0};
   mutable std::atomic<uint64_t> snapshots_{0};

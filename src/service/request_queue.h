@@ -1,20 +1,22 @@
 #ifndef CSJ_SERVICE_REQUEST_QUEUE_H_
 #define CSJ_SERVICE_REQUEST_QUEUE_H_
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
 namespace csj::service {
 
 /// Bounded multi-producer / multi-consumer queue with reject-on-full
-/// admission control.
+/// admission control and DEADLINE-AWARE (EDF) ordering.
 ///
 /// The producer side NEVER blocks: TryPush either enqueues or returns
 /// false immediately (counted in `rejected()`), so a traffic spike sheds
@@ -22,9 +24,20 @@ namespace csj::service {
 /// admission-control contract the server builds on. The consumer side
 /// blocks in Pop until an item or Close() arrives; Close() lets already-
 /// queued items drain (Pop returns nullopt only when closed AND empty).
+///
+/// Ordering: Pop returns the item with the EARLIEST DEADLINE first
+/// (classic EDF), so a tight-deadline request admitted behind a burst is
+/// served next instead of expiring in line. Items without a deadline sort
+/// as "deadline = infinity": they run after every deadlined item currently
+/// queued, and KEEP ARRIVAL ORDER among themselves (a monotonic admission
+/// sequence number breaks every tie, so the order is total and
+/// deterministic — with no deadlines in the mix the queue degenerates to
+/// exact FIFO). Deadlines are fixed at admission; the heap never re-keys.
 template <typename T>
 class BoundedRequestQueue {
  public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
   explicit BoundedRequestQueue(size_t capacity) : capacity_(capacity) {
     CSJ_CHECK_GT(capacity, size_t{0});
   }
@@ -34,40 +47,54 @@ class BoundedRequestQueue {
 
   /// Enqueues `item` unless the queue is full or closed. Acquires the
   /// lock but never waits for space: the caller learns the verdict in
-  /// O(1) and keeps its latency budget.
-  bool TryPush(T item) {
+  /// O(log n) and keeps its latency budget. `deadline` (nullopt = none)
+  /// is the EDF key; it should match the deadline the consumer enforces.
+  bool TryPush(T item, std::optional<TimePoint> deadline = std::nullopt) {
+    bool pushed = false;
     {
       std::lock_guard lock(mutex_);
       if (!closed_ && items_.size() < capacity_) {
-        items_.push_back(std::move(item));
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        // Unlock before notify would be a micro-optimization; keeping the
-        // notify under the lock is the simple, provably race-free shape.
-        ready_.notify_one();
-        return true;
+        items_.push_back(Slot{deadline, next_sequence_++, std::move(item)});
+        std::push_heap(items_.begin(), items_.end(), SlotAfter{});
+        high_water_ = std::max(high_water_, items_.size());
+        pushed = true;
       }
+    }
+    // Notify OUTSIDE the critical section: a consumer woken while the
+    // producer still holds the mutex would immediately block on it (the
+    // "hurry up and wait" pattern). Waiters re-check the predicate under
+    // the lock, so no wakeup is lost — if the consumer checks between our
+    // unlock and notify it simply finds the item already queued.
+    if (pushed) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      ready_.notify_one();
+      return true;
     }
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
-  /// Dequeues the oldest item, blocking while the queue is open and
-  /// empty. Returns nullopt once the queue is closed and drained — the
+  /// Dequeues the earliest-deadline item (arrival order among equals and
+  /// the deadline-free), blocking while the queue is open and empty.
+  /// Returns nullopt once the queue is closed and drained — the
   /// consumer's shutdown signal.
   std::optional<T> Pop() {
     std::unique_lock lock(mutex_);
     ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::pop_heap(items_.begin(), items_.end(), SlotAfter{});
+    T item = std::move(items_.back().item);
+    items_.pop_back();
     return item;
   }
 
   /// Rejects all future pushes and wakes every blocked consumer; queued
   /// items remain poppable until drained.
   void Close() {
-    std::lock_guard lock(mutex_);
-    closed_ = true;
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
     ready_.notify_all();
   }
 
@@ -78,6 +105,13 @@ class BoundedRequestQueue {
     return items_.size();
   }
 
+  /// Largest queue depth ever observed (monotonic; the server's
+  /// backlog-pressure stat).
+  size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+
   uint64_t accepted() const {
     return accepted_.load(std::memory_order_relaxed);
   }
@@ -86,10 +120,34 @@ class BoundedRequestQueue {
   }
 
  private:
+  /// Heap slot: the EDF key is (deadline, admission sequence); no
+  /// deadline sorts after every real one.
+  struct Slot {
+    std::optional<TimePoint> deadline;
+    uint64_t sequence = 0;
+    T item;
+  };
+
+  /// "x is served after y" — the comparator for a std::push_heap max-heap
+  /// whose top is therefore the item served FIRST.
+  struct SlotAfter {
+    bool operator()(const Slot& x, const Slot& y) const {
+      if (x.deadline.has_value() != y.deadline.has_value()) {
+        return x.deadline.has_value() < y.deadline.has_value();
+      }
+      if (x.deadline.has_value() && *x.deadline != *y.deadline) {
+        return *x.deadline > *y.deadline;
+      }
+      return x.sequence > y.sequence;
+    }
+  };
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<T> items_;
+  std::vector<Slot> items_;  ///< binary heap ordered by SlotAfter
+  uint64_t next_sequence_ = 0;
+  size_t high_water_ = 0;
   bool closed_ = false;
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};

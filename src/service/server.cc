@@ -1,12 +1,37 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "core/encoding_cache.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace csj::service {
+
+namespace {
+
+/// The result-cache identity of one kTopK request at one stable catalog
+/// state. Everything that can change the ranking is in the key; the
+/// query's identity is its CONTENT fingerprint (same as the encoding
+/// cache), so two producers submitting equal communities share hits and a
+/// mutated community can never alias a stale entry.
+ResultCacheKey MakeResultCacheKey(uint64_t clock_tag,
+                                  const ServeRequest& request) {
+  ResultCacheKey key;
+  key.state_version = clock_tag;
+  key.query_fingerprint = DigestCommunity(*request.community).fingerprint;
+  key.k = std::max(request.topk.k, 1u);
+  key.eps = request.topk.join.eps;
+  key.method = static_cast<uint16_t>(request.topk.method);
+  key.prescreen = request.topk.prescreen ? 1 : 0;
+  key.use_bound_cutoff = request.topk.use_bound_cutoff ? 1 : 0;
+  key.prescreen_threshold = request.topk.prescreen_threshold;
+  return key;
+}
+
+}  // namespace
 
 const char* ServeStatusName(ServeStatus status) {
   switch (status) {
@@ -22,6 +47,9 @@ CsjServer::CsjServer(Options options) : options_(std::move(options)) {
   options_.workers = std::max(options_.workers, 1u);
   catalog_ = std::make_unique<CommunityCatalog>(options_.catalog);
   topk_ = std::make_unique<TopKSimilarService>(catalog_.get());
+  if (options_.result_cache) {
+    cache_ = std::make_unique<TopKResultCache>(options_.result_cache_options);
+  }
   queue_ = std::make_unique<BoundedRequestQueue<QueuedRequest>>(
       options_.queue_capacity);
   workers_.reserve(options_.workers);
@@ -39,10 +67,7 @@ void CsjServer::Shutdown() {
   workers_.clear();
 }
 
-bool CsjServer::Submit(ServeRequest request,
-                       std::future<ServeResponse>* response) {
-  QueuedRequest queued;
-  queued.request = std::move(request);
+bool CsjServer::Enqueue(QueuedRequest queued) {
   queued.admitted = std::chrono::steady_clock::now();
   if (queued.request.deadline_seconds > 0.0) {
     queued.deadline =
@@ -50,10 +75,27 @@ bool CsjServer::Submit(ServeRequest request,
                               std::chrono::duration<double>(
                                   queued.request.deadline_seconds));
   }
+  const std::optional<Deadline> deadline = queued.deadline;
+  return queue_->TryPush(std::move(queued), deadline);
+}
+
+bool CsjServer::Submit(ServeRequest request,
+                       std::future<ServeResponse>* response) {
+  QueuedRequest queued;
+  queued.request = std::move(request);
   std::future<ServeResponse> future = queued.promise.get_future();
-  if (!queue_->TryPush(std::move(queued))) return false;
+  if (!Enqueue(std::move(queued))) return false;
   if (response != nullptr) *response = std::move(future);
   return true;
+}
+
+bool CsjServer::Submit(ServeRequest request,
+                       std::function<void(ServeResponse)> done) {
+  CSJ_CHECK(done != nullptr);
+  QueuedRequest queued;
+  queued.request = std::move(request);
+  queued.callback = std::move(done);
+  return Enqueue(std::move(queued));
 }
 
 ServeResponse CsjServer::SubmitAndWait(ServeRequest request) {
@@ -71,11 +113,103 @@ void CsjServer::WorkerLoop() {
     std::optional<QueuedRequest> queued = queue_->Pop();
     if (!queued.has_value()) return;  // closed and drained
     ServeResponse response = Execute(*queued);
+    response.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (response.status == ServeStatus::kDeadlineExpired) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
     }
-    queued->promise.set_value(std::move(response));
+    RecordLatency(response.status, response.total_seconds);
+    if (queued->callback != nullptr) {
+      queued->callback(std::move(response));
+    } else {
+      queued->promise.set_value(std::move(response));
+    }
+  }
+}
+
+TopKResult CsjServer::QueryStableScan(
+    const Community& query, const TopKOptions& options,
+    const std::optional<Deadline>& deadline, bool stable,
+    uint64_t clock_tag) {
+  // The prescreen path probes the signature index instead of
+  // snapshotting; snapshot sharing only applies to scan-mode queries
+  // (same inertness conditions as TopKSimilarService::Query).
+  if (options.prescreen && catalog_->signature_options() != nullptr &&
+      !query.empty()) {
+    return topk_->Query(query, options, deadline);
+  }
+  std::shared_ptr<const std::vector<CatalogEntry>> snapshot;
+  if (stable) {
+    std::lock_guard lock(snapshot_mu_);
+    if (snapshot_tag_ == clock_tag && snapshot_ != nullptr) {
+      snapshot = snapshot_;
+    }
+  }
+  if (snapshot != nullptr) {
+    snapshot_reuses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    snapshot = std::make_shared<const std::vector<CatalogEntry>>(
+        catalog_->Snapshot());
+    // Publish for reuse only when the snapshot provably captured the
+    // stable state `clock_tag` (no mutation began while we built it).
+    if (stable && catalog_->mutations_started() == clock_tag) {
+      std::lock_guard lock(snapshot_mu_);
+      snapshot_tag_ = clock_tag;
+      snapshot_ = snapshot;
+    }
+  }
+  return topk_->QuerySnapshot(query, *snapshot, options, deadline);
+}
+
+void CsjServer::ExecuteTopK(const QueuedRequest& queued,
+                            ServeResponse* response) {
+  const ServeRequest& request = queued.request;
+
+  // Stability probe (see catalog.h): f1 == started means the catalog is
+  // quiescent at clock tag f1 right now; only then can a cached ranking
+  // be named, looked up, or installed.
+  const uint64_t clock_tag = catalog_->mutations_finished();
+  const bool stable = catalog_->mutations_started() == clock_tag;
+
+  ResultCacheKey key;
+  if (cache_ != nullptr && stable) {
+    key = MakeResultCacheKey(clock_tag, request);
+    if (TopKResultCache::Ranking hit = cache_->Lookup(key)) {
+      // Hit: the tag still matching `started` (checked when `stable` was
+      // computed) proves the catalog state is bit-identical to the one
+      // the ranking was computed against; serving it IS recomputing it.
+      response->topk.entries = *hit;
+      response->status = ServeStatus::kOk;
+      response->cache_hit = true;
+      response->state_version = clock_tag;
+      return;
+    }
+  }
+  if (cache_ != nullptr && !stable) {
+    cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  response->topk = QueryStableScan(*request.community, request.topk,
+                                   queued.deadline, stable, clock_tag);
+  response->status = response->topk.deadline_expired
+                         ? ServeStatus::kDeadlineExpired
+                         : ServeStatus::kOk;
+
+  // Install on the way out: complete rankings only (a deadline partial is
+  // not THE answer at this state), and only when no mutation started
+  // while we computed — otherwise the result may straddle two states and
+  // must not be named by either.
+  if (cache_ != nullptr && stable &&
+      response->status == ServeStatus::kOk) {
+    if (catalog_->mutations_started() == clock_tag) {
+      response->state_version = clock_tag;
+      cache_->Insert(key,
+                     std::make_shared<const std::vector<TopKEntry>>(
+                         response->topk.entries));
+    }
+  } else if (stable && catalog_->mutations_started() == clock_tag &&
+             response->status == ServeStatus::kOk) {
+    response->state_version = clock_tag;
   }
 }
 
@@ -96,11 +230,7 @@ ServeResponse CsjServer::Execute(QueuedRequest& queued) {
     switch (request.kind) {
       case RequestKind::kTopK: {
         CSJ_CHECK(request.community != nullptr);
-        response.topk = topk_->Query(*request.community, request.topk,
-                                     queued.deadline);
-        response.status = response.topk.deadline_expired
-                              ? ServeStatus::kDeadlineExpired
-                              : ServeStatus::kOk;
+        ExecuteTopK(queued, &response);
         break;
       }
       case RequestKind::kUpsert: {
@@ -126,12 +256,38 @@ ServeResponse CsjServer::Execute(QueuedRequest& queued) {
   return response;
 }
 
+void CsjServer::RecordLatency(ServeStatus status, double seconds) {
+  LatencyRecorder& recorder = latency_[static_cast<uint8_t>(status)];
+  const double ms = std::max(seconds * 1e3, 1e-4);
+  std::lock_guard lock(recorder.mu);
+  recorder.log_ms.Add(std::log10(ms));
+  recorder.max_ms = std::max(recorder.max_ms, ms);
+  ++recorder.count;
+}
+
+CsjServer::StatusLatency CsjServer::LatencyOf(ServeStatus status) const {
+  const LatencyRecorder& recorder = latency_[static_cast<uint8_t>(status)];
+  StatusLatency latency;
+  std::lock_guard lock(recorder.mu);
+  latency.count = recorder.count;
+  if (recorder.count == 0) return latency;
+  latency.p50_ms = std::pow(10.0, recorder.log_ms.Quantile(0.50));
+  latency.p95_ms = std::pow(10.0, recorder.log_ms.Quantile(0.95));
+  latency.p99_ms = std::pow(10.0, recorder.log_ms.Quantile(0.99));
+  latency.max_ms = recorder.max_ms;
+  return latency;
+}
+
 CsjServer::Stats CsjServer::GetStats() const {
   Stats stats;
   stats.accepted = queue_->accepted();
   stats.rejected = queue_->rejected();
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.queue_high_water = queue_->high_water();
+  stats.snapshot_reuses = snapshot_reuses_.load(std::memory_order_relaxed);
+  stats.cache_bypasses = cache_bypasses_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) stats.result_cache = cache_->GetStats();
   return stats;
 }
 

@@ -3,15 +3,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/community.h"
 #include "service/catalog.h"
 #include "service/request_queue.h"
+#include "service/result_cache.h"
 #include "service/topk.h"
+#include "util/histogram.h"
 
 namespace csj::service {
 
@@ -44,7 +48,8 @@ struct ServeRequest {
   /// Latency budget in seconds, measured from ADMISSION (TryPush), so
   /// queueing time counts against it — a request stuck behind a burst
   /// expires instead of consuming refine work nobody is waiting for.
-  /// 0 = no deadline.
+  /// 0 = no deadline. Also the queue's EDF key: tighter deadlines are
+  /// served first, deadline-free requests keep arrival order.
   double deadline_seconds = 0.0;
 };
 
@@ -54,6 +59,16 @@ struct ServeResponse {
   TopKResult topk;
   /// Version installed by kUpsert.
   uint64_t version = 0;
+  /// True when `topk.entries` was served from the versioned result cache
+  /// (byte-identical to recomputing; see TopKResultCache).
+  bool cache_hit = false;
+  /// The catalog mutation-clock tag the top-k ranking is exact against
+  /// (hits AND stable-state misses); 0 when the catalog was churning
+  /// around this request and no stable state can be named.
+  uint64_t state_version = 0;
+  /// Execution order: the n-th request a worker dequeued gets sequence n
+  /// (from 1). Exposes the queue's EDF ordering to tests and tracing.
+  uint64_t sequence = 0;
   /// Seconds from admission to execution start (queue wait) and to
   /// completion (what the client experienced).
   double queue_seconds = 0.0;
@@ -65,12 +80,27 @@ struct ServeResponse {
 /// CommunityCatalog / TopKSimilarService.
 ///
 /// Threading model: producers (any thread) call Submit, which either
-/// admits the request — returning a future the producer may wait on — or
-/// rejects it immediately when the queue is full. Workers pop requests
-/// and execute them one at a time; per-request parallelism comes from
+/// admits the request — returning a future the producer may wait on, or
+/// registering a completion callback — or rejects it immediately when the
+/// queue is full. Workers pop requests in EDF order (earliest deadline
+/// first; deadline-free requests keep arrival order) and execute them one
+/// at a time; per-request parallelism comes from
 /// TopKOptions::query_threads (usually 1 under heavy traffic — the
 /// workers ARE the parallelism), catalog mutations are safe by the
 /// catalog's own sharded locking.
+///
+/// Result cache: with Options::result_cache enabled, kTopK requests
+/// consult a TopKResultCache keyed on (catalog mutation-clock tag, query
+/// content fingerprint, k, eps, method, prescreen, threshold, cutoff). A
+/// hit skips the snapshot, the bound phase and every refine wave and is
+/// byte-identical to recomputing (the clock protocol in catalog.h proves
+/// the catalog state is bit-identical to the one the entry was computed
+/// against). Misses computed against a PROVEN-stable catalog are
+/// installed on the way out; while the catalog churns the cache is
+/// bypassed entirely (counted in Stats::cache_bypasses). Stable-state
+/// scan queries additionally share one catalog snapshot per clock tag
+/// (Stats::snapshot_reuses) so a burst of hot queries admitted at the
+/// same version pays for ONE Snapshot() instead of N.
 ///
 /// Deadlines are checked between request phases: after the queue wait,
 /// after the bound phase, and between refine waves. An expired request
@@ -81,6 +111,9 @@ class CsjServer {
     uint32_t workers = 2;          ///< dedicated worker threads (>= 1)
     size_t queue_capacity = 256;   ///< admission-control bound
     CommunityCatalog::Options catalog;
+    /// Enables the versioned hot-query result cache for kTopK requests.
+    bool result_cache = false;
+    TopKResultCache::Options result_cache_options;
   };
 
   /// Builds the catalog and starts the workers; the server is accepting
@@ -99,6 +132,13 @@ class CsjServer {
   /// sheds the request (counted in stats().rejected).
   bool Submit(ServeRequest request, std::future<ServeResponse>* response);
 
+  /// Callback-flavored admission for push-style callers (the network
+  /// front end): on completion the executing WORKER thread invokes
+  /// `done(response)` instead of fulfilling a future. Same admission
+  /// contract: false = rejected, `done` will never be called.
+  bool Submit(ServeRequest request,
+              std::function<void(ServeResponse)> done);
+
   /// Convenience for tests and simple callers: Submit + wait. A rejected
   /// request returns status kRejected instead of blocking.
   ServeResponse SubmitAndWait(ServeRequest request);
@@ -110,33 +150,87 @@ class CsjServer {
   const CommunityCatalog& catalog() const { return *catalog_; }
   CommunityCatalog& catalog() { return *catalog_; }
   const TopKSimilarService& topk() const { return *topk_; }
+  /// The versioned result cache, or nullptr when Options::result_cache
+  /// was off.
+  const TopKResultCache* result_cache() const { return cache_.get(); }
 
   struct Stats {
     uint64_t accepted = 0;
     uint64_t rejected = 0;
     uint64_t completed = 0;
     uint64_t deadline_expired = 0;
+    /// Deepest backlog the admission queue ever reached.
+    uint64_t queue_high_water = 0;
+    /// Stable-state scan queries served from a shared catalog snapshot.
+    uint64_t snapshot_reuses = 0;
+    /// kTopK requests that skipped the result cache because the catalog
+    /// mutation clock was unstable around them.
+    uint64_t cache_bypasses = 0;
+    /// Result-cache counters (all zero when the cache is off).
+    TopKResultCache::Stats result_cache;
   };
   Stats GetStats() const;
+
+  /// Latency summary of completed requests with `status`, measured
+  /// admission -> completion (what the client experienced). Quantiles
+  /// come from a log-scale histogram (~2% relative resolution from 100 ns
+  /// to 100 s); all zeros when no request finished with that status.
+  struct StatusLatency {
+    uint64_t count = 0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  StatusLatency LatencyOf(ServeStatus status) const;
 
  private:
   struct QueuedRequest {
     ServeRequest request;
     std::promise<ServeResponse> promise;
+    /// Non-null for callback-flavored submits; the promise is unused then.
+    std::function<void(ServeResponse)> callback;
     std::chrono::steady_clock::time_point admitted;
     std::optional<Deadline> deadline;
   };
 
+  /// One per-status latency recorder (log10-ms domain).
+  struct LatencyRecorder {
+    mutable std::mutex mu;
+    util::Histogram log_ms{-4.0, 5.0, 1024};
+    double max_ms = 0.0;
+    uint64_t count = 0;
+  };
+
+  bool Enqueue(QueuedRequest queued);
   void WorkerLoop();
   ServeResponse Execute(QueuedRequest& queued);
+  void ExecuteTopK(const QueuedRequest& queued, ServeResponse* response);
+  TopKResult QueryStableScan(const Community& query,
+                             const TopKOptions& options,
+                             const std::optional<Deadline>& deadline,
+                             bool stable, uint64_t clock_tag);
+  void RecordLatency(ServeStatus status, double seconds);
 
   Options options_;
   std::unique_ptr<CommunityCatalog> catalog_;
   std::unique_ptr<TopKSimilarService> topk_;
+  std::unique_ptr<TopKResultCache> cache_;
   std::unique_ptr<BoundedRequestQueue<QueuedRequest>> queue_;
   std::vector<std::thread> workers_;
+  /// Shared catalog snapshot for stable-state scan queries: valid while
+  /// the mutation clock still reads `snapshot_tag_`.
+  std::mutex snapshot_mu_;
+  uint64_t snapshot_tag_ = 0;
+  std::shared_ptr<const std::vector<CatalogEntry>> snapshot_;
+  /// Indexed by ServeStatus (kRejected's slot stays empty: rejected
+  /// requests never execute, the client measures those).
+  LatencyRecorder latency_[4];
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> sequence_{0};
+  std::atomic<uint64_t> snapshot_reuses_{0};
+  std::atomic<uint64_t> cache_bypasses_{0};
   std::atomic<bool> shutdown_{false};
 };
 

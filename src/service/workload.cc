@@ -6,6 +6,7 @@
 #include "data/community_sampler.h"
 #include "data/generator.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace csj::service {
 
@@ -44,40 +45,64 @@ ServeWorkload::ServeWorkload(const WorkloadOptions& options)
   options_.cluster_size = std::max(options_.cluster_size, 1u);
   options_.plant_lo = std::clamp(options_.plant_lo, 0.0, 1.0);
   options_.plant_hi = std::clamp(options_.plant_hi, options_.plant_lo, 1.0);
-  util::Rng rng(options_.seed);
-  communities_.reserve(options_.catalog_size);
-  for (uint32_t i = 0; i < options_.catalog_size; ++i) {
-    data::VkLikeGenerator gen(CategoryOf(i / options_.cluster_size));
-    const uint32_t size = JitteredSize(options_, rng);
-    Community community(gen.d());
-    if (i % options_.cluster_size == 0 || anchors_.empty()) {
-      anchors_.push_back(i);
-      community = data::MakeCommunity(gen, size, rng);
-    } else {
-      // Cluster member: plant a [plant_lo, plant_hi] slice of the
-      // anchor's audience (stepped, 5 grades) so the exact top-k has
-      // genuine, graded winners. Defaults reproduce the historical
-      // 0.15 + 0.05 * (i % 5) band exactly.
-      const Community& anchor = *communities_[anchors_.back()];
-      data::CoupleSpec spec;
-      spec.size_b = size;
-      spec.eps = options_.eps;
-      spec.target_similarity = CapPlantTarget(
-          options_.plant_lo + (options_.plant_hi - options_.plant_lo) *
-                                  (static_cast<double>(i % 5) / 4.0),
-          anchor, size);
-      community = data::PlantCommunityAgainst(anchor, gen, spec, rng);
-    }
+  const uint32_t n = options_.catalog_size;
+  const uint32_t cluster = options_.cluster_size;
+
+  // Per-community seed forking: community i's generator state depends
+  // only on (workload seed, i), never on which thread builds it or in
+  // what order, so the parallel build is bit-reproducible at every pool
+  // size (and a 1M-community catalog no longer takes a serial eternity).
+  util::Rng seeder(options_.seed);
+  std::vector<uint64_t> seeds(n);
+  for (uint64_t& seed : seeds) seed = seeder();
+
+  communities_.resize(n);
+  anchors_.reserve((n + cluster - 1) / cluster);
+  for (uint32_t i = 0; i < n; i += cluster) anchors_.push_back(i);
+
+  util::ThreadPool& pool = util::ThreadPool::Global();
+
+  // Phase 1: anchors, each drawn independently from its forked seed.
+  pool.Run(static_cast<uint32_t>(anchors_.size()), [&](uint32_t t) {
+    const uint32_t i = anchors_[t];
+    util::Rng rng(seeds[i]);
+    data::VkLikeGenerator gen(CategoryOf(i / cluster));
+    Community community =
+        data::MakeCommunity(gen, JitteredSize(options_, rng), rng);
     community.set_name("brand_" + std::to_string(i + 1));
-    communities_.push_back(
-        std::make_shared<const Community>(std::move(community)));
-  }
+    communities_[i] = std::make_shared<const Community>(std::move(community));
+  });
+
+  // Phase 2: cluster members, planted against their (now built) anchor:
+  // a [plant_lo, plant_hi] slice of the anchor's audience, stepped in 5
+  // grades, so the exact top-k has genuine, graded winners.
+  pool.Run(n, [&](uint32_t i) {
+    if (i % cluster == 0) return;  // anchor, built in phase 1
+    util::Rng rng(seeds[i]);
+    data::VkLikeGenerator gen(CategoryOf(i / cluster));
+    const uint32_t size = JitteredSize(options_, rng);
+    const Community& anchor = *communities_[i - i % cluster];
+    data::CoupleSpec spec;
+    spec.size_b = size;
+    spec.eps = options_.eps;
+    spec.target_similarity = CapPlantTarget(
+        options_.plant_lo + (options_.plant_hi - options_.plant_lo) *
+                                (static_cast<double>(i % 5) / 4.0),
+        anchor, size);
+    Community community = data::PlantCommunityAgainst(anchor, gen, spec, rng);
+    community.set_name("brand_" + std::to_string(i + 1));
+    communities_[i] = std::make_shared<const Community>(std::move(community));
+  });
 }
 
 void ServeWorkload::Populate(CsjServer* server) const {
-  for (uint32_t i = 0; i < communities_.size(); ++i) {
-    server->catalog().Upsert(i + 1, Community(*communities_[i]));
-  }
+  // Parallel install: catalog shards take per-shard locks, and seeded ids
+  // never collide, so entries can stream in concurrently. (The mutation
+  // clock ticks n times either way; nothing is serving yet.)
+  util::ThreadPool::Global().Run(
+      static_cast<uint32_t>(communities_.size()), [&](uint32_t i) {
+        server->catalog().Upsert(i + 1, Community(*communities_[i]));
+      });
 }
 
 std::shared_ptr<const Community> ServeWorkload::MintCommunity(

@@ -50,6 +50,11 @@ struct WorkloadOptions {
 
 /// Builds the seeded communities once, then mints requests on demand.
 ///
+/// Construction is parallel (anchors, then members, on the global pool)
+/// and bit-reproducible at any thread count: each community's generator
+/// is forked from the workload seed by index, so community i is the same
+/// bytes whether 1 or 64 threads built the catalog.
+///
 /// Thread-safety: the workload is immutable after construction;
 /// NextRequest touches only the caller's Rng and local state, so N
 /// closed-loop client threads each fork a child Rng and mint requests

@@ -11,9 +11,12 @@
 # the pointers live; that includes the matching oracle/differential,
 # matching-property and epsilon-boundary suites, plus the serving
 # subsystem's catalog/top-k/stress suites (copy-on-write entries pinned
-# across Remove, result buffers outliving catalog churn) and the
-# prescreen signature suites (packed sketch columns swapped on removal,
-# candidate lists holding (id, version) pairs across fallback reruns).
+# across Remove, result buffers outliving catalog churn), the prescreen
+# signature suites (packed sketch columns swapped on removal, candidate
+# lists holding (id, version) pairs across fallback reruns), the result
+# cache (shared rankings handed out across invalidation/eviction), and
+# the wire/net suites (FrameDecoder's lazily-compacted buffer, the
+# reactor's connection teardown racing in-flight worker responses).
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -eu

@@ -13,7 +13,12 @@
 # do), the prescreen arm must return byte-identical rankings to the
 # exhaustive scan, probe under 10% of the big catalog, and beat the scan
 # arm's wall clock — the sub-linear candidate generation either pays for
-# itself or the gate fails.
+# itself or the gate fails. Finally the net_smoke gate drives the whole
+# networked stack over loopback with the versioned result cache on: zero
+# rejects and decode/transport errors, both identity gates (cached arm
+# and net arm byte-identical to direct recompute), a >= 50% cache hit
+# rate under zipf-skewed traffic, and cache-hit p99 strictly below the
+# compute p99 — the cache either pays for itself or the gate fails.
 #
 # Usage:
 #   tools/ci_perf_smoke.sh [build-dir]          build + sweep + check
@@ -155,4 +160,30 @@ if ! grep -Eq '"prescreen_faster": ?true' "${prescreen_large_json}"; then
   exit 1
 fi
 echo "prescreen smoke gate passed: ${prescreen_small_json} ${prescreen_large_json}"
+
+# net_smoke: the binary wire protocol + result cache end to end. Every
+# request crosses loopback TCP (closed loop AND the identity probes);
+# zipf 1.1 traffic repeats hot queries so the versioned cache must reach
+# a 50% hit rate, serve hits with a lower p99 than computes, and stay
+# byte-identical to direct recompute under 5% upsert churn. csj_serve
+# exits non-zero itself when any identity gate fails; the greps keep the
+# report schema honest.
+net_json="${build_dir}/net_smoke.json"
+"${build_dir}/tools/csj_serve" \
+  --catalog=24 --size=150 --requests=400 --clients=4 --workers=2 \
+  --zipf=1.1 --upsert_fraction=0.05 --result_cache=true --net=true \
+  --compare=8 \
+  --json="${net_json}" \
+  --git_sha="${git_sha}" --build_type=Release
+for gate in \
+    '"rejected": ?0[,}]' '"decode_errors": ?0[,}]' \
+    '"transport_errors": ?0[,}]' '"net_identity": ?true' \
+    '"cache_identity": ?true' '"cache_hit_rate_ok": ?true' \
+    '"cache_hit_faster": ?true'; do
+  if ! grep -Eq "${gate}" "${net_json}"; then
+    echo "FAIL: ${gate} not satisfied in ${net_json}" >&2
+    exit 1
+  fi
+done
+echo "net smoke gate passed: ${net_json}"
 echo "perf smoke gate passed."

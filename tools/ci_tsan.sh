@@ -12,7 +12,12 @@
 # gate), plus the prescreen signature layer (concurrent sketch builds in
 # signature_test, and prescreen_test's IndexTracksCatalogUnderConcurrent-
 # Churn, which probes the signature index while writers churn the same
-# shard locks).
+# shard locks), the EDF request queue (request_queue_test's notify-
+# outside-lock producer/consumer stress is written for this gate), the
+# versioned result cache (result_cache_test's churn differential: readers
+# race an upserting writer through the cache), and the network front end
+# (net_test's loopback suites run the epoll reactor, the worker-thread
+# response encodes and the connection teardown under TSAN).
 # Configures a dedicated build tree with CSJ_ENABLE_TSAN=ON and runs the
 # relevant test binaries under TSAN.
 #
@@ -29,11 +34,12 @@ cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_test join_threads_test pipeline_test \
            encoding_cache_test matching_differential_test \
            catalog_test topk_service_test service_stress_test \
-           signature_test prescreen_test
+           signature_test prescreen_test \
+           request_queue_test result_cache_test net_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen|RequestQueue|ServerEdf|ResultCache|NetWire|NetLoopback'
 
 echo "TSAN gate passed."

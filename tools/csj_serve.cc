@@ -23,6 +23,19 @@
 // --compare=N additionally runs N queries through BOTH arms on the
 // quiesced catalog, verifies byte-identical results, and reports per-arm
 // rps/p50/p99 plus the probed fraction.
+//
+// Networked serving and the versioned result cache:
+//
+//   ./csj_serve --net --result_cache --zipf=1.1 --compare=8
+//
+// --net boots a loopback NetServer (binary wire protocol, epoll reactor)
+// in front of the same CsjServer and drives every client through a
+// NetClient connection instead of in-process Submit. --result_cache
+// enables the versioned hot-query result cache; ok top-k latencies are
+// split into cache-hit and compute (miss) populations. With --compare=N
+// the quiesced catalog additionally gets per-query identity gates: the
+// cached path and the networked path must both return rankings
+// byte-identical to a direct cache-off in-process query.
 
 #include <unistd.h>
 
@@ -30,6 +43,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,12 +51,16 @@
 #include "core/encoding_cache.h"
 #include "core/method.h"
 #include "core/signature.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "net/wire.h"
 #include "service/server.h"
 #include "service/workload.h"
 #include "util/flags.h"
 #include "util/format.h"
 #include "util/histogram.h"
 #include "util/json_writer.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -51,15 +69,40 @@ namespace {
 /// Per-client tallies, merged after the run (client order, deterministic).
 struct ClientResult {
   std::vector<double> latencies_ms;  ///< completed requests only
+  // ok top-k latencies split by result-cache outcome (both empty when the
+  // result cache is off): the hit population is what the cache buys, the
+  // miss population is the compute baseline it is measured against.
+  std::vector<double> hit_ms;
+  std::vector<double> miss_ms;
   uint64_t ok = 0;
   uint64_t rejected = 0;
   uint64_t deadline_expired = 0;
   uint64_t not_found = 0;
+  uint64_t cache_hits = 0;
+  uint64_t transport_errors = 0;  ///< net mode: dead connection mid-loop
   // Prescreen accounting summed over completed top-k responses.
   uint64_t prescreen_probed = 0;
   uint64_t prescreen_skipped = 0;
   uint64_t fallbacks = 0;
 };
+
+/// The wire view of a workload request (the net closed loop's encoder
+/// input). Per-request knobs cross the wire; server policy (cache
+/// pointers, pools) stays in the NetServer's template.
+csj::net::WireRequest ToWireRequest(const csj::service::ServeRequest& request) {
+  csj::net::WireRequest wire;
+  wire.kind = request.kind;
+  wire.id = request.id;
+  wire.community = request.community;
+  wire.k = request.topk.k;
+  wire.eps = request.topk.join.eps;
+  wire.method = request.topk.method;
+  wire.prescreen = request.topk.prescreen;
+  wire.use_bound_cutoff = request.topk.use_bound_cutoff;
+  wire.prescreen_threshold = request.topk.prescreen_threshold;
+  wire.deadline_seconds = request.deadline_seconds;
+  return wire;
+}
 
 /// One compare arm's latencies, p50/p99 via util::Histogram.
 struct ArmSummary {
@@ -120,7 +163,16 @@ int main(int argc, char** argv) {
                "prescreen admission threshold tau");
   flags.Define("compare", "0",
                "after the closed loop, run N queries through BOTH arms "
-               "(scan + prescreen) and verify identical results");
+               "(scan + prescreen) and verify identical results; with "
+               "--result_cache / --net also gates cached and networked "
+               "rankings against a direct cache-off query");
+  flags.Define("net", "false",
+               "serve the closed loop over loopback TCP (binary wire "
+               "protocol + epoll reactor) instead of in-process Submit");
+  flags.Define("result_cache", "false",
+               "enable the versioned hot-query result cache");
+  flags.Define("result_cache_capacity", "4096",
+               "total result-cache rankings across shards");
   flags.Define("seed", "42", "workload seed");
   flags.Define("json", "", "write the results as JSON to this path");
   flags.Define("git_sha", "", "source revision stamped into the JSON");
@@ -134,6 +186,8 @@ int main(int argc, char** argv) {
   const double prescreen_threshold = flags.GetDouble("prescreen_threshold");
   const auto compare_queries =
       static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt("compare")));
+  const bool use_net = flags.GetBool("net");
+  const bool use_result_cache = flags.GetBool("result_cache");
   const auto method = csj::ParseMethod(flags.GetString("method"));
   if (!method.has_value() || !csj::IsExact(*method)) {
     std::fprintf(stderr, "--method must name an exact (Ex-*) method\n");
@@ -151,6 +205,9 @@ int main(int argc, char** argv) {
   server_options.catalog.cache = &cache;
   server_options.catalog.warm_eps =
       static_cast<csj::Epsilon>(flags.GetInt("eps"));
+  server_options.result_cache = use_result_cache;
+  server_options.result_cache_options.capacity = std::max<size_t>(
+      1, static_cast<size_t>(flags.GetInt("result_cache_capacity")));
   if (prescreen || compare_queries > 0) {
     // Either arm needs sketches resident; scan-mode queries ignore them.
     server_options.catalog.signatures = csj::SignatureOptions{};
@@ -194,8 +251,20 @@ int main(int argc, char** argv) {
   workload.Populate(&server);
   const double populate_seconds = populate_timer.Seconds();
 
+  // The networked front door (loopback, ephemeral port). The template
+  // carries server policy; per-request knobs travel on the wire.
+  std::unique_ptr<csj::net::NetServer> net_server;
+  if (use_net) {
+    csj::net::NetServer::Options net_options;
+    net_options.topk_template = topk;
+    net_server = std::make_unique<csj::net::NetServer>(&server, net_options);
+    std::printf("net: listening on 127.0.0.1:%u\n", net_server->port());
+  }
+
   // The closed loop: each client forks an independent Rng stream and
-  // drives one request at a time until the shared budget is spent.
+  // drives one request at a time until the shared budget is spent — in
+  // process through SubmitAndWait, or through its own loopback connection
+  // in net mode (same request stream either way).
   std::vector<ClientResult> results(clients);
   std::atomic<uint64_t> issued{0};
   csj::util::Timer wall;
@@ -206,29 +275,66 @@ int main(int argc, char** argv) {
       csj::util::Rng rng(workload_options.seed ^
                          (0x9E3779B97F4A7C15ULL * (c + 1)));
       ClientResult& mine = results[c];
+      std::unique_ptr<csj::net::NetClient> net_client;
+      if (use_net) {
+        net_client =
+            csj::net::NetClient::Connect("127.0.0.1", net_server->port());
+        CSJ_CHECK(net_client != nullptr) << "client " << c
+                                         << " cannot reach loopback server";
+      }
       while (issued.fetch_add(1, std::memory_order_relaxed) < requests) {
         csj::service::ServeRequest request = workload.NextRequest(rng, topk);
+        const bool is_topk =
+            request.kind == csj::service::RequestKind::kTopK;
+        csj::service::ServeStatus status;
+        bool cache_hit = false;
+        uint32_t probed = 0;
+        uint32_t skipped = 0;
+        uint32_t fallback = 0;
         csj::util::Timer latency;
-        const csj::service::ServeResponse response =
-            server.SubmitAndWait(std::move(request));
-        switch (response.status) {
+        if (use_net) {
+          csj::net::WireResponse response;
+          if (!net_client->Call(ToWireRequest(request), &response)) {
+            ++mine.transport_errors;
+            break;  // dead connection: no resync, the client is done
+          }
+          status = response.status;
+          cache_hit = response.cache_hit;
+          probed = response.prescreen_probed;
+          skipped = response.prescreen_skipped;
+          fallback = response.fallback;
+        } else {
+          const csj::service::ServeResponse response =
+              server.SubmitAndWait(std::move(request));
+          status = response.status;
+          cache_hit = response.cache_hit;
+          probed = response.topk.stats.prescreen_probed;
+          skipped = response.topk.stats.prescreen_skipped;
+          fallback = response.topk.stats.fallback;
+        }
+        const double ms = latency.Millis();
+        switch (status) {
           case csj::service::ServeStatus::kOk:
             ++mine.ok;
-            mine.latencies_ms.push_back(latency.Millis());
-            mine.prescreen_probed += response.topk.stats.prescreen_probed;
-            mine.prescreen_skipped += response.topk.stats.prescreen_skipped;
-            mine.fallbacks += response.topk.stats.fallback;
+            mine.latencies_ms.push_back(ms);
+            mine.prescreen_probed += probed;
+            mine.prescreen_skipped += skipped;
+            mine.fallbacks += fallback;
+            if (use_result_cache && is_topk) {
+              (cache_hit ? mine.hit_ms : mine.miss_ms).push_back(ms);
+            }
+            if (cache_hit) ++mine.cache_hits;
             break;
           case csj::service::ServeStatus::kRejected:
             ++mine.rejected;
             break;
           case csj::service::ServeStatus::kDeadlineExpired:
             ++mine.deadline_expired;
-            mine.latencies_ms.push_back(latency.Millis());
+            mine.latencies_ms.push_back(ms);
             break;
           case csj::service::ServeStatus::kNotFound:
             ++mine.not_found;
-            mine.latencies_ms.push_back(latency.Millis());
+            mine.latencies_ms.push_back(ms);
             break;
         }
       }
@@ -236,6 +342,59 @@ int main(int argc, char** argv) {
   }
   for (std::thread& client : crew) client.join();
   const double seconds = wall.Seconds();
+
+  // Identity gates on the quiesced catalog (before shutdown: the cached
+  // arm needs live workers). Reference arm: a DIRECT in-process query,
+  // result cache not consulted. The cached arm (twice: miss then hit) and
+  // the networked arm must return byte-identical rankings.
+  bool cache_identity = true;
+  bool net_identity = true;
+  uint64_t identity_cache_hits = 0;
+  if (compare_queries > 0 && (use_result_cache || use_net)) {
+    csj::util::Rng identity_rng(workload_options.seed ^ 0x1DE47171ULL);
+    std::unique_ptr<csj::net::NetClient> identity_client;
+    if (use_net) {
+      identity_client =
+          csj::net::NetClient::Connect("127.0.0.1", net_server->port());
+      CSJ_CHECK(identity_client != nullptr);
+    }
+    for (uint32_t q = 0; q < compare_queries; ++q) {
+      csj::service::ServeRequest request;
+      do {
+        request = workload.NextRequest(identity_rng, topk);
+      } while (request.kind != csj::service::RequestKind::kTopK);
+      request.deadline_seconds = 0.0;  // identity runs never go partial
+      const csj::service::TopKResult reference =
+          server.topk().Query(*request.community, topk);
+      if (use_result_cache) {
+        for (int round = 0; round < 2; ++round) {
+          csj::service::ServeRequest cached = request;
+          const csj::service::ServeResponse response =
+              server.SubmitAndWait(std::move(cached));
+          cache_identity = cache_identity &&
+                           response.status == csj::service::ServeStatus::kOk &&
+                           response.topk.entries == reference.entries;
+          if (response.cache_hit) ++identity_cache_hits;
+        }
+      }
+      if (use_net) {
+        csj::net::WireResponse response;
+        if (!identity_client->Call(ToWireRequest(request), &response)) {
+          net_identity = false;
+        } else {
+          net_identity = net_identity &&
+                         response.status == csj::service::ServeStatus::kOk &&
+                         response.entries == reference.entries;
+        }
+      }
+    }
+  }
+
+  csj::net::NetServer::Stats net_stats;
+  if (net_server != nullptr) {
+    net_server->Shutdown();
+    net_stats = net_server->GetStats();
+  }
   server.Shutdown();
 
   // The compare arms: on the now-quiesced catalog, run the same queries
@@ -297,12 +456,32 @@ int main(int argc, char** argv) {
     total.rejected += r.rejected;
     total.deadline_expired += r.deadline_expired;
     total.not_found += r.not_found;
+    total.cache_hits += r.cache_hits;
+    total.transport_errors += r.transport_errors;
     total.prescreen_probed += r.prescreen_probed;
     total.prescreen_skipped += r.prescreen_skipped;
     total.fallbacks += r.fallbacks;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               r.latencies_ms.begin(), r.latencies_ms.end());
+    total.hit_ms.insert(total.hit_ms.end(), r.hit_ms.begin(),
+                        r.hit_ms.end());
+    total.miss_ms.insert(total.miss_ms.end(), r.miss_ms.begin(),
+                         r.miss_ms.end());
   }
+  const ArmSummary hit_summary = SummarizeArm(total.hit_ms);
+  const ArmSummary miss_summary = SummarizeArm(total.miss_ms);
+  // The cache's perf claims, as data: the closed-loop hit rate over ok
+  // top-k reads, and hit-p99 strictly under compute-p99.
+  const uint64_t cacheable = total.hit_ms.size() + total.miss_ms.size();
+  const double loop_hit_rate =
+      cacheable > 0 ? static_cast<double>(total.hit_ms.size()) /
+                          static_cast<double>(cacheable)
+                    : 0.0;
+  const bool cache_hit_rate_ok = use_result_cache && loop_hit_rate >= 0.5;
+  const bool cache_hit_faster = use_result_cache &&
+                                !total.hit_ms.empty() &&
+                                !total.miss_ms.empty() &&
+                                hit_summary.p99_ms < miss_summary.p99_ms;
   const uint64_t completed = total.latencies_ms.size();
   const double throughput =
       seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0;
@@ -325,8 +504,13 @@ int main(int argc, char** argv) {
 
   const csj::EncodingCache::Stats cache_stats = cache.GetStats();
   const csj::service::CsjServer::Stats server_stats = server.GetStats();
+  const csj::service::CsjServer::StatusLatency ok_latency =
+      server.LatencyOf(csj::service::ServeStatus::kOk);
+  const csj::service::CsjServer::StatusLatency expired_latency =
+      server.LatencyOf(csj::service::ServeStatus::kDeadlineExpired);
   const bool serve_ok =
       total.rejected == 0 && total.deadline_expired == 0 &&
+      total.transport_errors == 0 &&
       completed + total.rejected == requests && completed > 0;
 
   std::printf(
@@ -347,6 +531,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache_stats.misses),
               cache_stats.HitRate() * 100.0,
               csj::util::SecondsCell(populate_seconds).c_str());
+  if (use_result_cache) {
+    std::printf(
+        "result cache: %llu hits / %llu misses (%.0f%% loop hit rate), "
+        "hit p99 %.3f ms vs compute p99 %.3f ms, %llu invalidations, "
+        "%llu bypasses, %llu snapshot reuses\n",
+        static_cast<unsigned long long>(server_stats.result_cache.hits),
+        static_cast<unsigned long long>(server_stats.result_cache.misses),
+        loop_hit_rate * 100.0, hit_summary.p99_ms, miss_summary.p99_ms,
+        static_cast<unsigned long long>(
+            server_stats.result_cache.invalidations),
+        static_cast<unsigned long long>(server_stats.cache_bypasses),
+        static_cast<unsigned long long>(server_stats.snapshot_reuses));
+  }
+  if (use_net) {
+    std::printf(
+        "net: %llu frames in / %llu out, %.1f MiB in / %.1f MiB out, "
+        "%llu connections, %llu decode errors, %llu transport errors\n",
+        static_cast<unsigned long long>(net_stats.frames_decoded),
+        static_cast<unsigned long long>(net_stats.frames_sent),
+        static_cast<double>(net_stats.bytes_in) / (1024.0 * 1024.0),
+        static_cast<double>(net_stats.bytes_out) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(net_stats.connections_accepted),
+        static_cast<unsigned long long>(net_stats.decode_errors),
+        static_cast<unsigned long long>(total.transport_errors));
+  }
+  if (compare_queries > 0 && (use_result_cache || use_net)) {
+    std::printf("identity: cache %s (%llu hits), net %s\n",
+                !use_result_cache ? "n/a"
+                : cache_identity  ? "identical"
+                                  : "MISMATCH",
+                static_cast<unsigned long long>(identity_cache_hits),
+                !use_net       ? "n/a"
+                : net_identity ? "identical"
+                               : "MISMATCH");
+  }
   if (prescreen) {
     const uint64_t swept = total.prescreen_probed + total.prescreen_skipped;
     std::printf("prescreen: probed %llu / %llu swept (%.2f%%), %llu "
@@ -428,6 +647,63 @@ int main(int argc, char** argv) {
     json.Key("hit_rate"); json.Double(cache_stats.HitRate());
     json.EndObject();
     json.Key("server_accepted"); json.Uint(server_stats.accepted);
+    json.Key("queue");
+    json.BeginObject();
+    json.Key("capacity");
+    json.Uint(static_cast<uint64_t>(server_options.queue_capacity));
+    json.Key("high_water"); json.Uint(server_stats.queue_high_water);
+    json.Key("ok_latency_ms");
+    json.BeginObject();
+    json.Key("count"); json.Uint(ok_latency.count);
+    json.Key("p50"); json.Double(ok_latency.p50_ms);
+    json.Key("p95"); json.Double(ok_latency.p95_ms);
+    json.Key("p99"); json.Double(ok_latency.p99_ms);
+    json.Key("max"); json.Double(ok_latency.max_ms);
+    json.EndObject();
+    json.Key("deadline_expired_latency_ms");
+    json.BeginObject();
+    json.Key("count"); json.Uint(expired_latency.count);
+    json.Key("p50"); json.Double(expired_latency.p50_ms);
+    json.Key("p99"); json.Double(expired_latency.p99_ms);
+    json.EndObject();
+    json.EndObject();
+    json.Key("result_cache");
+    json.BeginObject();
+    json.Key("enabled"); json.Bool(use_result_cache);
+    json.Key("hits"); json.Uint(server_stats.result_cache.hits);
+    json.Key("misses"); json.Uint(server_stats.result_cache.misses);
+    json.Key("hit_rate");
+    json.Double(server_stats.result_cache.HitRate());
+    json.Key("loop_hit_rate"); json.Double(loop_hit_rate);
+    json.Key("insertions");
+    json.Uint(server_stats.result_cache.insertions);
+    json.Key("invalidations");
+    json.Uint(server_stats.result_cache.invalidations);
+    json.Key("evictions"); json.Uint(server_stats.result_cache.evictions);
+    json.Key("entries"); json.Uint(server_stats.result_cache.entries);
+    json.Key("bypasses"); json.Uint(server_stats.cache_bypasses);
+    json.Key("snapshot_reuses"); json.Uint(server_stats.snapshot_reuses);
+    json.Key("hit_p50_ms"); json.Double(hit_summary.p50_ms);
+    json.Key("hit_p99_ms"); json.Double(hit_summary.p99_ms);
+    json.Key("compute_p50_ms"); json.Double(miss_summary.p50_ms);
+    json.Key("compute_p99_ms"); json.Double(miss_summary.p99_ms);
+    json.Key("cache_hit_rate_ok"); json.Bool(cache_hit_rate_ok);
+    json.Key("cache_hit_faster"); json.Bool(cache_hit_faster);
+    json.Key("cache_identity"); json.Bool(cache_identity);
+    json.Key("identity_cache_hits"); json.Uint(identity_cache_hits);
+    json.EndObject();
+    json.Key("net");
+    json.BeginObject();
+    json.Key("enabled"); json.Bool(use_net);
+    json.Key("frames_decoded"); json.Uint(net_stats.frames_decoded);
+    json.Key("frames_sent"); json.Uint(net_stats.frames_sent);
+    json.Key("bytes_in"); json.Uint(net_stats.bytes_in);
+    json.Key("bytes_out"); json.Uint(net_stats.bytes_out);
+    json.Key("connections"); json.Uint(net_stats.connections_accepted);
+    json.Key("decode_errors"); json.Uint(net_stats.decode_errors);
+    json.Key("transport_errors"); json.Uint(total.transport_errors);
+    json.Key("net_identity"); json.Bool(net_identity);
+    json.EndObject();
     json.Key("prescreen");
     json.BeginObject();
     json.Key("enabled"); json.Bool(prescreen);
@@ -471,6 +747,10 @@ int main(int argc, char** argv) {
     out << json.Take() << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  // A compare mismatch is a correctness failure, not a perf blip.
-  return (serve_ok && compare_identical) ? 0 : 1;
+  // A compare mismatch is a correctness failure, not a perf blip — the
+  // cached and networked arms are held to the same byte-identity bar as
+  // the prescreen arm.
+  return (serve_ok && compare_identical && cache_identity && net_identity)
+             ? 0
+             : 1;
 }

@@ -5,12 +5,20 @@
 #   BENCH_pipeline.json       - ablation arms + cached all-pairs sweep
 #   BENCH_micro_kernels.json  - google-benchmark JSON for the hot kernels
 #   BENCH_serve.json          - serving throughput + latency percentiles
-#                               (+ scan-vs-prescreen compare on the small
-#                               catalog, where fallback dominates)
+#                               over the networked stack (loopback TCP,
+#                               binary wire protocol) with the versioned
+#                               result cache on: net + result_cache
+#                               sections, cache-hit vs compute p99, both
+#                               byte-identity gates
 #   BENCH_serve_large.json    - the 100k-entry prescreen scenario: serve
 #                               loop in prescreen mode plus the compare
 #                               arms, reporting probed fraction and
 #                               scan-vs-prescreen qps/p99
+#   BENCH_serve_1m.json       - opt-in (CSJ_BENCH_1M=1): the 1M-entry
+#                               prescreen scenario. Feasible since the
+#                               parallel workload build, but the catalog
+#                               populate alone runs ~6 minutes, so it
+#                               stays out of the default sweep.
 #
 # Numbers from non-Release builds are meaningless, so the script verifies
 # the build tree's CMAKE_BUILD_TYPE and refuses to run otherwise. Every
@@ -59,10 +67,11 @@ echo "== bench_micro_kernels (epsilon kernels, encoder, matchers) =="
   --benchmark_context=build_type="${build_type}"
 
 echo
-echo "== csj_serve (catalog serving: throughput + latency percentiles) =="
+echo "== csj_serve (networked serving + result cache: throughput, latency, hit rate) =="
 "${build_dir}/tools/csj_serve" \
   --catalog=24 --size=150 --requests=400 --clients=4 --workers=2 \
-  --zipf=1.1 --upsert_fraction=0.05 --compare=8 \
+  --zipf=1.1 --upsert_fraction=0.05 --result_cache=true --net=true \
+  --compare=8 \
   --json=BENCH_serve.json \
   --git_sha="${git_sha}" --build_type="${build_type}"
 
@@ -74,6 +83,17 @@ echo "== csj_serve large (100k-entry catalog: prescreen candidate generation) ==
   --zipf=1.1 --upsert_fraction=0 --prescreen=true --compare=6 \
   --json=BENCH_serve_large.json \
   --git_sha="${git_sha}" --build_type="${build_type}"
+
+if [ "${CSJ_BENCH_1M:-0}" = "1" ]; then
+  echo
+  echo "== csj_serve 1M (1M-entry catalog: prescreen at scale; ~10 min) =="
+  "${build_dir}/tools/csj_serve" \
+    --catalog_size=1000000 --size=40 --cluster=12 --plant_lo=0.5 \
+    --plant_hi=0.8 --k=5 --requests=40 --clients=2 --workers=2 \
+    --zipf=1.1 --upsert_fraction=0 --prescreen=true \
+    --json=BENCH_serve_1m.json \
+    --git_sha="${git_sha}" --build_type="${build_type}"
+fi
 
 echo
 echo "== perf smoke check (scaling + report identity) =="

@@ -48,6 +48,14 @@ struct NetServer::Core {
   std::vector<std::shared_ptr<Connection>> pending;  ///< outboxes to flush
 
   std::atomic<uint64_t> in_flight{0};  ///< submitted, response not enqueued
+  /// Undelivered response bytes across every connection outbox. Shutdown
+  /// drains this to zero (bounded grace) so admitted responses are not
+  /// silently dropped when the reactor exits.
+  std::atomic<uint64_t> outbox_bytes{0};
+  /// Completed reactor-loop iterations. Shutdown uses it as a handshake:
+  /// once two more passes finish after `accepting` flips, no read that
+  /// began before the flip can still be admitting requests.
+  std::atomic<uint64_t> reactor_passes{0};
 
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_closed{0};
@@ -88,12 +96,13 @@ void SetNoDelay(int fd) {
 
 }  // namespace
 
-bool NetServer::EnqueueFrame(Connection* connection,
+bool NetServer::EnqueueFrame(Core* core, Connection* connection,
                              const std::vector<uint8_t>& frame) {
   std::lock_guard lock(connection->mu);
   if (connection->closed) return false;
   connection->outbox.insert(connection->outbox.end(), frame.begin(),
                             frame.end());
+  core->outbox_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
   return true;
 }
 
@@ -153,12 +162,32 @@ void NetServer::Shutdown() {
   // response before the socket dies under it.
   core_->accepting.store(false, std::memory_order_release);
   core_->Wake();
+  // Handshake: wait for two further complete reactor passes. The pass in
+  // progress when `accepting` flipped may still be reading frames (and
+  // bumping in_flight); the NEXT full pass provably started after the
+  // flip and admitted nothing, so after it finishes the in_flight==0
+  // observation below cannot be raced by buffered reads.
+  const uint64_t pass =
+      core_->reactor_passes.load(std::memory_order_acquire);
+  while (core_->reactor_passes.load(std::memory_order_acquire) <
+         pass + 2) {
+    core_->Wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   while (core_->in_flight.load(std::memory_order_acquire) > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  // One last flush round for responses enqueued by that final drain.
-  core_->Wake();
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Every admitted response now sits in some outbox; keep the reactor
+  // flushing until the outboxes are empty. A peer that stopped reading
+  // (send stuck on EAGAIN) gets a bounded grace period rather than an
+  // unbounded hang — only then may its bytes be dropped.
+  const auto flush_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  while (core_->outbox_bytes.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < flush_deadline) {
+    core_->Wake();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   // Phase 2: stop the reactor and tear the fds down.
   core_->running.store(false, std::memory_order_release);
   core_->Wake();
@@ -187,6 +216,12 @@ NetServer::Stats NetServer::GetStats() const {
 
 void NetServer::ReactorLoop() {
   std::unordered_map<int, std::shared_ptr<Connection>> connections;
+  // Connections torn down during the CURRENT event batch. The fd is only
+  // ::close()d after the batch: closing mid-batch would let an accept
+  // later in the same batch reuse the fd number, and a stale queued
+  // event (say an EPOLLHUP for the old socket) would then resolve to —
+  // and spuriously kill — the brand-new connection.
+  std::vector<std::shared_ptr<Connection>> dead;
 
   const auto close_connection =
       [&](const std::shared_ptr<Connection>& connection) {
@@ -194,10 +229,12 @@ void NetServer::ReactorLoop() {
           std::lock_guard lock(connection->mu);
           if (connection->closed) return;
           connection->closed = true;
+          core_->outbox_bytes.fetch_sub(
+              connection->outbox.size() - connection->out_pos,
+              std::memory_order_relaxed);
         }
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, connection->fd, nullptr);
-        ::close(connection->fd);
-        connections.erase(connection->fd);
+        dead.push_back(connection);
         core_->connections_closed.fetch_add(1, std::memory_order_relaxed);
       };
 
@@ -219,6 +256,8 @@ void NetServer::ReactorLoop() {
               connection->out_pos += static_cast<size_t>(n);
               core_->bytes_out.fetch_add(static_cast<uint64_t>(n),
                                          std::memory_order_relaxed);
+              core_->outbox_bytes.fetch_sub(static_cast<uint64_t>(n),
+                                            std::memory_order_relaxed);
               continue;
             }
             if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -331,8 +370,14 @@ void NetServer::ReactorLoop() {
         continue;
       }
       const auto it = connections.find(fd);
-      if (it == connections.end()) continue;  // closed earlier this round
+      if (it == connections.end()) continue;
       const std::shared_ptr<Connection> connection = it->second;
+      {
+        // Dying this batch (fd not yet closed, see `dead`): stale queued
+        // events for it are ignored.
+        std::lock_guard lock(connection->mu);
+        if (connection->closed) continue;
+      }
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
         close_connection(connection);
         continue;
@@ -343,12 +388,22 @@ void NetServer::ReactorLoop() {
         read_ready(connection);
       }
     }
+    // End of batch: now the fd numbers can be recycled safely.
+    for (const std::shared_ptr<Connection>& connection : dead) {
+      ::close(connection->fd);
+      connections.erase(connection->fd);
+    }
+    dead.clear();
+    core_->reactor_passes.fetch_add(1, std::memory_order_release);
   }
 
   for (auto& [fd, connection] : connections) {
     {
       std::lock_guard lock(connection->mu);
       connection->closed = true;
+      core_->outbox_bytes.fetch_sub(
+          connection->outbox.size() - connection->out_pos,
+          std::memory_order_relaxed);
     }
     ::close(fd);
     core_->connections_closed.fetch_add(1, std::memory_order_relaxed);
@@ -386,7 +441,7 @@ bool NetServer::HandleFrame(const std::shared_ptr<Connection>& connection,
         std::vector<uint8_t> encoded;
         EncodeResponseFrame(request_id, ToWireResponse(response),
                             &encoded);
-        if (EnqueueFrame(connection.get(), encoded)) {
+        if (EnqueueFrame(core.get(), connection.get(), encoded)) {
           core->frames_sent.fetch_add(1, std::memory_order_relaxed);
           {
             std::lock_guard lock(core->pending_mu);
@@ -405,7 +460,7 @@ bool NetServer::HandleFrame(const std::shared_ptr<Connection>& connection,
     rejected.status = service::ServeStatus::kRejected;
     std::vector<uint8_t> encoded;
     EncodeResponseFrame(request_id, rejected, &encoded);
-    if (EnqueueFrame(connection.get(), encoded)) {
+    if (EnqueueFrame(core.get(), connection.get(), encoded)) {
       core->frames_sent.fetch_add(1, std::memory_order_relaxed);
       FlushOutbox(connection);
     }

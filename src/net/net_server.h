@@ -74,8 +74,9 @@ class NetServer {
   Stats GetStats() const;
 
   /// Stops accepting and reading, waits for admitted requests to flush
-  /// their responses, closes every connection, joins the reactor.
-  /// Idempotent; the destructor calls it.
+  /// their responses (a peer that stopped reading gets a bounded grace
+  /// period), closes every connection, joins the reactor. Idempotent;
+  /// the destructor calls it.
   void Shutdown();
 
  private:
@@ -87,8 +88,9 @@ class NetServer {
                    DecodedFrame frame);
   void FlushOutbox(const std::shared_ptr<Connection>& connection);
   /// Appends one encoded frame to the connection's outbox unless it is
-  /// closed; true when the reactor should be asked to flush.
-  static bool EnqueueFrame(Connection* connection,
+  /// closed, keeping the core's undelivered-byte count in step; true when
+  /// the reactor should be asked to flush.
+  static bool EnqueueFrame(Core* core, Connection* connection,
                            const std::vector<uint8_t>& frame);
 
   service::CsjServer* server_;

@@ -142,6 +142,13 @@ bool DecodeRequestPayload(Cursor cursor, WireRequest* request) {
   }
   request->kind = static_cast<service::RequestKind>(kind);
   request->method = static_cast<Method>(method);
+  // Bound k here, where the frame is still cheap to refuse: entries cost
+  // 24 response bytes each, so an unbounded k would let a client force
+  // the RESPONSE over kMaxPayloadBytes after the query already ran.
+  if (request->kind == service::RequestKind::kTopK &&
+      request->k > kMaxTopKEntries) {
+    return false;
+  }
   request->prescreen = (flags & kReqFlagPrescreen) != 0;
   request->use_bound_cutoff = (flags & kReqFlagCutoff) != 0;
   if ((flags & kReqFlagHasCommunity) == 0) {
@@ -156,6 +163,10 @@ bool DecodeRequestPayload(Cursor cursor, WireRequest* request) {
     return false;
   }
   if (d == 0) return false;
+  // The name can never exceed what is actually buffered; checking BEFORE
+  // the allocation keeps a hostile name_bytes=0xFFFFFFFF from forcing a
+  // 4 GiB zero-fill that no later bounds check could take back.
+  if (name_bytes > cursor.remaining()) return false;
   std::string name(name_bytes, '\0');
   if (name_bytes > 0 && !cursor.GetBytes(name.data(), name_bytes)) {
     return false;

@@ -31,7 +31,7 @@ namespace csj::net {
 ///   u8  kind (0 top-k, 1 upsert, 2 remove)
 ///   u8  flags: bit0 prescreen, bit1 use_bound_cutoff, bit2 has community
 ///   u16 method (Method enum index; must name an exact method for top-k)
-///   u32 k
+///   u32 k (top-k: must be <= kMaxTopKEntries, see below)
 ///   u32 eps
 ///   u64 id (upsert/remove target)
 ///   f64 deadline_seconds (0 = none)
@@ -63,6 +63,15 @@ inline constexpr uint32_t kFrameMagic = 0x314A5343;  // "CSJ1"
 inline constexpr uint8_t kWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 16;
 inline constexpr size_t kMaxPayloadBytes = size_t{64} << 20;  // 64 MiB
+
+/// Largest k a top-k request frame may carry. A response holds 48 fixed
+/// payload bytes + 24 per entry + 24 stats bytes, and the entry count is
+/// min(k, catalog size) — so k must be bounded at DECODE time or a remote
+/// request with a huge k against a large catalog would make the response
+/// exceed kMaxPayloadBytes while ENCODING, after the work is already
+/// done. A request above this bound is kBadPayload.
+inline constexpr uint32_t kMaxTopKEntries =
+    static_cast<uint32_t>((kMaxPayloadBytes - 48 - 24) / 24);
 
 enum class FrameType : uint8_t {
   kRequest = 1,

@@ -239,6 +239,53 @@ TEST(NetWire, GarbageMethodIsBadPayload) {
   EXPECT_EQ(decoder.Next(&frame), WireStatus::kBadPayload);
 }
 
+TEST(NetWire, HugeNameLengthRejectedBeforeAllocating) {
+  // The community name length is an untrusted u32. A tiny frame claiming
+  // a 4 GiB name must be refused from the bytes actually buffered —
+  // BEFORE sizing the string — or 16 header bytes plus a short payload
+  // would buy the peer a multi-gigabyte zero-fill.
+  WireRequest request;
+  request.kind = service::RequestKind::kTopK;
+  request.community = MakeTestCommunity();
+  std::vector<uint8_t> bytes;
+  EncodeRequestFrame(1, request, &bytes);
+  // Payload layout up to the name: u8 kind, u8 flags, u16 method, u32 k,
+  // u32 eps, u64 id, f64 deadline, f64 threshold (36 bytes), then u32 d,
+  // u32 users, u32 name_bytes.
+  const size_t name_bytes_offset = kFrameHeaderBytes + 36 + 4 + 4;
+  for (size_t i = 0; i < 4; ++i) bytes[name_bytes_offset + i] = 0xFF;
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  DecodedFrame frame;
+  EXPECT_EQ(decoder.Next(&frame), WireStatus::kBadPayload);
+}
+
+TEST(NetWire, TopKAboveResponseCapIsBadPayload) {
+  // k bounds the response entry count; above kMaxTopKEntries the
+  // response could not be encoded within kMaxPayloadBytes, so the
+  // REQUEST must already be refused at decode.
+  WireRequest request;
+  request.kind = service::RequestKind::kTopK;
+  request.community = MakeTestCommunity();
+  request.k = kMaxTopKEntries + 1;
+  std::vector<uint8_t> bytes;
+  EncodeRequestFrame(1, request, &bytes);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  DecodedFrame frame;
+  EXPECT_EQ(decoder.Next(&frame), WireStatus::kBadPayload);
+
+  // Exactly at the cap decodes fine: the bound is the contract, not a
+  // fuzzy safety margin.
+  request.k = kMaxTopKEntries;
+  bytes.clear();
+  EncodeRequestFrame(2, request, &bytes);
+  FrameDecoder ok_decoder;
+  ok_decoder.Feed(bytes.data(), bytes.size());
+  ASSERT_EQ(ok_decoder.Next(&frame), WireStatus::kOk);
+  EXPECT_EQ(frame.request.k, kMaxTopKEntries);
+}
+
 TEST(NetWire, CounterLengthMismatchIsBadPayload) {
   WireRequest request;
   request.kind = service::RequestKind::kTopK;

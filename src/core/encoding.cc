@@ -69,7 +69,10 @@ void Encoder::PartRangesInto(std::span<const Count> vec,
     uint64_t sum_lo = 0;
     uint64_t sum_hi = 0;
     for (Dim i = part_begin_[part]; i < part_begin_[part + 1]; ++i) {
-      sum_lo += vec[i] >= eps_ ? vec[i] - eps_ : 0;
+      // max() compiles branchless: counters straddle eps unpredictably
+      // (about half are zero), so a compare-and-branch mispredicts its
+      // way through every community.
+      sum_lo += std::max<uint64_t>(vec[i], eps_) - eps_;
       sum_hi += static_cast<uint64_t>(vec[i]) + eps_;
     }
     lo[part] = sum_lo;
@@ -83,8 +86,24 @@ namespace {
 /// equal keys so traces are deterministic.
 void SortPermutationInto(const std::vector<uint64_t>& keys,
                          std::vector<uint32_t>* perm) {
-  perm->resize(keys.size());
+  const uint32_t n = static_cast<uint32_t>(keys.size());
+  perm->resize(n);
   std::iota(perm->begin(), perm->end(), 0u);
+  if (n <= 64) {
+    // Insertion sort with a strict `>` shift: stable, so equal keys keep
+    // their ascending index order — exactly the (key, index) order the
+    // comparator below produces — without introsort's dispatch overhead,
+    // which dominates at catalog community sizes (tens of users).
+    uint32_t* p = perm->data();
+    for (uint32_t i = 1; i < n; ++i) {
+      const uint32_t v = p[i];
+      const uint64_t key = keys[v];
+      uint32_t j = i;
+      for (; j > 0 && keys[p[j - 1]] > key; --j) p[j] = p[j - 1];
+      p[j] = v;
+    }
+    return;
+  }
   std::sort(perm->begin(), perm->end(), [&](uint32_t x, uint32_t y) {
     if (keys[x] != keys[y]) return keys[x] < keys[y];
     return x < y;
@@ -96,14 +115,29 @@ void SortPermutationInto(const std::vector<uint64_t>& keys,
 EncodedB::EncodedB(const Community& b, const Encoder& encoder)
     : parts_(encoder.parts()) {
   const uint32_t n = b.size();
-  // The unsorted keys and the permutation are per-thread scratch; the
-  // per-user part sums are written straight into the sorted flat buffer,
-  // so building Encd_B performs no per-user allocation.
+  // The unsorted keys, part sums, and the permutation are per-thread
+  // scratch, so building Encd_B performs no per-user allocation. One pass
+  // computes each user's part sums, and the encoded id falls out as their
+  // total — the same integer sum of the same counters, just associated
+  // differently — so no second per-user pass is needed after the sort.
   internal::JoinScratch& scratch = internal::GetJoinScratch();
   std::vector<uint64_t>& unsorted_ids = scratch.keys;
+  std::vector<uint64_t>& unsorted_sums = scratch.sums;
   unsorted_ids.resize(n);
-  for (UserId u = 0; u < n; ++u) {
-    unsorted_ids[u] = encoder.EncodedId(b.User(u));
+  unsorted_sums.resize(static_cast<size_t>(n) * parts_);
+  const Dim d = encoder.d();
+  const Count* row = b.flat().data();
+  uint64_t* sums = unsorted_sums.data();
+  for (UserId u = 0; u < n; ++u, row += d, sums += parts_) {
+    uint64_t id = 0;
+    for (uint32_t part = 0; part < parts_; ++part) {
+      uint64_t sum = 0;
+      const Dim end = encoder.PartBegin(part + 1);
+      for (Dim i = encoder.PartBegin(part); i < end; ++i) sum += row[i];
+      sums[part] = sum;
+      id += sum;
+    }
+    unsorted_ids[u] = id;
   }
   SortPermutationInto(unsorted_ids, &scratch.perm);
   const std::vector<uint32_t>& perm = scratch.perm;
@@ -115,9 +149,8 @@ EncodedB::EncodedB(const Community& b, const Encoder& encoder)
     const UserId u = perm[i];
     ids_[i] = unsorted_ids[u];
     real_[i] = u;
-    encoder.PartSumsInto(
-        b.User(u),
-        {sums_.data() + static_cast<size_t>(i) * parts_, parts_});
+    std::copy_n(unsorted_sums.data() + static_cast<size_t>(u) * parts_,
+                parts_, sums_.data() + static_cast<size_t>(i) * parts_);
   }
 }
 
@@ -136,16 +169,33 @@ EncodedA::EncodedA(const Community& a, const Encoder& encoder)
   unsorted_maxs.resize(n);
   unsorted_lo.resize(static_cast<size_t>(n) * parts_);
   unsorted_hi.resize(static_cast<size_t>(n) * parts_);
-  for (UserId u = 0; u < n; ++u) {
-    const size_t offset = static_cast<size_t>(u) * parts_;
-    const std::span<uint64_t> lo{unsorted_lo.data() + offset, parts_};
-    const std::span<uint64_t> hi{unsorted_hi.data() + offset, parts_};
-    encoder.PartRangesInto(a.User(u), lo, hi);
+  const Dim d = encoder.d();
+  const uint64_t eps = encoder.eps();
+  const Count* row = a.flat().data();
+  uint64_t* lo = unsorted_lo.data();
+  uint64_t* hi = unsorted_hi.data();
+  for (UserId u = 0; u < n; ++u, row += d, lo += parts_, hi += parts_) {
     uint64_t min_sum = 0;
     uint64_t max_sum = 0;
-    for (uint32_t p = 0; p < parts_; ++p) {
-      min_sum += lo[p];
-      max_sum += hi[p];
+    for (uint32_t part = 0; part < parts_; ++part) {
+      const Dim begin = encoder.PartBegin(part);
+      const Dim end = encoder.PartBegin(part + 1);
+      uint64_t sum_lo = 0;
+      uint64_t sum_raw = 0;
+      for (Dim i = begin; i < end; ++i) {
+        const uint64_t v = row[i];
+        // max() compiles branchless — counters straddle eps
+        // unpredictably, a compare-and-branch mispredicts constantly.
+        sum_lo += std::max(v, eps) - eps;
+        sum_raw += v;
+      }
+      // sum(v + eps) == sum(v) + eps * width, exactly (integers), so the
+      // hi endpoint rides along on the raw sum with one multiply.
+      const uint64_t sum_hi = sum_raw + eps * (end - begin);
+      lo[part] = sum_lo;
+      hi[part] = sum_hi;
+      min_sum += sum_lo;
+      max_sum += sum_hi;
     }
     unsorted_mins[u] = min_sum;
     unsorted_maxs[u] = max_sum;

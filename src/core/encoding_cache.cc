@@ -47,14 +47,47 @@ using BuiltEntry = std::pair<std::shared_ptr<const void>, size_t>;
 
 CommunityDigest DigestCommunity(const Community& community) {
   CommunityDigest digest;
+  // Four interleaved FNV lanes, folded at the end. A single lane
+  // serializes on the multiply's latency — one mix per counter, each
+  // waiting on the last — which makes the digest a fixed ~5 cycles per
+  // counter no matter how wide the core is. Independent accumulators
+  // overlap the multiplies; each counter still lands in exactly one
+  // position-sensitive lane, so any mutation changes the fold input.
+  const auto flat = community.flat();
+  const size_t n = flat.size();
+  // The digest is usually a community buffer's first touch since it was
+  // built (catalog ingest digests long after the generator ran), so this
+  // loop is a latency-bound DRAM walk without help: stream-prefetch a
+  // kilobyte ahead to keep the line fills overlapped.
+  constexpr size_t kPrefetchAhead = 256;  // counters = 1 KiB
+  uint64_t h0 = kFnvOffset;
+  uint64_t h1 = kFnvOffset ^ 0x9E3779B97F4A7C15ULL;
+  uint64_t h2 = kFnvOffset ^ 0xC2B2AE3D27D4EB4FULL;
+  uint64_t h3 = kFnvOffset ^ 0x165667B19E3779F9ULL;
+  Count max_counter = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + kPrefetchAhead < n) __builtin_prefetch(&flat[i + kPrefetchAhead]);
+    h0 = FnvMix(h0, flat[i]);
+    h1 = FnvMix(h1, flat[i + 1]);
+    h2 = FnvMix(h2, flat[i + 2]);
+    h3 = FnvMix(h3, flat[i + 3]);
+    max_counter = std::max(
+        {max_counter, flat[i], flat[i + 1], flat[i + 2], flat[i + 3]});
+  }
+  for (; i < n; ++i) {
+    h0 = FnvMix(h0, flat[i]);
+    max_counter = std::max(max_counter, flat[i]);
+  }
   uint64_t h = kFnvOffset;
   h = FnvMix(h, community.d());
   h = FnvMix(h, community.size());
-  for (const Count c : community.flat()) {
-    h = FnvMix(h, c);
-    if (c > digest.max_counter) digest.max_counter = c;
-  }
+  h = FnvMix(h, h0);
+  h = FnvMix(h, h1);
+  h = FnvMix(h, h2);
+  h = FnvMix(h, h3);
   digest.fingerprint = h;
+  digest.max_counter = max_counter;
   return digest;
 }
 
@@ -125,6 +158,16 @@ std::shared_ptr<const T> EncodingCache::GetOrBuild(const Key& key,
       // Hit. An in-flight slot counts too — the waiter did not build —
       // which is what keeps the hit/miss totals independent of thread
       // interleaving: misses == builds == unique keys (absent eviction).
+      if (it->second.value != nullptr) {
+        // Completed (or warm-inserted) slot: hand out the value without
+        // the shared_future round-trip. Warm-inserted slots have no
+        // future, so this branch is mandatory for them.
+        const std::shared_ptr<const void> value = it->second.value;
+        lock.unlock();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (stats != nullptr) ++stats->cache_hits;
+        return std::static_pointer_cast<const T>(value);
+      }
       const std::shared_future<std::shared_ptr<const void>> future =
           it->second.future;
       lock.unlock();
@@ -142,6 +185,13 @@ std::shared_ptr<const T> EncodingCache::GetOrBuild(const Key& key,
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
+      if (it->second.value != nullptr) {
+        const std::shared_ptr<const void> value = it->second.value;
+        lock.unlock();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (stats != nullptr) ++stats->cache_hits;
+        return std::static_pointer_cast<const T>(value);
+      }
       const std::shared_future<std::shared_ptr<const void>> future =
           it->second.future;
       lock.unlock();
@@ -174,6 +224,7 @@ std::shared_ptr<const T> EncodingCache::GetOrBuild(const Key& key,
     // promoted to resident; otherwise the result is handed out but never
     // counted against the budget.
     if (it != shard.map.end() && it->second.token == token) {
+      it->second.value = built.first;
       it->second.bytes = built.second;
       it->second.ready = true;
       shard.bytes += built.second;
@@ -182,6 +233,37 @@ std::shared_ptr<const T> EncodingCache::GetOrBuild(const Key& key,
     }
   }
   return std::static_pointer_cast<const T>(built.first);
+}
+
+void EncodingCache::PutReady(const Key& key, std::shared_ptr<const void> value,
+                             size_t bytes) {
+  // The caller built the artifact whether or not it lands, so the
+  // miss/build counters tick unconditionally — same totals as if the
+  // caller had gone through GetOrBuild on a cold key.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  bytes_built_.fetch_add(bytes, std::memory_order_relaxed);
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  Slot slot;
+  slot.value = std::move(value);
+  slot.token = next_token_.fetch_add(1, std::memory_order_relaxed);
+  slot.bytes = bytes;
+  slot.ready = true;
+  const auto [it, inserted] = shard.map.emplace(key, std::move(slot));
+  if (!inserted) return;  // resident or in-flight entry wins
+  shard.bytes += bytes;
+  shard.insertion_order.push_back(key);
+  EvictLocked(shard);
+}
+
+void EncodingCache::Reserve(size_t additional_entries) {
+  // Salted-fingerprint keys spread uniformly, so each shard expects
+  // ~1/kShards of the batch (plus one for rounding).
+  const size_t per_shard = additional_entries / kShards + 1;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    shard.map.reserve(shard.map.size() + per_shard);
+  }
 }
 
 std::shared_ptr<const EncodedB> EncodingCache::GetEncodedB(
@@ -265,6 +347,29 @@ std::shared_ptr<const SuperEgoPrep> EncodingCache::GetSuperEgoPrep(
         return {ptr, sizeof(SuperEgoPrep) + ptr->MemoryBytes()};
       },
       stats);
+}
+
+void EncodingCache::PutEncodedB(const CommunityDigest& digest, Epsilon eps,
+                                uint32_t parts,
+                                std::shared_ptr<const EncodedB> encoded) {
+  const Key key{digest.fingerprint, SaltOf(EntryKind::kEncodedB, eps, parts)};
+  const size_t bytes = sizeof(EncodedB) + encoded->MemoryBytes();
+  PutReady(key, std::move(encoded), bytes);
+}
+
+void EncodingCache::PutEncodedA(const CommunityDigest& digest, Epsilon eps,
+                                uint32_t parts,
+                                std::shared_ptr<const EncodedA> encoded) {
+  const Key key{digest.fingerprint, SaltOf(EntryKind::kEncodedA, eps, parts)};
+  const size_t bytes = sizeof(EncodedA) + encoded->MemoryBytes();
+  PutReady(key, std::move(encoded), bytes);
+}
+
+void EncodingCache::PutCommunityWindow(
+    const CommunityDigest& digest, std::shared_ptr<const VerifyWindow> window) {
+  const Key key{digest.fingerprint, SaltOf(EntryKind::kCommunityWindow)};
+  const size_t bytes = sizeof(VerifyWindow) + window->MemoryBytes();
+  PutReady(key, std::move(window), bytes);
 }
 
 void EncodingCache::Clear() {

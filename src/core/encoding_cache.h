@@ -152,6 +152,30 @@ class EncodingCache {
       Count max_count, const std::vector<Dim>& dim_order, uint64_t order_hash,
       uint32_t threshold, JoinStats* stats);
 
+  /// Bulk-ingestion warm inserts: install an ALREADY-BUILT artifact
+  /// under the same key the matching Get* lookup computes, without the
+  /// promise/future build-dedup machinery (the dominant per-entry cost
+  /// of warming through GetOrBuild when the caller knows the key is
+  /// cold). First insert wins: a resident or in-flight slot keeps its
+  /// entry and the offered artifact is dropped — builders are
+  /// deterministic, so the bytes are the same either way. Each call
+  /// counts as one miss + build, exactly what the GetOrBuild path that
+  /// would otherwise have built it would have counted. `parts` must be
+  /// the Encoder's CLAMPED part count, as in GetEncodedB/GetEncodedA.
+  void PutEncodedB(const CommunityDigest& digest, Epsilon eps, uint32_t parts,
+                   std::shared_ptr<const EncodedB> encoded);
+  void PutEncodedA(const CommunityDigest& digest, Epsilon eps, uint32_t parts,
+                   std::shared_ptr<const EncodedA> encoded);
+  void PutCommunityWindow(const CommunityDigest& digest,
+                          std::shared_ptr<const VerifyWindow> window);
+
+  /// Pre-sizes every shard's hash table for `additional_entries` more
+  /// slots. Bulk ingestion knows how many artifacts it is about to warm
+  /// (3 per catalog entry); reserving once up front removes every
+  /// incremental rehash from the ingest path — each rehash rewalks a
+  /// whole shard map under its exclusive lock.
+  void Reserve(size_t additional_entries);
+
   /// Drops every resident entry (buffers still referenced by shared_ptr
   /// holders stay alive). In-flight builds complete and are discarded.
   void Clear();
@@ -173,6 +197,11 @@ class EncodingCache {
   };
   struct Slot {
     std::shared_future<std::shared_ptr<const void>> future;
+    /// Set once the artifact exists (warm inserts: at insert; built
+    /// slots: on completion). Hits return this directly — a shared_ptr
+    /// copy instead of a shared_future copy + get() — and warm-inserted
+    /// slots have no future at all.
+    std::shared_ptr<const void> value;
     uint64_t token = 0;   ///< insert identity (Clear() vs late completion)
     size_t bytes = 0;     ///< 0 until the build completes
     bool ready = false;
@@ -193,6 +222,10 @@ class EncodingCache {
   template <typename T, typename BuildFn>
   std::shared_ptr<const T> GetOrBuild(const Key& key, BuildFn&& build,
                                       JoinStats* stats);
+
+  /// Shared implementation of the Put* warm inserts.
+  void PutReady(const Key& key, std::shared_ptr<const void> value,
+                size_t bytes);
 
   Shard& ShardOf(const Key& key);
   void EvictLocked(Shard& shard);

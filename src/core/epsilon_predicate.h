@@ -4,12 +4,41 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
 
 namespace csj {
+
+namespace internal {
+
+/// std::allocator whose construct() DEFAULT-initializes value-less
+/// elements instead of VALUE-initializing them: vector::resize stops
+/// zero-filling trivial element types. Only for containers whose owner
+/// overwrites every element itself (BasicVerifyWindow::Assign does) —
+/// resized-in elements hold garbage until then.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
+}  // namespace internal
 
 /// Vectorization block of EpsilonMatches. Eight 32-bit counters fill two
 /// SSE registers (one AVX2 register); the kernel accumulates whole
@@ -88,13 +117,24 @@ class BasicVerifyWindow {
     d_ = d;
     const size_t blocks = (static_cast<size_t>(n) + kEpsilonBlock - 1) /
                           kEpsilonBlock;
-    data_.assign(blocks * kEpsilonBlock * d, T{});
-    for (uint32_t i = 0; i < n; ++i) {
-      const std::span<const T> r = row(i);
-      T* base = data_.data() +
-                (static_cast<size_t>(i) / kEpsilonBlock) * kEpsilonBlock * d +
-                i % kEpsilonBlock;
-      for (Dim k = 0; k < d; ++k) base[static_cast<size_t>(k) * kEpsilonBlock] = r[k];
+    // The default-init allocator makes this resize allocation-only; the
+    // block-major loop below writes every slot exactly once (real lanes
+    // from the rows, padding lanes T{}) in one sequential output pass —
+    // no zero-fill-then-scatter double write.
+    data_.resize(blocks * kEpsilonBlock * d);
+    for (size_t g = 0; g < blocks; ++g) {
+      T* base = data_.data() + g * kEpsilonBlock * d;
+      const uint32_t first = static_cast<uint32_t>(g * kEpsilonBlock);
+      const uint32_t lanes =
+          std::min<uint32_t>(kEpsilonBlock, n - first);
+      std::span<const T> rows[kEpsilonBlock];
+      for (uint32_t l = 0; l < lanes; ++l) rows[l] = row(first + l);
+      for (Dim k = 0; k < d; ++k) {
+        T* lane = base + static_cast<size_t>(k) * kEpsilonBlock;
+        uint32_t l = 0;
+        for (; l < lanes; ++l) lane[l] = rows[l][k];
+        for (; l < kEpsilonBlock; ++l) lane[l] = T{};
+      }
     }
   }
 
@@ -104,7 +144,7 @@ class BasicVerifyWindow {
  private:
   uint32_t n_ = 0;
   Dim d_ = 0;
-  std::vector<T> data_;
+  std::vector<T, internal::DefaultInitAllocator<T>> data_;
 };
 
 /// Integer-domain window (Community counters, EncodedA order, hybrid

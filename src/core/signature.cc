@@ -1,6 +1,7 @@
 #include "core/signature.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <numeric>
 
@@ -23,6 +24,106 @@ uint32_t ClampQuantiles(uint32_t q) {
 inline uint32_t RankOf(uint32_t j, uint32_t sampled, uint32_t quantiles) {
   return static_cast<uint32_t>(
       (static_cast<uint64_t>(j) * (sampled - 1)) / quantiles);
+}
+
+/// Radix-sort all d columns at once through composite (dim << vbits) |
+/// counter keys, then read the breakpoint ranks straight out of the
+/// sorted key array (column k's nonzeros occupy a contiguous run and
+/// the masked low bits are the sorted counters). KeyT is the narrowest
+/// unsigned type that holds vbits + dbits: uint16_t halves the radix
+/// memory traffic whenever counters and dims fit (they do for d = 27
+/// categories until a counter exceeds ~2k).
+///
+/// Zero counters never enter the key array: they are counted per dim
+/// during the key build and resolved as an implicit sorted prefix at
+/// rank extraction (zero is the unsigned minimum, so a sorted column is
+/// always `zeros[k]` zeros followed by the sorted nonzeros). Profile
+/// data is roughly half zeros, and skipping them halves the scatter
+/// passes — which are the radix hot spot, serialized by
+/// store-to-forward chains whenever consecutive keys land in the same
+/// bucket (bucket 0 otherwise absorbs every zero).
+template <typename KeyT>
+void RadixRankExtract(const Community& community,
+                      const std::vector<UserId>& users, bool all_users,
+                      uint32_t sampled, Dim d, uint32_t vbits, uint32_t dbits,
+                      uint32_t quantiles, const uint32_t* ranks,
+                      std::vector<KeyT>& keys, std::vector<KeyT>& aux,
+                      std::vector<uint32_t>& zeros, Count* table) {
+  const size_t total = static_cast<size_t>(d) * sampled;
+  keys.resize(total);
+  aux.resize(total);
+  zeros.assign(d, 0);
+  const uint32_t passes = (vbits + dbits + 7) / 8;
+  CSJ_CHECK(passes <= sizeof(KeyT));
+  // Key build is a pure compaction pass: the key is written
+  // unconditionally and the cursor advances by the nonzero flag, so a
+  // zero counter's slot is simply overwritten by the next key. No
+  // accumulator is indexed by key content here — zero runs would
+  // otherwise serialize the loop through store-to-load forwarding on
+  // one histogram slot. The build doubles as hint audit: the
+  // OR-accumulator's width bounds every counter's width, so a hint
+  // below the true maximum (which would corrupt keys) aborts instead
+  // of mis-sketching.
+  Count seen = 0;
+  size_t p = 0;
+  for (uint32_t i = 0; i < sampled; ++i) {
+    const Count* row = community.User(all_users ? i : users[i]).data();
+    for (Dim k = 0; k < d; ++k) {
+      const Count v = row[k];
+      seen |= v;
+      keys[p] = static_cast<KeyT>((static_cast<Count>(k) << vbits) | v);
+      p += v != 0;
+    }
+  }
+  CSJ_CHECK(static_cast<uint32_t>(std::bit_width(seen)) <= vbits)
+      << "max_counter_hint below the true maximum counter";
+  const size_t kept = p;
+  // Histogram pass over the surviving keys only: every digit histogram
+  // for the radix passes below, plus the per-dim nonzero counts (the
+  // dim tag is the key's high field), in one ~half-length sweep.
+  uint32_t hist[sizeof(KeyT)][256] = {};
+  for (size_t i = 0; i < kept; ++i) {
+    const KeyT key = keys[i];
+    ++zeros[key >> vbits];
+    if (passes == 2) {
+      ++hist[0][key & 0xFF];
+      ++hist[1][(key >> 8) & 0xFF];
+    } else {
+      for (uint32_t pass = 0; pass < passes; ++pass) {
+        ++hist[pass][(key >> (pass * 8)) & 0xFF];
+      }
+    }
+  }
+  // `zeros` held nonzero tallies during the sweep; flip it.
+  for (Dim k = 0; k < d; ++k) zeros[k] = sampled - zeros[k];
+  KeyT* src = keys.data();
+  KeyT* dst = aux.data();
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    const uint32_t shift = pass * 8;
+    uint32_t* buckets = hist[pass];
+    uint32_t sum = 0;
+    for (uint32_t b = 0; b < 256; ++b) {
+      const uint32_t count = buckets[b];
+      buckets[b] = sum;
+      sum += count;
+    }
+    for (size_t i = 0; i < kept; ++i) {
+      dst[buckets[(src[i] >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  const Count mask = vbits >= 32 ? ~Count{0} : (Count{1} << vbits) - 1;
+  size_t col_start = 0;
+  for (Dim k = 0; k < d; ++k) {
+    const uint32_t z = zeros[k];
+    const KeyT* column = src + col_start;
+    Count* row = table + static_cast<size_t>(k) * (quantiles + 1);
+    for (uint32_t j = 0; j <= quantiles; ++j) {
+      const uint32_t r = ranks[j];
+      row[j] = r < z ? Count{0} : (static_cast<Count>(column[r - z]) & mask);
+    }
+    col_start += sampled - z;
+  }
 }
 
 }  // namespace
@@ -64,6 +165,103 @@ CommunitySignature::CommunitySignature(const Community& community,
     Count* row = table_.data() + static_cast<size_t>(k) * (quantiles_ + 1);
     for (uint32_t j = 0; j <= quantiles_; ++j) {
       row[j] = column[RankOf(j, sampled_, quantiles_)];
+    }
+  }
+}
+
+CommunitySignature::CommunitySignature(const Community& community,
+                                       const SignatureOptions& options,
+                                       SketchScratch* scratch,
+                                       Count max_counter_hint) {
+  CSJ_CHECK(community.size() > 0) << "cannot sketch an empty community";
+  CSJ_CHECK(scratch != nullptr);
+  n_ = community.size();
+  d_ = community.d();
+  quantiles_ = ClampQuantiles(options.quantiles);
+
+  // Same deterministic subset as the reference constructor.
+  std::vector<UserId>& users = scratch->users;
+  users.clear();
+  const double recall = std::clamp(options.recall_target, 0.0, 1.0);
+  const bool all_users = recall >= 1.0;
+  if (!all_users) {
+    const uint64_t threshold =
+        static_cast<uint64_t>(recall * static_cast<double>(UINT64_MAX));
+    for (UserId u = 0; u < n_; ++u) {
+      uint64_t state = options.seed ^ (0xD1B54A32D192ED03ULL * (u + 1));
+      if (util::SplitMix64(state) <= threshold) users.push_back(u);
+    }
+    if (users.empty()) users.push_back(0);  // a sketch needs >= 1 user
+  }
+  sampled_ = all_users ? n_ : static_cast<uint32_t>(users.size());
+  table_.resize(static_cast<size_t>(d_) * (quantiles_ + 1));
+
+  // A sketch is d order-statistic rows, one per counter column. Instead
+  // of d separate sorts, sort ALL columns at once: pack each counter
+  // into a (dim << vbits) | counter key and LSD-radix the keys — the
+  // sorted key array is the concatenation of the sorted columns in dim
+  // order (zeros included), and equal value multisets sort identically
+  // under any algorithm, so the rank reads below reproduce the reference
+  // constructor's bytes exactly.
+  Count max_counter = max_counter_hint;
+  if (max_counter == 0) {
+    for (uint32_t i = 0; i < sampled_; ++i) {
+      const Count* row = community.User(all_users ? i : users[i]).data();
+      for (Dim k = 0; k < d_; ++k) max_counter = std::max(max_counter, row[k]);
+    }
+  }
+  const uint32_t vbits = std::bit_width(std::max(max_counter, Count{1}));
+  const uint32_t dbits = d_ <= 1 ? 0 : std::bit_width(d_ - 1);
+
+  // Breakpoint ranks depend on (j, sampled, quantiles) only — hoist the
+  // 64-bit divisions out of the per-dimension loops (d * (Q+1) of them
+  // otherwise; the divider is the rank loop's hot instruction).
+  uint32_t ranks[kMaxQuantiles + 1];
+  for (uint32_t j = 0; j <= quantiles_; ++j) {
+    ranks[j] = RankOf(j, sampled_, quantiles_);
+  }
+
+  if (vbits + dbits <= 16) {
+    RadixRankExtract<uint16_t>(community, users, all_users, sampled_, d_,
+                               vbits, dbits, quantiles_, ranks,
+                               scratch->keys16, scratch->aux16,
+                               scratch->zeros, table_.data());
+    return;
+  }
+  if (vbits + dbits <= 32) {
+    RadixRankExtract<Count>(community, users, all_users, sampled_, d_, vbits,
+                            dbits, quantiles_, ranks, scratch->columns,
+                            scratch->aux, scratch->zeros, table_.data());
+    return;
+  }
+
+  // Fallback for counters too wide to share a 32-bit key with the dim
+  // tag: transpose once, then per-column sorts of the nonzero tail.
+  std::vector<Count>& columns = scratch->columns;
+  columns.resize(static_cast<size_t>(d_) * sampled_);
+  for (uint32_t i = 0; i < sampled_; ++i) {
+    const Count* row = community.User(all_users ? i : users[i]).data();
+    for (Dim k = 0; k < d_; ++k) {
+      columns[static_cast<size_t>(k) * sampled_ + i] = row[k];
+    }
+  }
+  for (Dim k = 0; k < d_; ++k) {
+    Count* column = columns.data() + static_cast<size_t>(k) * sampled_;
+    // Counters are unsigned, so the sorted column is a zero prefix
+    // followed by the sorted nonzeros: compact the nonzeros to the
+    // front, sort only them, and resolve ranks against the implicit
+    // zero prefix.
+    uint32_t nonzeros = 0;
+    for (uint32_t i = 0; i < sampled_; ++i) {
+      const Count v = column[i];
+      if (v != 0) column[nonzeros++] = v;
+    }
+    std::sort(column, column + nonzeros);
+    const uint32_t zeros = sampled_ - nonzeros;
+    Count* row = table_.data() + static_cast<size_t>(k) * (quantiles_ + 1);
+    for (uint32_t j = 0; j <= quantiles_; ++j) {
+      const uint32_t r = ranks[j];
+      row[j] = r < zeros ? 0 : column[r - zeros];
     }
   }
 }
@@ -159,6 +357,20 @@ std::vector<Dim> SignatureProbeOrder(const CommunitySignature& query) {
   return order;
 }
 
+Dim SignatureHomeDim(const CommunitySignature& signature) {
+  if (signature.d() == 0) return 0;
+  Dim best = 0;
+  Count best_min = signature.DimTable(0)[0];
+  for (Dim k = 1; k < signature.d(); ++k) {
+    const Count min_k = signature.DimTable(k)[0];
+    if (min_k > best_min) {
+      best = k;
+      best_min = min_k;
+    }
+  }
+  return best;
+}
+
 SignatureIndex::SignatureIndex(uint32_t shards,
                                const SignatureOptions& options)
     : options_(options), shards_(std::max(shards, 1u)) {
@@ -172,16 +384,22 @@ void SignatureIndex::Install(uint32_t shard_index, uint64_t id,
   CSJ_CHECK(signature != nullptr);
   CSJ_CHECK(signature->quantiles() == options_.quantiles)
       << "signature resolution does not match the index";
-  Shard& shard = shards_[shard_index];
+  InstallSlot(shards_[shard_index], id, version, std::move(signature));
+}
+
+void SignatureIndex::InstallSlot(
+    Shard& shard, uint64_t id, uint64_t version,
+    std::shared_ptr<const CommunitySignature> signature) {
   auto it = shard.locate.find(id);
   if (it != shard.locate.end()) {
     // Replace: drop the old slot first — the community may have changed
-    // dimensionality, which moves it to a different pack.
+    // dimensionality or home category, which moves it to another pack.
     RemoveSlot(shard, it->second.first, it->second.second);
   }
   const Dim d = signature->d();
-  Pack& pack = shard.packs[d];
-  if (pack.ids.empty()) {
+  const PackKey key{d, SignatureHomeDim(*signature)};
+  Pack& pack = shard.packs[key];
+  if (pack.stride == 0) {
     pack.d = d;
     pack.stride = static_cast<uint32_t>(d) * (options_.quantiles + 1);
   }
@@ -192,8 +410,59 @@ void SignatureIndex::Install(uint32_t shard_index, uint64_t id,
   pack.sampled.push_back(signature->sampled());
   pack.table.insert(pack.table.end(), signature->table().begin(),
                     signature->table().end());
+  // Widen the coarse summary (never shrink — see the header note).
+  if (pack.dim_min.empty()) {
+    pack.dim_min.assign(d, 0);
+    pack.dim_max.assign(d, 0);
+    for (Dim k = 0; k < d; ++k) {
+      const auto row = signature->DimTable(k);
+      pack.dim_min[k] = row[0];
+      pack.dim_max[k] = row[signature->quantiles()];
+    }
+    pack.min_size = signature->size();
+  } else {
+    for (Dim k = 0; k < d; ++k) {
+      const auto row = signature->DimTable(k);
+      pack.dim_min[k] = std::min(pack.dim_min[k], row[0]);
+      pack.dim_max[k] = std::max(pack.dim_max[k], row[signature->quantiles()]);
+    }
+    pack.min_size = std::min(pack.min_size, signature->size());
+  }
   pack.signatures.push_back(std::move(signature));
-  shard.locate[id] = {d, slot};
+  shard.locate[id] = {key, slot};
+}
+
+void SignatureIndex::InstallBatch(uint32_t shard_index,
+                                  std::span<SlotInstall> batch) {
+  CSJ_CHECK(shard_index < shards_.size());
+  Shard& shard = shards_[shard_index];
+  // Reservation pass: upper-bound each target pack's growth so the
+  // install loop never reallocates mid-batch. Replacements free their
+  // old slot, so this can over-reserve — that only pads capacity.
+  std::map<PackKey, size_t> growth;
+  for (const SlotInstall& element : batch) {
+    CSJ_CHECK(element.signature != nullptr);
+    CSJ_CHECK(element.signature->quantiles() == options_.quantiles)
+        << "signature resolution does not match the index";
+    ++growth[{element.signature->d(), SignatureHomeDim(*element.signature)}];
+  }
+  for (const auto& [key, count] : growth) {
+    Pack& pack = shard.packs[key];
+    const size_t target = pack.ids.size() + count;
+    const size_t stride =
+        static_cast<size_t>(key.first) * (options_.quantiles + 1);
+    pack.ids.reserve(target);
+    pack.versions.reserve(target);
+    pack.sizes.reserve(target);
+    pack.sampled.reserve(target);
+    pack.table.reserve(target * stride);
+    pack.signatures.reserve(target);
+  }
+  shard.locate.reserve(shard.locate.size() + batch.size());
+  for (SlotInstall& element : batch) {
+    InstallSlot(shard, element.id, element.version,
+                std::move(element.signature));
+  }
 }
 
 bool SignatureIndex::Remove(uint32_t shard_index, uint64_t id) {
@@ -205,8 +474,8 @@ bool SignatureIndex::Remove(uint32_t shard_index, uint64_t id) {
   return true;
 }
 
-void SignatureIndex::RemoveSlot(Shard& shard, Dim d, uint32_t slot) {
-  auto pack_it = shard.packs.find(d);
+void SignatureIndex::RemoveSlot(Shard& shard, PackKey key, uint32_t slot) {
+  auto pack_it = shard.packs.find(key);
   CSJ_CHECK(pack_it != shard.packs.end());
   Pack& pack = pack_it->second;
   const uint32_t last = static_cast<uint32_t>(pack.ids.size()) - 1;
@@ -222,7 +491,7 @@ void SignatureIndex::RemoveSlot(Shard& shard, Dim d, uint32_t slot) {
                 pack.table.data() + static_cast<size_t>(last) * pack.stride,
                 static_cast<size_t>(pack.stride) * sizeof(Count));
     pack.signatures[slot] = std::move(pack.signatures[last]);
-    shard.locate[pack.ids[slot]] = {d, slot};
+    shard.locate[pack.ids[slot]] = {key, slot};
   }
   pack.ids.pop_back();
   pack.versions.pop_back();
@@ -231,6 +500,71 @@ void SignatureIndex::RemoveSlot(Shard& shard, Dim d, uint32_t slot) {
   pack.table.resize(pack.table.size() - pack.stride);
   pack.signatures.pop_back();
 }
+
+namespace {
+
+/// Certifies that EVERY slot of `pack` fails the per-slot cap check at
+/// `threshold`, from the pack's coarse summary alone. One skip proof in
+/// any single dimension suffices; all three proofs below lower-bound the
+/// per-slot sweep's own verdict, so a skipped pack contributes no
+/// candidate the slot-by-slot path would have admitted:
+///
+///  - span disjointness: every slot user in k is >= that slot's smallest
+///    breakpoint >= dim_min[k]; if the query's eps-extended span in k
+///    ends below dim_min[k], every slot's in_entry count is exactly 0,
+///    so every cap is 0 < threshold. Symmetrically for dim_max[k] below
+///    the span's start.
+///  - counting: any slot's in_query count is SignatureCountUpperBound of
+///    the query row against THAT slot's eps-extended span, which lies
+///    inside [dim_min[k] - eps, dim_max[k] + eps]; the bound is monotone
+///    under interval widening, so `ub` dominates every slot's in_query.
+///    Any slot's cap denominator bn = min(query, slot size) >= m, and
+///    IEEE division is correctly rounded hence monotone in both
+///    operands, so double(in_query)/double(bn) <= double(ub)/double(m)
+///    slot by slot — the comparison is done in the SAME double
+///    arithmetic as the per-slot check on purpose (a threshold*m product
+///    form could disagree with it by an ulp).
+bool DimProvesPackBelow(const CommunitySignature& query_sig, Epsilon eps,
+                        double threshold, double denom, Dim k,
+                        std::span<const Count> dim_min,
+                        std::span<const Count> dim_max) {
+  const uint32_t quantiles = query_sig.quantiles();
+  const auto row = query_sig.DimTable(k);
+  const int64_t pack_lo = static_cast<int64_t>(dim_min[k]);
+  const int64_t pack_hi = static_cast<int64_t>(dim_max[k]);
+  if (static_cast<int64_t>(row[quantiles]) + eps < pack_lo) return true;
+  if (static_cast<int64_t>(row[0]) - eps > pack_hi) return true;
+  const uint32_t ub = SignatureCountUpperBound(row, query_sig.sampled(),
+                                               pack_lo - eps, pack_hi + eps);
+  return static_cast<double>(ub) / denom < threshold;
+}
+
+bool PackBelowThreshold(const CommunitySignature& query_sig, Epsilon eps,
+                        double threshold, std::span<const Dim> probe_order,
+                        Dim pack_home, std::span<const Count> dim_min,
+                        std::span<const Count> dim_max, uint32_t min_size) {
+  const uint32_t m = std::min(query_sig.size(), min_size);
+  if (m == 0) return false;
+  const double denom = static_cast<double>(m);
+  // The pack's home dimension is where same-home slots all hold large
+  // counters and unrelated queries hold few, so it proves most skips —
+  // try it first. Which dimension fires does not affect the outcome
+  // (skip iff ANY dimension proves it).
+  if (DimProvesPackBelow(query_sig, eps, threshold, denom, pack_home, dim_min,
+                         dim_max)) {
+    return true;
+  }
+  for (Dim k : probe_order) {
+    if (k == pack_home) continue;
+    if (DimProvesPackBelow(query_sig, eps, threshold, denom, k, dim_min,
+                           dim_max)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 void SignatureIndex::ProbeShard(uint32_t shard_index, const ProbeQuery& query,
                                 std::vector<PrescreenCandidate>* out,
@@ -242,13 +576,26 @@ void SignatureIndex::ProbeShard(uint32_t shard_index, const ProbeQuery& query,
   const CommunitySignature& query_sig = *query.signature;
   const uint32_t query_size = query_sig.size();
   const uint32_t quantiles = query_sig.quantiles();
-  for (const auto& [pack_d, pack] : shard.packs) {
+  for (const auto& [key, pack] : shard.packs) {
     const uint64_t slots = pack.ids.size();
+    if (slots == 0) continue;
     stats->examined += slots;
-    if (pack_d != query_sig.d()) {
+    if (key.first != query_sig.d()) {
       // A whole pack of differently-dimensioned entries rejects for free
       // (the scan path counts these as inadmissible, one by one).
       stats->skipped_dim += slots;
+      continue;
+    }
+    if (query.threshold > 0 &&
+        PackBelowThreshold(query_sig, query.eps, query.threshold,
+                           query.probe_order, key.second, pack.dim_min,
+                           pack.dim_max, pack.min_size)) {
+      // Second filter level: the coarse summary certifies every slot
+      // below threshold, so the whole pack is dismissed in one check.
+      // Inert probes (threshold <= 0) never take this path — they must
+      // enumerate every slot.
+      stats->skipped_cap += slots;
+      ++stats->packs_skipped;
       continue;
     }
     for (uint32_t slot = 0; slot < slots; ++slot) {
@@ -294,18 +641,20 @@ uint64_t SignatureIndex::size() const {
 size_t SignatureIndex::MemoryBytes() const {
   size_t total = sizeof(*this);
   for (const Shard& shard : shards_) {
-    for (const auto& [d, pack] : shard.packs) {
+    for (const auto& [key, pack] : shard.packs) {
       total += pack.ids.capacity() * sizeof(uint64_t) +
                pack.versions.capacity() * sizeof(uint64_t) +
                pack.sizes.capacity() * sizeof(uint32_t) +
                pack.sampled.capacity() * sizeof(uint32_t) +
-               pack.table.capacity() * sizeof(Count);
+               pack.table.capacity() * sizeof(Count) +
+               (pack.dim_min.capacity() + pack.dim_max.capacity()) *
+                   sizeof(Count);
       for (const auto& sig : pack.signatures) {
         if (sig != nullptr) total += sig->MemoryBytes();
       }
     }
     total += shard.locate.size() *
-             (sizeof(uint64_t) + sizeof(std::pair<Dim, uint32_t>));
+             (sizeof(uint64_t) + sizeof(std::pair<PackKey, uint32_t>));
   }
   return total;
 }

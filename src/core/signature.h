@@ -70,11 +70,39 @@ struct SignatureOptions {
   uint64_t seed = 0x5349474E41545552ULL;  // "SIGNATUR"
 };
 
+/// Reusable scratch for the bulk-ingestion sketch builder (one per
+/// thread; the capacity settles at the largest community sketched).
+struct SketchScratch {
+  std::vector<Count> columns;  ///< composite radix keys / transposed counters
+  std::vector<Count> aux;      ///< radix scatter buffer
+  std::vector<uint16_t> keys16;  ///< half-width keys (vbits + dbits <= 16)
+  std::vector<uint16_t> aux16;   ///< half-width radix scatter buffer
+  std::vector<uint32_t> zeros;   ///< per-dim zero-counter tallies
+  std::vector<UserId> users;     ///< sampled user ids (recall_target < 1)
+};
+
 /// One community's sketch: d equi-rank breakpoint rows, dimension-major.
 class CommunitySignature {
  public:
   CommunitySignature(const Community& community,
                      const SignatureOptions& options);
+
+  /// The bulk-ingestion fast path: the SAME table bytes as the plain
+  /// constructor (bulk_load_test proves it), built through caller-owned
+  /// scratch instead of per-call allocations. All d columns are sorted
+  /// at once by an LSD radix sort over composite (dim, counter) keys —
+  /// equal counter multisets sort to equal columns whatever the
+  /// algorithm, so the breakpoint rows come out byte-identical to the
+  /// plain constructor's per-column std::sort. `max_counter_hint`, when
+  /// nonzero, must be >= every sketched counter (BulkLoad passes the
+  /// digest's exact maximum; the constructor re-checks the bound from an
+  /// OR-accumulator and aborts on a lying hint) and skips the max-scan
+  /// pass; 0 scans. Communities whose (dim, counter) keys overflow 32
+  /// bits fall back to per-column sorts. The plain constructor stays as
+  /// the readable reference implementation.
+  CommunitySignature(const Community& community,
+                     const SignatureOptions& options, SketchScratch* scratch,
+                     Count max_counter_hint = 0);
 
   /// True community size (admissibility checks, the cap's denominator).
   uint32_t size() const { return n_; }
@@ -134,13 +162,29 @@ double SignatureSimilarityCap(const CommunitySignature& query,
 /// early exit fires after 1-3 dimensions for most entries.
 std::vector<Dim> SignatureProbeOrder(const CommunitySignature& query);
 
+/// A community's home dimension: the one with the largest smallest
+/// breakpoint (ties: smaller dimension) — the first entry of
+/// SignatureProbeOrder, without building the whole permutation. On the
+/// profile workload this is the community's dominant category (every
+/// member holds a large counter there), so grouping index packs by home
+/// dimension makes packs internally alike and mutually disparate —
+/// exactly what the pack-level prefilter needs to skip whole packs.
+Dim SignatureHomeDim(const CommunitySignature& signature);
+
 /// Sweep accounting, accumulated across shards by one probe.
 struct PrescreenStats {
-  uint64_t examined = 0;              ///< index slots looked at
-  uint64_t passed = 0;                ///< cap >= threshold
-  uint64_t skipped_cap = 0;           ///< certified below threshold
+  uint64_t examined = 0;  ///< index slots looked at
+  uint64_t passed = 0;    ///< cap >= threshold
+  /// Certified below threshold. Slots inside packs dismissed wholesale
+  /// by the pack prefilter are folded in here: the pack-level proof is
+  /// cap-based, so it cannot tell which of those slots the per-slot
+  /// path would have billed to skipped_inadmissible instead.
+  uint64_t skipped_cap = 0;
   uint64_t skipped_inadmissible = 0;  ///< CSJ size rule fails
   uint64_t skipped_dim = 0;           ///< dimensionality mismatch
+  /// Whole packs dismissed by the coarse per-pack summary check (the
+  /// second filter level) without touching any slot.
+  uint64_t packs_skipped = 0;
 };
 
 struct PrescreenCandidate {
@@ -176,6 +220,23 @@ class SignatureIndex {
   void Install(uint32_t shard, uint64_t id, uint64_t version,
                std::shared_ptr<const CommunitySignature> signature);
 
+  /// One element of an InstallBatch — what Install takes, in bulk form.
+  struct SlotInstall {
+    uint64_t id = 0;
+    uint64_t version = 0;
+    std::shared_ptr<const CommunitySignature> signature;
+  };
+
+  /// Installs a whole shard batch under the caller's ONE exclusive
+  /// shard lock: pack capacity is reserved up front (one reservation
+  /// per target pack instead of N incremental growths), then the batch
+  /// replays the exact per-element Install semantics in order —
+  /// including replacement of ids already resident and of duplicates
+  /// within the batch — so the resulting pack columns and summaries
+  /// are byte-identical to calling Install once per element.
+  /// Signatures are consumed (moved out of the batch).
+  void InstallBatch(uint32_t shard, std::span<SlotInstall> batch);
+
   /// Drops `id`'s sketch. Returns false when absent.
   bool Remove(uint32_t shard, uint64_t id);
 
@@ -206,7 +267,12 @@ class SignatureIndex {
   size_t MemoryBytes() const;
 
  private:
-  /// Slot-major columns of one (shard, dimensionality) group.
+  /// Packs group a shard's slots by (dimensionality, home dimension):
+  /// same-home communities look alike, so one coarse per-pack summary
+  /// is tight enough to dismiss the whole pack against most queries.
+  using PackKey = std::pair<Dim, Dim>;  ///< (d, SignatureHomeDim)
+
+  /// Slot-major columns of one (shard, d, home) group.
   struct Pack {
     Dim d = 0;
     uint32_t stride = 0;  ///< d * (quantiles + 1) Counts per slot
@@ -216,14 +282,27 @@ class SignatureIndex {
     std::vector<uint32_t> sampled;  ///< sketched user counts
     std::vector<Count> table;       ///< slot-major breakpoint rows
     std::vector<std::shared_ptr<const CommunitySignature>> signatures;
+
+    /// Coarse summary for the pack prefilter, maintained WIDEN-ONLY:
+    /// dim_min[k] <= every resident slot's smallest breakpoint in k and
+    /// dim_max[k] >= every slot's largest; min_size <= every slot's
+    /// community size. Removals leave them untouched (still enclosing,
+    /// possibly slack — slack only costs skip opportunities, never
+    /// soundness), and widen-only updates are insertion-order
+    /// independent, so bulk and sequential installs agree bytewise.
+    std::vector<Count> dim_min;
+    std::vector<Count> dim_max;
+    uint32_t min_size = 0;
   };
   struct Shard {
-    /// id -> (pack dimensionality, slot).
-    std::unordered_map<uint64_t, std::pair<Dim, uint32_t>> locate;
-    std::map<Dim, Pack> packs;
+    /// id -> (pack key, slot).
+    std::unordered_map<uint64_t, std::pair<PackKey, uint32_t>> locate;
+    std::map<PackKey, Pack> packs;
   };
 
-  void RemoveSlot(Shard& shard, Dim d, uint32_t slot);
+  void InstallSlot(Shard& shard, uint64_t id, uint64_t version,
+                   std::shared_ptr<const CommunitySignature> signature);
+  void RemoveSlot(Shard& shard, PackKey key, uint32_t slot);
 
   SignatureOptions options_;
   std::vector<Shard> shards_;

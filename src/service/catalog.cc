@@ -6,6 +6,8 @@
 #include "core/encoding.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace csj::service {
 
@@ -98,6 +100,201 @@ uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
   return entry.version;
 }
 
+uint64_t CommunityCatalog::BulkLoad(
+    std::vector<std::pair<uint64_t, Community>> batch, BulkLoadStats* stats) {
+  std::vector<std::pair<uint64_t, std::shared_ptr<const Community>>> frozen;
+  frozen.reserve(batch.size());
+  for (auto& [id, community] : batch) {
+    frozen.emplace_back(
+        id, std::make_shared<const Community>(std::move(community)));
+  }
+  return BulkLoad(std::move(frozen), stats);
+}
+
+uint64_t CommunityCatalog::BulkLoad(
+    std::vector<std::pair<uint64_t, std::shared_ptr<const Community>>> batch,
+    BulkLoadStats* stats) {
+  if (stats != nullptr) *stats = BulkLoadStats{};
+  const uint32_t n = static_cast<uint32_t>(batch.size());
+  if (n == 0) return 0;
+  if (stats != nullptr) stats->entries = n;
+  for (const auto& [id, community] : batch) {
+    CSJ_CHECK(community != nullptr && !community->empty())
+        << "catalog entries must be non-empty";
+  }
+
+  // Reserve the whole version block up front: element i gets base + i,
+  // exactly the version a sequential Upsert loop would have issued (and
+  // concurrent Upserts slot before or after the block, never inside it).
+  const uint64_t base =
+      next_version_.fetch_add(n, std::memory_order_acq_rel);
+
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  std::vector<CatalogEntry> entries(n);
+
+  // Three warm artifacts land in the cache per entry; pre-sizing its
+  // shard tables once removes every incremental rehash from the waves.
+  if (options_.cache != nullptr) {
+    options_.cache->Reserve(static_cast<size_t>(n) * 3);
+  }
+
+  // The encode and sketch waves read the same counter buffers, so they
+  // run in cache-sized chunks: at catalog scale a full-batch wave 2
+  // would find every community long since evicted and re-stream the
+  // whole catalog from DRAM, while a ~9 MB chunk is still LLC-resident
+  // from wave 1. Phase timers accumulate across chunks.
+  constexpr uint32_t kWaveChunk = 2048;
+  double encode_seconds = 0.0;
+  double sketch_seconds = 0.0;
+  util::Timer phase_timer;
+  for (uint32_t chunk = 0; chunk < n; chunk += kWaveChunk) {
+    const uint32_t count = std::min(kWaveChunk, n - chunk);
+
+    // Wave 1 — adopt the frozen buffers, digest, warm the encoding
+    // cache. The warm artifacts are built directly and bulk-inserted
+    // (EncodingCache::Put*): the batch has no duplicate keys to dedup,
+    // so GetOrBuild's promise/future machinery would be pure overhead
+    // here (measured at ~half the warmup cost per entry).
+    phase_timer.Reset();
+    pool.Run(count, [&](uint32_t t) {
+      const uint32_t i = chunk + t;
+      CatalogEntry& entry = entries[i];
+      entry.id = batch[i].first;
+      entry.version = base + i;
+      entry.community = std::move(batch[i].second);
+      // Stream the next entry's counters toward the cache while this
+      // entry is encoded: the digest is each buffer's first touch since
+      // the generator built it, and with ~20 KB of artifact traffic
+      // between touches the hardware prefetcher never re-arms, leaving
+      // that first walk latency-bound (measured ~3x slower than the
+      // prefetched walk). Knowing the next community is a batch-only
+      // luxury the per-entry Upsert path has no equivalent of.
+      if (i + 1 < n && batch[i + 1].second != nullptr) {
+        const auto next = batch[i + 1].second->flat();
+        for (size_t b = 0; b < next.size(); b += 16) {
+          __builtin_prefetch(&next[b]);
+        }
+      }
+      entry.digest = DigestCommunity(*entry.community);
+      if (options_.cache != nullptr) {
+        // Batches are near-always one dimensionality, so the encoder
+        // (whose constructor allocates its part-boundary table) is
+        // memoized per thread instead of rebuilt per entry. The memo
+        // keys on the raw construction parameters: the thread_local
+        // outlives this BulkLoad and must not leak across catalogs
+        // configured with different warm options.
+        struct EncoderMemo {
+          std::unique_ptr<Encoder> encoder;
+          Dim d = 0;
+          Epsilon eps = 0;
+          uint32_t parts = 0;
+        };
+        thread_local EncoderMemo memo;
+        if (memo.encoder == nullptr || memo.d != entry.community->d() ||
+            memo.eps != options_.warm_eps ||
+            memo.parts != options_.warm_parts) {
+          memo.encoder = std::make_unique<Encoder>(
+              entry.community->d(), options_.warm_eps, options_.warm_parts);
+          memo.d = entry.community->d();
+          memo.eps = options_.warm_eps;
+          memo.parts = options_.warm_parts;
+        }
+        const Encoder& encoder = *memo.encoder;
+        options_.cache->PutEncodedB(
+            entry.digest, options_.warm_eps, encoder.parts(),
+            std::make_shared<const EncodedB>(*entry.community, encoder));
+        options_.cache->PutEncodedA(
+            entry.digest, options_.warm_eps, encoder.parts(),
+            std::make_shared<const EncodedA>(*entry.community, encoder));
+        auto window = std::make_shared<VerifyWindow>();
+        window->Assign(entry.community->size(), entry.community->d(),
+                       [&](uint32_t u) { return entry.community->User(u); });
+        options_.cache->PutCommunityWindow(entry.digest, std::move(window));
+      }
+    });
+    encode_seconds += phase_timer.Seconds();
+
+    // Wave 2 — sketches through the scratch-reusing fast builder
+    // (byte-identical to the reference constructor Upsert uses). The
+    // digest's exact max counter feeds the radix key width, saving the
+    // builder its own max-scan pass.
+    phase_timer.Reset();
+    if (signature_index_ != nullptr) {
+      pool.Run(count, [&](uint32_t t) {
+        const uint32_t i = chunk + t;
+        // Same next-entry stream prefetch as wave 1: the chunk keeps
+        // these buffers LLC-resident, but the artifact writes between
+        // touches still de-arm the hardware prefetcher.
+        if (i + 1 < n && entries[i + 1].community != nullptr) {
+          const auto next = entries[i + 1].community->flat();
+          for (size_t b = 0; b < next.size(); b += 16) {
+            __builtin_prefetch(&next[b]);
+          }
+        }
+        thread_local SketchScratch scratch;
+        entries[i].signature = std::make_shared<const CommunitySignature>(
+            *entries[i].community, signature_index_->options(), &scratch,
+            entries[i].digest.max_counter);
+      });
+    }
+    sketch_seconds += phase_timer.Seconds();
+  }
+  if (stats != nullptr) {
+    stats->encode_seconds = encode_seconds;
+    stats->sketch_seconds = sketch_seconds;
+  }
+
+  // Install — group elements by shard (batch order preserved within a
+  // shard, so duplicate ids replay with last-wins semantics), then one
+  // exclusive lock + one batched index install per shard. Each shard's
+  // install is bracketed by its own mutation-clock tick: every completed
+  // shard flip is a stable state for tagged readers.
+  phase_timer.Reset();
+  std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  for (auto& members : by_shard) {
+    members.reserve(n / shards_.size() + n / (4 * shards_.size()) + 8);
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    by_shard[ShardIndexOf(entries[i].id)].push_back(i);
+  }
+  std::vector<SignatureIndex::SlotInstall> installs;
+  for (uint32_t shard_index = 0; shard_index < shards_.size();
+       ++shard_index) {
+    const std::vector<uint32_t>& members = by_shard[shard_index];
+    if (members.empty()) continue;
+    Shard& shard = shards_[shard_index];
+    if (signature_index_ != nullptr) {
+      installs.clear();
+      installs.reserve(members.size());
+      for (const uint32_t i : members) {
+        installs.push_back(
+            {entries[i].id, entries[i].version, entries[i].signature});
+      }
+    }
+    mutations_started_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::unique_lock lock(shard.mu);
+      for (const uint32_t i : members) {
+        // Entries are single-use here: moving skips three shared_ptr
+        // refcount round-trips per element. (Duplicate ids overwrite in
+        // batch order — last wins, as a sequential Upsert replay would.)
+        // The end hint makes each insert O(1) for the common ascending-id
+        // batch; out-of-order ids just fall back to a plain tree insert.
+        const uint64_t id = entries[i].id;
+        shard.entries.insert_or_assign(shard.entries.end(), id,
+                                       std::move(entries[i]));
+      }
+      if (signature_index_ != nullptr) {
+        signature_index_->InstallBatch(shard_index, installs);
+      }
+    }
+    mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (stats != nullptr) stats->install_seconds = phase_timer.Seconds();
+  upserts_.fetch_add(n, std::memory_order_relaxed);
+  return base + n - 1;
+}
+
 bool CommunityCatalog::Remove(uint64_t id) {
   const uint32_t shard_index = ShardIndexOf(id);
   Shard& shard = shards_[shard_index];
@@ -176,6 +373,8 @@ CommunityCatalog::ProbeResult CommunityCatalog::ProbeCandidates(
               return x.id < y.id;
             });
   probes_.fetch_add(1, std::memory_order_relaxed);
+  prescreen_packs_skipped_.fetch_add(result.stats.packs_skipped,
+                                     std::memory_order_relaxed);
   return result;
 }
 
@@ -207,6 +406,8 @@ CommunityCatalog::Stats CommunityCatalog::GetStats() const {
   stats.removes = removes_.load(std::memory_order_relaxed);
   stats.snapshots = snapshots_.load(std::memory_order_relaxed);
   stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.prescreen_packs_skipped =
+      prescreen_packs_skipped_.load(std::memory_order_relaxed);
   return stats;
 }
 

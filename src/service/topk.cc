@@ -81,6 +81,8 @@ TopKResult TopKSimilarService::QueryPrescreen(
   result.stats.prescreen_probed = static_cast<uint32_t>(probe.stats.passed);
   result.stats.prescreen_skipped =
       static_cast<uint32_t>(probe.stats.examined - probe.stats.passed);
+  result.stats.prescreen_packs_skipped =
+      static_cast<uint32_t>(probe.stats.packs_skipped);
   result.stats.prescreen_seconds = prescreen_seconds;
 
   // Certification: every swept-away entry has similarity < tau (the cap
@@ -111,6 +113,7 @@ TopKResult TopKSimilarService::QueryPrescreen(
   full.stats.refine_seconds += result.stats.refine_seconds;
   full.stats.prescreen_probed = result.stats.prescreen_probed;
   full.stats.prescreen_skipped = result.stats.prescreen_skipped;
+  full.stats.prescreen_packs_skipped = result.stats.prescreen_packs_skipped;
   full.stats.prescreen_seconds = prescreen_seconds;
   full.stats.fallback = 1;
   return full;

@@ -105,6 +105,9 @@ struct TopKQueryStats {
   /// candidates.
   uint32_t prescreen_probed = 0;   ///< entries admitted to the exact path
   uint32_t prescreen_skipped = 0;  ///< entries the sweep certified away
+  /// Whole index packs the sweep dismissed from their coarse summaries
+  /// alone (their slots are part of prescreen_skipped).
+  uint32_t prescreen_packs_skipped = 0;
   uint32_t fallback = 0;           ///< 1 when the exhaustive fallback ran
   double prescreen_seconds = 0.0;  ///< query sketch + index sweep wall
 };

@@ -69,8 +69,28 @@ class ServeWorkload {
     return communities_;
   }
 
-  /// Installs the seeded entries into `server` (id i+1 <- communities()[i]).
-  void Populate(CsjServer* server) const;
+  /// Per-phase populate accounting (BulkLoad phases are zero for the
+  /// sequential arm, which has no phase boundaries to time).
+  struct PopulateStats {
+    bool bulk = false;
+    uint32_t entries = 0;
+    double total_seconds = 0.0;
+    double encode_seconds = 0.0;
+    double sketch_seconds = 0.0;
+    double install_seconds = 0.0;
+    double entries_per_sec = 0.0;
+  };
+
+  /// Installs the seeded entries into `server` (id i+1 <- communities()[i])
+  /// through CommunityCatalog::BulkLoad — byte-identical end state to the
+  /// sequential arm below, at a fraction of the per-entry cost.
+  void Populate(CsjServer* server, PopulateStats* stats = nullptr) const;
+
+  /// The per-entry Upsert reference arm (what Populate did before bulk
+  /// ingestion existed). Kept callable for the bulk-vs-sequential
+  /// identity gates and the populate speedup benchmark.
+  void PopulateSequential(CsjServer* server,
+                          PopulateStats* stats = nullptr) const;
 
   /// Mints the next request of the mix. `topk_template` supplies the
   /// read-side parameters (k, method, join options — point join.cache at

@@ -1,0 +1,423 @@
+// Tests for the bulk-load ingestion pipeline: CommunityCatalog::BulkLoad
+// must leave the catalog, the encoding cache, and the signature index in
+// a state BYTE-IDENTICAL to a sequential Upsert replay of the same batch
+// — same versions, same digests, same sketch tables, same probe verdicts
+// — across shard counts, duplicate ids, and pre-populated catalogs. The
+// suite also pins the zero-copy overload's no-copy guarantee, the fast
+// sketch builder's equivalence to the reference constructor on the hint,
+// no-hint, and wide-counter fallback paths, and index/entry-map agreement
+// under concurrent churn racing a BulkLoad (the TSan target).
+
+#include "service/catalog.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/encoding.h"
+#include "core/encoding_cache.h"
+#include "core/signature.h"
+#include "data/generator.h"
+#include "test_seed.h"
+#include "util/rng.h"
+
+namespace csj::service {
+namespace {
+
+Community MakeTestCommunity(uint32_t size, uint64_t salt) {
+  util::Rng rng(testing::TestSeed(salt));
+  data::VkLikeGenerator gen(
+      static_cast<data::Category>(salt % data::kNumCategories));
+  return data::MakeCommunity(gen, size, rng);
+}
+
+/// One seeded (id, community) batch; ids deliberately NOT ascending so
+/// the install phase's end-hinted inserts also see the fallback path.
+std::vector<std::pair<uint64_t, Community>> MakeBatch(uint32_t n,
+                                                      uint64_t salt) {
+  util::Rng rng(testing::TestSeed(salt));
+  std::vector<std::pair<uint64_t, Community>> batch;
+  batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t id = 1 + ((static_cast<uint64_t>(i) * 37) % (2 * n));
+    batch.emplace_back(
+        id, MakeTestCommunity(static_cast<uint32_t>(rng.Between(10, 28)),
+                              salt * 1000 + i));
+  }
+  return batch;
+}
+
+std::vector<std::pair<uint64_t, Community>> CopyBatch(
+    const std::vector<std::pair<uint64_t, Community>>& batch) {
+  std::vector<std::pair<uint64_t, Community>> copy;
+  copy.reserve(batch.size());
+  for (const auto& [id, community] : batch) {
+    copy.emplace_back(id, Community(community));
+  }
+  return copy;
+}
+
+/// Deep bytewise comparison of two quiesced catalogs: entry maps (ids,
+/// versions, digests, counter buffers), signature index residency and
+/// sketch table bytes, and the probe verdicts a prescreen query would
+/// see. This is the test's definition of "byte-identical state".
+void ExpectCatalogsIdentical(const CommunityCatalog& bulk,
+                             const CommunityCatalog& sequential) {
+  const std::vector<CatalogEntry> bulk_snapshot = bulk.Snapshot();
+  const std::vector<CatalogEntry> seq_snapshot = sequential.Snapshot();
+  ASSERT_EQ(bulk_snapshot.size(), seq_snapshot.size());
+  EXPECT_EQ(bulk.latest_version(), sequential.latest_version());
+  for (size_t i = 0; i < bulk_snapshot.size(); ++i) {
+    const CatalogEntry& b = bulk_snapshot[i];
+    const CatalogEntry& s = seq_snapshot[i];
+    ASSERT_EQ(b.id, s.id);
+    EXPECT_EQ(b.version, s.version) << "id " << b.id;
+    EXPECT_EQ(b.digest.fingerprint, s.digest.fingerprint) << "id " << b.id;
+    EXPECT_EQ(b.digest.max_counter, s.digest.max_counter) << "id " << b.id;
+    ASSERT_NE(b.community, nullptr);
+    ASSERT_NE(s.community, nullptr);
+    const auto b_flat = b.community->flat();
+    const auto s_flat = s.community->flat();
+    ASSERT_EQ(b_flat.size(), s_flat.size()) << "id " << b.id;
+    EXPECT_TRUE(std::equal(b_flat.begin(), b_flat.end(), s_flat.begin()))
+        << "counter buffers diverged for id " << b.id;
+  }
+
+  const SignatureIndex* bulk_index = bulk.signature_index();
+  const SignatureIndex* seq_index = sequential.signature_index();
+  ASSERT_EQ(bulk_index == nullptr, seq_index == nullptr);
+  if (bulk_index == nullptr) return;
+  ASSERT_EQ(bulk_index->size(), seq_index->size());
+  for (const CatalogEntry& entry : bulk_snapshot) {
+    // Each id must be resident in exactly one shard of each index, at the
+    // same version, with bytewise-equal breakpoint tables.
+    std::shared_ptr<const CommunitySignature> from_bulk;
+    std::shared_ptr<const CommunitySignature> from_seq;
+    uint64_t bulk_version = 0;
+    uint64_t seq_version = 0;
+    for (uint32_t shard = 0; shard < bulk_index->shards(); ++shard) {
+      if (auto found = bulk_index->Lookup(shard, entry.id, &bulk_version)) {
+        EXPECT_EQ(from_bulk, nullptr) << "id " << entry.id << " twice";
+        from_bulk = std::move(found);
+      }
+      if (auto found = seq_index->Lookup(shard, entry.id, &seq_version)) {
+        EXPECT_EQ(from_seq, nullptr) << "id " << entry.id << " twice";
+        from_seq = std::move(found);
+      }
+    }
+    ASSERT_NE(from_bulk, nullptr) << "id " << entry.id;
+    ASSERT_NE(from_seq, nullptr) << "id " << entry.id;
+    EXPECT_EQ(bulk_version, seq_version) << "id " << entry.id;
+    EXPECT_EQ(from_bulk->size(), from_seq->size());
+    EXPECT_EQ(from_bulk->sampled(), from_seq->sampled());
+    const auto b_table = from_bulk->table();
+    const auto s_table = from_seq->table();
+    ASSERT_EQ(b_table.size(), s_table.size()) << "id " << entry.id;
+    EXPECT_TRUE(std::equal(b_table.begin(), b_table.end(), s_table.begin()))
+        << "sketch tables diverged for id " << entry.id;
+  }
+
+  // The pack-level state (summaries included) must agree behaviorally:
+  // identical candidates, identical sweep accounting — including the
+  // pack prefilter's skip count — for the same probe.
+  const Community query = MakeTestCommunity(18, 424242);
+  const CommunitySignature query_signature(query, bulk_index->options());
+  const std::vector<Dim> order = SignatureProbeOrder(query_signature);
+  for (const double threshold : {0.05, 0.25, 0.60}) {
+    const auto bulk_probe =
+        bulk.ProbeCandidates(query_signature, order, /*eps=*/2, threshold);
+    const auto seq_probe = sequential.ProbeCandidates(query_signature, order,
+                                                      /*eps=*/2, threshold);
+    ASSERT_EQ(bulk_probe.candidates.size(), seq_probe.candidates.size());
+    for (size_t i = 0; i < bulk_probe.candidates.size(); ++i) {
+      EXPECT_EQ(bulk_probe.candidates[i].id, seq_probe.candidates[i].id);
+      EXPECT_EQ(bulk_probe.candidates[i].version,
+                seq_probe.candidates[i].version);
+    }
+    EXPECT_EQ(bulk_probe.stats.examined, seq_probe.stats.examined);
+    EXPECT_EQ(bulk_probe.stats.passed, seq_probe.stats.passed);
+    EXPECT_EQ(bulk_probe.stats.skipped_cap, seq_probe.stats.skipped_cap);
+    EXPECT_EQ(bulk_probe.stats.skipped_inadmissible,
+              seq_probe.stats.skipped_inadmissible);
+    EXPECT_EQ(bulk_probe.stats.packs_skipped, seq_probe.stats.packs_skipped);
+  }
+}
+
+CommunityCatalog::Options WithEverything(uint32_t shards,
+                                         EncodingCache* cache) {
+  CommunityCatalog::Options options;
+  options.shards = shards;
+  options.cache = cache;
+  options.warm_eps = 2;
+  options.warm_parts = 4;
+  options.signatures = SignatureOptions{};
+  return options;
+}
+
+TEST(BulkLoadTest, MatchesSequentialUpsertAcrossShardCounts) {
+  for (const uint32_t shards : {1u, 4u, 8u}) {
+    EncodingCache bulk_cache;
+    EncodingCache seq_cache;
+    CommunityCatalog bulk(WithEverything(shards, &bulk_cache));
+    CommunityCatalog sequential(WithEverything(shards, &seq_cache));
+
+    const auto batch = MakeBatch(64, 100 + shards);
+    for (auto& [id, community] : CopyBatch(batch)) {
+      sequential.Upsert(id, std::move(community));
+    }
+    CommunityCatalog::BulkLoadStats stats;
+    const uint64_t last = bulk.BulkLoad(CopyBatch(batch), &stats);
+    EXPECT_EQ(last, bulk.latest_version());
+    EXPECT_EQ(stats.entries, batch.size());
+    EXPECT_GE(stats.encode_seconds, 0.0);
+    EXPECT_GE(stats.sketch_seconds, 0.0);
+    EXPECT_GE(stats.install_seconds, 0.0);
+
+    ExpectCatalogsIdentical(bulk, sequential);
+
+    // The bulk path must warm the SAME cache keys the sequential warmup
+    // does: the lookups a serving query performs all hit on both sides.
+    for (const CommunityCatalog* catalog : {&bulk, &sequential}) {
+      EncodingCache* cache = catalog == &bulk ? &bulk_cache : &seq_cache;
+      const EncodingCache::Stats before = cache->GetStats();
+      for (const CatalogEntry& entry : catalog->Snapshot()) {
+        const Encoder encoder(entry.community->d(), 2, 4);
+        cache->GetEncodedB(*entry.community, entry.digest, 2,
+                           encoder.parts(), nullptr);
+        cache->GetEncodedA(*entry.community, entry.digest, 2,
+                           encoder.parts(), nullptr);
+        cache->GetCommunityWindow(*entry.community, entry.digest, nullptr);
+      }
+      const EncodingCache::Stats after = cache->GetStats();
+      EXPECT_EQ(after.misses, before.misses)
+          << (catalog == &bulk ? "bulk" : "sequential")
+          << " warmup left cold keys";
+    }
+  }
+}
+
+TEST(BulkLoadTest, DuplicateIdsReplayLastWins) {
+  EncodingCache bulk_cache;
+  EncodingCache seq_cache;
+  CommunityCatalog bulk(WithEverything(4, &bulk_cache));
+  CommunityCatalog sequential(WithEverything(4, &seq_cache));
+
+  // Every id appears three times with different payloads; the resident
+  // entry must be the LAST occurrence under the version the sequential
+  // replay would have issued for it.
+  std::vector<std::pair<uint64_t, Community>> batch;
+  for (uint32_t round = 0; round < 3; ++round) {
+    for (uint64_t id = 1; id <= 12; ++id) {
+      batch.emplace_back(id,
+                         MakeTestCommunity(12 + round * 4, round * 100 + id));
+    }
+  }
+  for (auto& [id, community] : CopyBatch(batch)) {
+    sequential.Upsert(id, std::move(community));
+  }
+  bulk.BulkLoad(CopyBatch(batch), nullptr);
+
+  EXPECT_EQ(bulk.size(), 12u);
+  ExpectCatalogsIdentical(bulk, sequential);
+  // Spot-check the last-wins payload: round 2 communities have size 20.
+  const CatalogEntry entry = bulk.Get(5);
+  ASSERT_NE(entry.community, nullptr);
+  EXPECT_EQ(entry.community->size(), 20u);
+}
+
+TEST(BulkLoadTest, EmptyBatchIsANoOp) {
+  CommunityCatalog catalog(WithEverything(4, nullptr));
+  catalog.Upsert(1, MakeTestCommunity(16, 1));
+  const uint64_t version_before = catalog.latest_version();
+  const uint64_t started_before = catalog.mutations_started();
+
+  CommunityCatalog::BulkLoadStats stats;
+  stats.entries = 99;  // must be reset even on the empty path
+  EXPECT_EQ(catalog.BulkLoad(
+                std::vector<std::pair<uint64_t, Community>>{}, &stats),
+            0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.latest_version(), version_before);
+  EXPECT_EQ(catalog.mutations_started(), started_before);
+}
+
+TEST(BulkLoadTest, LoadsOntoPrePopulatedCatalogWithReplacements) {
+  EncodingCache bulk_cache;
+  EncodingCache seq_cache;
+  CommunityCatalog bulk(WithEverything(8, &bulk_cache));
+  CommunityCatalog sequential(WithEverything(8, &seq_cache));
+
+  // Both arms start from the same resident set...
+  for (uint64_t id = 1; id <= 20; ++id) {
+    Community community = MakeTestCommunity(14, 9000 + id);
+    bulk.Upsert(id, Community(community));
+    sequential.Upsert(id, std::move(community));
+  }
+  // ...then a batch overlapping half of it (ids 11..40) lands.
+  std::vector<std::pair<uint64_t, Community>> batch;
+  for (uint64_t id = 11; id <= 40; ++id) {
+    batch.emplace_back(id, MakeTestCommunity(18, 9500 + id));
+  }
+  for (auto& [id, community] : CopyBatch(batch)) {
+    sequential.Upsert(id, std::move(community));
+  }
+  bulk.BulkLoad(CopyBatch(batch), nullptr);
+
+  EXPECT_EQ(bulk.size(), 40u);
+  ExpectCatalogsIdentical(bulk, sequential);
+}
+
+TEST(BulkLoadTest, ZeroCopyOverloadInstallsTheCallersBuffers) {
+  CommunityCatalog catalog(WithEverything(4, nullptr));
+  std::vector<std::pair<uint64_t, std::shared_ptr<const Community>>> batch;
+  std::vector<const Community*> raw;
+  for (uint64_t id = 1; id <= 8; ++id) {
+    auto frozen =
+        std::make_shared<const Community>(MakeTestCommunity(12, 80 + id));
+    raw.push_back(frozen.get());
+    batch.emplace_back(id, std::move(frozen));
+  }
+  catalog.BulkLoad(std::move(batch), nullptr);
+  for (uint64_t id = 1; id <= 8; ++id) {
+    const CatalogEntry entry = catalog.Get(id);
+    ASSERT_NE(entry.community, nullptr);
+    EXPECT_EQ(entry.community.get(), raw[id - 1])
+        << "zero-copy overload copied the buffer for id " << id;
+  }
+}
+
+/// The fast sketch builder (scratch + hint) against the reference
+/// constructor, on all three internal paths: 16-bit radix keys (small
+/// counters), 32-bit keys, and the wide-counter per-column fallback.
+TEST(BulkLoadTest, FastSketchBuilderMatchesReferenceOnAllKeyWidths) {
+  const SignatureOptions options;
+  util::Rng rng(testing::TestSeed(321));
+  // Count ceilings chosen to steer the composite (dim, counter) key
+  // width: d = 27 needs 5 dim bits, so ceilings of 2^8, 2^20, and 2^30
+  // exercise the u16, u32, and fallback paths respectively.
+  const Count ceilings[] = {Count{1} << 8, Count{1} << 20, Count{1} << 30};
+  for (const Count ceiling : ceilings) {
+    constexpr Dim kD = 27;
+    Community community(kD);
+    std::vector<Count> vec(kD);
+    for (uint32_t u = 0; u < 40; ++u) {
+      for (Dim k = 0; k < kD; ++k) {
+        // About half zeros, like the profile data the builder is tuned
+        // for; the rest spread over the full ceiling.
+        vec[k] = rng.NextDouble() < 0.5
+                     ? 0
+                     : static_cast<Count>(1 + rng.Below(ceiling - 1));
+      }
+      community.AddUser(vec);
+    }
+    const CommunitySignature reference(community, options);
+    const Count max_counter = DigestCommunity(community).max_counter;
+    SketchScratch scratch;
+    const CommunitySignature with_hint(community, options, &scratch,
+                                       max_counter);
+    const CommunitySignature without_hint(community, options, &scratch, 0);
+    for (const CommunitySignature* fast : {&with_hint, &without_hint}) {
+      ASSERT_EQ(fast->table().size(), reference.table().size());
+      EXPECT_TRUE(std::equal(fast->table().begin(), fast->table().end(),
+                             reference.table().begin()))
+          << "fast builder diverged at counter ceiling " << ceiling;
+    }
+  }
+}
+
+TEST(BulkLoadTest, SurvivesConcurrentChurnAndQueries) {
+  // The TSan target: a BulkLoad of fresh ids races Upsert/Remove churn on
+  // a disjoint id range plus concurrent probes. Afterwards the bulk ids
+  // must all be resident at their batch payloads, versions unique, and
+  // the signature index in exact agreement with the entry map.
+  EncodingCache cache;
+  CommunityCatalog catalog(WithEverything(8, &cache));
+  constexpr uint64_t kChurnIds = 32;
+  constexpr uint32_t kBulkEntries = 96;
+  for (uint64_t id = 1; id <= kChurnIds; ++id) {
+    catalog.Upsert(id, MakeTestCommunity(12, 5000 + id));
+  }
+
+  std::vector<std::pair<uint64_t, Community>> batch;
+  for (uint32_t i = 0; i < kBulkEntries; ++i) {
+    batch.emplace_back(1000 + i, MakeTestCommunity(14, 6000 + i));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread loader([&] {
+    catalog.BulkLoad(std::move(batch), nullptr);
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> crew;
+  for (uint32_t w = 0; w < 2; ++w) {
+    crew.emplace_back([&, w] {
+      util::Rng rng(testing::TestSeed(7500 + w));
+      uint64_t salt = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t id = 1 + rng.Below(kChurnIds);
+        if (rng.NextDouble() < 0.7) {
+          catalog.Upsert(id, MakeTestCommunity(12, 8000 + ++salt));
+        } else {
+          catalog.Remove(id);
+        }
+      }
+    });
+  }
+  crew.emplace_back([&] {
+    util::Rng rng(testing::TestSeed(7600));
+    ASSERT_NE(catalog.signature_options(), nullptr);
+    const SignatureOptions options = *catalog.signature_options();
+    while (!stop.load(std::memory_order_acquire)) {
+      const Community query = MakeTestCommunity(16, 8500 + rng.Below(16));
+      const CommunitySignature signature(query, options);
+      const std::vector<Dim> order = SignatureProbeOrder(signature);
+      const auto probe =
+          catalog.ProbeCandidates(signature, order, /*eps=*/2, 0.2);
+      EXPECT_EQ(probe.stats.passed, probe.candidates.size());
+    }
+  });
+  loader.join();
+  for (std::thread& thread : crew) thread.join();
+
+  // Every bulk id is resident with its batch payload and a version from
+  // the reserved block (all distinct by construction).
+  for (uint32_t i = 0; i < kBulkEntries; ++i) {
+    const CatalogEntry entry = catalog.Get(1000 + i);
+    ASSERT_NE(entry.community, nullptr) << "bulk id " << 1000 + i;
+    EXPECT_EQ(entry.community->size(), 14u);
+  }
+
+  // Quiesced: the index and the entry map agree exactly.
+  const SignatureIndex* index = catalog.signature_index();
+  ASSERT_NE(index, nullptr);
+  const std::vector<CatalogEntry> snapshot = catalog.Snapshot();
+  ASSERT_EQ(index->size(), snapshot.size());
+  std::vector<uint64_t> versions;
+  for (const CatalogEntry& entry : snapshot) {
+    versions.push_back(entry.version);
+    uint32_t resident_in = 0;
+    for (uint32_t shard = 0; shard < index->shards(); ++shard) {
+      uint64_t version = 0;
+      const auto signature = index->Lookup(shard, entry.id, &version);
+      if (signature == nullptr) continue;
+      ++resident_in;
+      EXPECT_EQ(version, entry.version) << "id " << entry.id;
+      EXPECT_EQ(signature->size(), entry.community->size());
+    }
+    EXPECT_EQ(resident_in, 1u) << "id " << entry.id;
+  }
+  std::sort(versions.begin(), versions.end());
+  EXPECT_EQ(std::adjacent_find(versions.begin(), versions.end()),
+            versions.end())
+      << "two installs share a version";
+}
+
+}  // namespace
+}  // namespace csj::service

@@ -85,7 +85,8 @@ void ExpectPrescreenIdentity(const Scenario& scenario, Epsilon eps,
                              uint32_t k, double threshold,
                              uint64_t* skipped_total,
                              uint64_t* fallback_total,
-                             uint64_t* certified_total) {
+                             uint64_t* certified_total,
+                             uint64_t* packs_skipped_total) {
   const TopKSimilarService service(&scenario.catalog);
   TopKOptions options;
   options.k = k;
@@ -121,12 +122,13 @@ void ExpectPrescreenIdentity(const Scenario& scenario, Epsilon eps,
     ++*fallback_total;
   }
   *skipped_total += screened.stats.prescreen_skipped;
+  *packs_skipped_total += screened.stats.prescreen_packs_skipped;
 }
 
 TEST(PrescreenTest, IdenticalToExhaustiveScanOnSeededCatalogs) {
   const Epsilon eps_values[] = {0, 2, 8};
   const uint32_t k_values[] = {1, 3, 5};
-  uint64_t skipped = 0, fallbacks = 0, certified = 0;
+  uint64_t skipped = 0, fallbacks = 0, certified = 0, packs_skipped = 0;
   // 120 scenarios x 3 (eps, k) pairings = 360 seeded catalog
   // comparisons (>= the 300 the acceptance bar asks for).
   for (uint64_t salt = 0; salt < 120; ++salt) {
@@ -136,15 +138,18 @@ TEST(PrescreenTest, IdenticalToExhaustiveScanOnSeededCatalogs) {
       BuildScenario(&scenario, salt * 3 + variant, eps);
       ExpectPrescreenIdentity(scenario, eps, k_values[variant],
                               /*threshold=*/0.10, &skipped, &fallbacks,
-                              &certified);
+                              &certified, &packs_skipped);
     }
   }
   // The suite must exercise all three regimes: entries certified away by
   // the sweep, queries that fall back, and queries certified without a
-  // fallback — otherwise the differential proves nothing.
+  // fallback — otherwise the differential proves nothing. The pack-level
+  // prefilter must also fire somewhere across the 360 catalogs, or the
+  // second filter level rode along untested.
   EXPECT_GT(skipped, 0u) << "no entry was ever prescreen-skipped";
   EXPECT_GT(fallbacks, 0u) << "the fallback path never ran";
   EXPECT_GT(certified, 0u) << "no query was ever certified";
+  EXPECT_GT(packs_skipped, 0u) << "the pack prefilter never skipped a pack";
 }
 
 TEST(PrescreenTest, EmptyQueryReturnsEmptyResultOnce) {

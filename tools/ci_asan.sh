@@ -13,7 +13,9 @@
 # subsystem's catalog/top-k/stress suites (copy-on-write entries pinned
 # across Remove, result buffers outliving catalog churn), the prescreen
 # signature suites (packed sketch columns swapped on removal, candidate
-# lists holding (id, version) pairs across fallback reruns), the result
+# lists holding (id, version) pairs across fallback reruns), the bulk
+# ingestion suite (frozen community buffers moved through the waves and
+# installed under per-shard locks, thread-local sketch scratch), the result
 # cache (shared rankings handed out across invalidation/eviction), and
 # the wire/net suites (FrameDecoder's lazily-compacted buffer, the
 # reactor's connection teardown racing in-flight worker responses).

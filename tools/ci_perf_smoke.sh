@@ -13,7 +13,11 @@
 # do), the prescreen arm must return byte-identical rankings to the
 # exhaustive scan, probe under 10% of the big catalog, and beat the scan
 # arm's wall clock — the sub-linear candidate generation either pays for
-# itself or the gate fails. Finally the net_smoke gate drives the whole
+# itself or the gate fails. The populate_smoke gate holds the bulk-load
+# ingestion pipeline to its contract on the same 100k catalog: state
+# byte-identical to a sequential Upsert replay, the pack prefilter
+# actually skipping packs, and bulk >= 2x faster than sequential (timing
+# leg retried once against CI noise). Finally the net_smoke gate drives the whole
 # networked stack over loopback with the versioned result cache on: zero
 # rejects and decode/transport errors, both identity gates (cached arm
 # and net arm byte-identical to direct recompute), a >= 50% cache hit
@@ -160,6 +164,50 @@ if ! grep -Eq '"prescreen_faster": ?true' "${prescreen_large_json}"; then
   exit 1
 fi
 echo "prescreen smoke gate passed: ${prescreen_small_json} ${prescreen_large_json}"
+
+# populate_smoke: the bulk-load ingestion pipeline on the same 100k
+# scenario. csj_serve populates one arm, replays the OTHER arm into a
+# scratch server with its own cold cache, deep-compares the two catalogs
+# (entries, versions, digests, sketch tables, probe verdicts), and
+# reports the wall-clock ratio. State identity is a hard gate (csj_serve
+# also exits non-zero itself on a mismatch); the >= 2x speedup claim is a
+# timing measurement on a shared CI box, so a miss is retried ONCE on a
+# fresh run before failing — the same best-of-N stance bench_pipeline
+# takes, bounded to one retry so a real regression still fails fast. The
+# pack-skip grep proves the second filter level actually fired during the
+# serve loop rather than riding along inert.
+populate_json="${build_dir}/populate_smoke.json"
+run_populate_leg() {
+  "${build_dir}/tools/csj_serve" \
+    --catalog_size=100000 --size=40 --cluster=12 --plant_lo=0.5 \
+    --plant_hi=0.8 --k=5 --requests=20 --clients=2 --workers=2 \
+    --zipf=1.1 --upsert_fraction=0 --prescreen=true --compare=0 \
+    --populate_compare=true \
+    --json="${populate_json}" \
+    --git_sha="${git_sha}" --build_type=Release
+}
+run_populate_leg
+if ! grep -Eq '"populate_identical": ?true' "${populate_json}"; then
+  echo "FAIL: bulk-loaded catalog diverged from sequential Upsert replay in ${populate_json}" >&2
+  exit 1
+fi
+if ! grep -Eq '"packs_skipped": ?[1-9]' "${populate_json}"; then
+  echo "FAIL: pack prefilter never skipped a pack in ${populate_json}" >&2
+  exit 1
+fi
+if ! grep -Eq '"populate_speedup_ok": ?true' "${populate_json}"; then
+  echo "populate_smoke: bulk < 2x sequential on first run, retrying once" >&2
+  run_populate_leg
+  if ! grep -Eq '"populate_identical": ?true' "${populate_json}"; then
+    echo "FAIL: bulk-loaded catalog diverged from sequential Upsert replay in ${populate_json}" >&2
+    exit 1
+  fi
+  if ! grep -Eq '"populate_speedup_ok": ?true' "${populate_json}"; then
+    echo "FAIL: bulk populate < 2x sequential on both runs in ${populate_json}" >&2
+    exit 1
+  fi
+fi
+echo "populate smoke gate passed: ${populate_json}"
 
 # net_smoke: the binary wire protocol + result cache end to end. Every
 # request crosses loopback TCP (closed loop AND the identity probes);

@@ -12,7 +12,9 @@
 # gate), plus the prescreen signature layer (concurrent sketch builds in
 # signature_test, and prescreen_test's IndexTracksCatalogUnderConcurrent-
 # Churn, which probes the signature index while writers churn the same
-# shard locks), the EDF request queue (request_queue_test's notify-
+# shard locks, and bulk_load_test's SurvivesConcurrentChurnAndQueries,
+# where a BulkLoad's per-shard installs race upserts, removes and
+# probes), the EDF request queue (request_queue_test's notify-
 # outside-lock producer/consumer stress is written for this gate), the
 # versioned result cache (result_cache_test's churn differential: readers
 # race an upserting writer through the cache), and the network front end
@@ -33,13 +35,13 @@ cmake -B "${build_dir}" -S . \
 cmake --build "${build_dir}" -j \
   --target thread_pool_test parallel_test join_threads_test pipeline_test \
            encoding_cache_test matching_differential_test \
-           catalog_test topk_service_test service_stress_test \
-           signature_test prescreen_test \
+           catalog_test bulk_load_test topk_service_test \
+           service_stress_test signature_test prescreen_test \
            request_queue_test result_cache_test net_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen|RequestQueue|ServerEdf|ResultCache|NetWire|NetLoopback'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|BulkLoad|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen|RequestQueue|ServerEdf|ResultCache|NetWire|NetLoopback'
 
 echo "TSAN gate passed."

@@ -112,6 +112,92 @@ struct ArmSummary {
   double qps = 0.0;
 };
 
+/// Deep byte-identity between two quiesced catalogs: entries (id,
+/// version, digest, counters, sketch bytes) AND signature-index layout.
+/// Pack layout is compared through per-shard probes — an inert probe
+/// (threshold 0) enumerates every slot in pack/slot order, so identical
+/// candidate SEQUENCES plus identical sweep stats pin the physical
+/// layout; a thresholded probe additionally exercises the pack
+/// prefilter on both sides. ProbeCandidates cannot stand in for the
+/// layout half because it re-sorts candidates by id.
+bool CatalogsIdentical(const csj::service::CommunityCatalog& lhs,
+                       const csj::service::CommunityCatalog& rhs,
+                       csj::Epsilon eps, double threshold) {
+  const std::vector<csj::service::CatalogEntry> lhs_snapshot = lhs.Snapshot();
+  const std::vector<csj::service::CatalogEntry> rhs_snapshot = rhs.Snapshot();
+  if (lhs_snapshot.size() != rhs_snapshot.size()) return false;
+  for (size_t i = 0; i < lhs_snapshot.size(); ++i) {
+    const csj::service::CatalogEntry& a = lhs_snapshot[i];
+    const csj::service::CatalogEntry& b = rhs_snapshot[i];
+    if (a.id != b.id || a.version != b.version ||
+        a.digest.fingerprint != b.digest.fingerprint ||
+        a.digest.max_counter != b.digest.max_counter) {
+      return false;
+    }
+    if (a.community->d() != b.community->d() ||
+        a.community->size() != b.community->size()) {
+      return false;
+    }
+    const auto a_flat = a.community->flat();
+    const auto b_flat = b.community->flat();
+    if (!std::equal(a_flat.begin(), a_flat.end(), b_flat.begin(),
+                    b_flat.end())) {
+      return false;
+    }
+    if ((a.signature == nullptr) != (b.signature == nullptr)) return false;
+    if (a.signature != nullptr) {
+      if (a.signature->sampled() != b.signature->sampled()) return false;
+      const auto a_table = a.signature->table();
+      const auto b_table = b.signature->table();
+      if (!std::equal(a_table.begin(), a_table.end(), b_table.begin(),
+                      b_table.end())) {
+        return false;
+      }
+    }
+  }
+  const csj::SignatureIndex* lhs_index = lhs.signature_index();
+  const csj::SignatureIndex* rhs_index = rhs.signature_index();
+  if ((lhs_index == nullptr) != (rhs_index == nullptr)) return false;
+  if (lhs_index == nullptr || lhs_snapshot.empty()) return true;
+  if (lhs_index->shards() != rhs_index->shards()) return false;
+  for (uint32_t q = 0; q < 3; ++q) {
+    const csj::service::CatalogEntry& query_entry =
+        lhs_snapshot[(static_cast<size_t>(q) * lhs_snapshot.size()) / 3];
+    const csj::CommunitySignature query_sig(*query_entry.community,
+                                            lhs_index->options());
+    const std::vector<csj::Dim> order = csj::SignatureProbeOrder(query_sig);
+    for (const double tau : {0.0, threshold}) {
+      csj::SignatureIndex::ProbeQuery probe;
+      probe.signature = &query_sig;
+      probe.eps = eps;
+      probe.threshold = tau;
+      probe.probe_order = order;
+      for (uint32_t shard = 0; shard < lhs_index->shards(); ++shard) {
+        std::vector<csj::PrescreenCandidate> lhs_out, rhs_out;
+        csj::PrescreenStats lhs_stats, rhs_stats;
+        lhs_index->ProbeShard(shard, probe, &lhs_out, &lhs_stats);
+        rhs_index->ProbeShard(shard, probe, &rhs_out, &rhs_stats);
+        if (lhs_out.size() != rhs_out.size()) return false;
+        for (size_t i = 0; i < lhs_out.size(); ++i) {
+          if (lhs_out[i].id != rhs_out[i].id ||
+              lhs_out[i].version != rhs_out[i].version) {
+            return false;
+          }
+        }
+        if (lhs_stats.examined != rhs_stats.examined ||
+            lhs_stats.passed != rhs_stats.passed ||
+            lhs_stats.skipped_cap != rhs_stats.skipped_cap ||
+            lhs_stats.skipped_inadmissible != rhs_stats.skipped_inadmissible ||
+            lhs_stats.skipped_dim != rhs_stats.skipped_dim ||
+            lhs_stats.packs_skipped != rhs_stats.packs_skipped) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 ArmSummary SummarizeArm(const std::vector<double>& latencies_ms) {
   ArmSummary arm;
   double max_ms = 0.0;
@@ -161,6 +247,13 @@ int main(int argc, char** argv) {
                "serve reads through the signature prescreen index");
   flags.Define("prescreen_threshold", "0.1",
                "prescreen admission threshold tau");
+  flags.Define("bulk_load", "true",
+               "populate the catalog through the batched BulkLoad fast "
+               "path (false: per-entry Upsert reference arm)");
+  flags.Define("populate_compare", "false",
+               "also populate a scratch server through the OTHER arm "
+               "(own cold cache), deep-verify byte-identical catalog + "
+               "index state, and record the bulk-vs-sequential speedup");
   flags.Define("compare", "0",
                "after the closed loop, run N queries through BOTH arms "
                "(scan + prescreen) and verify identical results; with "
@@ -188,6 +281,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt("compare")));
   const bool use_net = flags.GetBool("net");
   const bool use_result_cache = flags.GetBool("result_cache");
+  const bool bulk_load = flags.GetBool("bulk_load");
+  const bool populate_compare = flags.GetBool("populate_compare");
   const auto method = csj::ParseMethod(flags.GetString("method"));
   if (!method.has_value() || !csj::IsExact(*method)) {
     std::fprintf(stderr, "--method must name an exact (Ex-*) method\n");
@@ -247,9 +342,57 @@ int main(int argc, char** argv) {
   const csj::service::ServeWorkload workload(workload_options);
 
   csj::service::CsjServer server(server_options);
-  csj::util::Timer populate_timer;
-  workload.Populate(&server);
-  const double populate_seconds = populate_timer.Seconds();
+  csj::service::ServeWorkload::PopulateStats populate_stats;
+  if (bulk_load) {
+    workload.Populate(&server, &populate_stats);
+  } else {
+    workload.PopulateSequential(&server, &populate_stats);
+  }
+  const double populate_seconds = populate_stats.total_seconds;
+  std::printf(
+      "populate (%s): %.2f s, %.0f entries/s (encode %.2f s, sketch "
+      "%.2f s, install %.2f s)\n",
+      populate_stats.bulk ? "bulk" : "sequential",
+      populate_stats.total_seconds, populate_stats.entries_per_sec,
+      populate_stats.encode_seconds, populate_stats.sketch_seconds,
+      populate_stats.install_seconds);
+
+  // The bulk-vs-sequential gate: a scratch server with its own COLD
+  // cache runs the other arm (both arms must pay the same builds for an
+  // honest speedup), then both catalog + index states are deep-compared.
+  csj::service::ServeWorkload::PopulateStats other_stats;
+  bool populate_identical = true;
+  double populate_speedup = 0.0;
+  bool populate_speedup_ok = false;
+  if (populate_compare) {
+    csj::EncodingCache scratch_cache;
+    csj::service::CsjServer::Options scratch_options = server_options;
+    scratch_options.catalog.cache = &scratch_cache;
+    csj::service::CsjServer scratch(scratch_options);
+    if (bulk_load) {
+      workload.PopulateSequential(&scratch, &other_stats);
+    } else {
+      workload.Populate(&scratch, &other_stats);
+    }
+    populate_identical =
+        CatalogsIdentical(server.catalog(), scratch.catalog(),
+                          workload_options.eps, prescreen_threshold);
+    const double bulk_seconds = bulk_load ? populate_stats.total_seconds
+                                          : other_stats.total_seconds;
+    const double sequential_seconds = bulk_load
+                                          ? other_stats.total_seconds
+                                          : populate_stats.total_seconds;
+    populate_speedup =
+        bulk_seconds > 0.0 ? sequential_seconds / bulk_seconds : 0.0;
+    populate_speedup_ok = populate_speedup >= 2.0;
+    scratch.Shutdown();
+    std::printf(
+        "populate compare: sequential %.2f s vs bulk %.2f s -> %.2fx "
+        "speedup (>=2x %s), state %s\n",
+        sequential_seconds, bulk_seconds, populate_speedup,
+        populate_speedup_ok ? "ok" : "FAIL",
+        populate_identical ? "identical" : "MISMATCH");
+  }
 
   // The networked front door (loopback, ephemeral port). The template
   // carries server policy; per-request knobs travel on the wire.
@@ -342,6 +485,11 @@ int main(int argc, char** argv) {
   }
   for (std::thread& client : crew) client.join();
   const double seconds = wall.Seconds();
+  // Pack-prefilter effectiveness over the closed loop, read from the
+  // catalog's own counter (the wire protocol does not carry it), before
+  // the identity gates and compare arms add their probes.
+  const uint64_t loop_packs_skipped =
+      server.catalog().GetStats().prescreen_packs_skipped;
 
   // Identity gates on the quiesced catalog (before shutdown: the cached
   // arm needs live workers). Reference arm: a DIRECT in-process query,
@@ -405,6 +553,7 @@ int main(int argc, char** argv) {
   uint64_t compare_probed = 0;
   uint64_t compare_examined = 0;
   uint64_t compare_fallbacks = 0;
+  uint64_t compare_packs_skipped = 0;
   std::vector<double> scan_ms;
   std::vector<double> prescreen_ms;
   if (compare_queries > 0) {
@@ -435,6 +584,7 @@ int main(int argc, char** argv) {
       compare_examined += screened.stats.prescreen_probed +
                           screened.stats.prescreen_skipped;
       compare_fallbacks += screened.stats.fallback;
+      compare_packs_skipped += screened.stats.prescreen_packs_skipped;
     }
   }
   const ArmSummary scan_summary = SummarizeArm(scan_ms);
@@ -569,24 +719,26 @@ int main(int argc, char** argv) {
   if (prescreen) {
     const uint64_t swept = total.prescreen_probed + total.prescreen_skipped;
     std::printf("prescreen: probed %llu / %llu swept (%.2f%%), %llu "
-                "fallbacks\n",
+                "fallbacks, %llu packs skipped\n",
                 static_cast<unsigned long long>(total.prescreen_probed),
                 static_cast<unsigned long long>(swept),
                 swept > 0 ? 100.0 * static_cast<double>(
                                         total.prescreen_probed) /
                                 static_cast<double>(swept)
                           : 0.0,
-                static_cast<unsigned long long>(total.fallbacks));
+                static_cast<unsigned long long>(total.fallbacks),
+                static_cast<unsigned long long>(loop_packs_skipped));
   }
   if (compare_queries > 0) {
     std::printf(
         "compare (%u queries): identical %s; scan p99 %.2f ms (%.2f q/s) "
         "vs prescreen p99 %.2f ms (%.2f q/s); probed %.2f%% of catalog, "
-        "%llu fallbacks\n",
+        "%llu fallbacks, %llu packs skipped\n",
         compare_queries, compare_identical ? "true" : "FALSE",
         scan_summary.p99_ms, scan_summary.qps, prescreen_summary.p99_ms,
         prescreen_summary.qps, 100.0 * compare_probed_fraction,
-        static_cast<unsigned long long>(compare_fallbacks));
+        static_cast<unsigned long long>(compare_fallbacks),
+        static_cast<unsigned long long>(compare_packs_skipped));
   }
   std::printf("serve_ok: %s\n", serve_ok ? "true" : "false");
 
@@ -625,6 +777,30 @@ int main(int argc, char** argv) {
     json.Key("deadline_ms"); json.Double(flags.GetDouble("deadline_ms"));
     json.Key("seed"); json.Uint(workload_options.seed);
     json.Key("populate_seconds"); json.Double(populate_seconds);
+    json.Key("populate");
+    json.BeginObject();
+    json.Key("bulk_load"); json.Bool(populate_stats.bulk);
+    json.Key("entries"); json.Uint(populate_stats.entries);
+    json.Key("seconds"); json.Double(populate_stats.total_seconds);
+    json.Key("encode_seconds"); json.Double(populate_stats.encode_seconds);
+    json.Key("sketch_seconds"); json.Double(populate_stats.sketch_seconds);
+    json.Key("install_seconds");
+    json.Double(populate_stats.install_seconds);
+    json.Key("entries_per_sec");
+    json.Double(populate_stats.entries_per_sec);
+    if (populate_compare) {
+      const double bulk_seconds = bulk_load ? populate_stats.total_seconds
+                                            : other_stats.total_seconds;
+      const double sequential_seconds = bulk_load
+                                            ? other_stats.total_seconds
+                                            : populate_stats.total_seconds;
+      json.Key("bulk_seconds"); json.Double(bulk_seconds);
+      json.Key("sequential_seconds"); json.Double(sequential_seconds);
+      json.Key("populate_speedup"); json.Double(populate_speedup);
+      json.Key("populate_speedup_ok"); json.Bool(populate_speedup_ok);
+      json.Key("populate_identical"); json.Bool(populate_identical);
+    }
+    json.EndObject();
     json.Key("seconds"); json.Double(seconds);
     json.Key("throughput_rps"); json.Double(throughput);
     json.Key("completed"); json.Uint(completed);
@@ -711,6 +887,7 @@ int main(int argc, char** argv) {
     json.Key("probed"); json.Uint(total.prescreen_probed);
     json.Key("skipped"); json.Uint(total.prescreen_skipped);
     json.Key("fallbacks"); json.Uint(total.fallbacks);
+    json.Key("packs_skipped"); json.Uint(loop_packs_skipped);
     json.EndObject();
     if (compare_queries > 0) {
       json.Key("prescreen_compare");
@@ -724,6 +901,7 @@ int main(int argc, char** argv) {
       json.Key("probed_fraction"); json.Double(compare_probed_fraction);
       json.Key("probed_fraction_ok"); json.Bool(probed_fraction_ok);
       json.Key("fallbacks"); json.Uint(compare_fallbacks);
+      json.Key("packs_skipped"); json.Uint(compare_packs_skipped);
       json.Key("prescreen_faster"); json.Bool(prescreen_faster);
       json.Key("scan");
       json.BeginObject();
@@ -748,9 +926,10 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
   // A compare mismatch is a correctness failure, not a perf blip — the
-  // cached and networked arms are held to the same byte-identity bar as
-  // the prescreen arm.
-  return (serve_ok && compare_identical && cache_identity && net_identity)
+  // cached, networked, and bulk-populate arms are all held to the same
+  // byte-identity bar as the prescreen arm.
+  return (serve_ok && compare_identical && cache_identity && net_identity &&
+          populate_identical)
              ? 0
              : 1;
 }

@@ -13,12 +13,18 @@
 #   BENCH_serve_large.json    - the 100k-entry prescreen scenario: serve
 #                               loop in prescreen mode plus the compare
 #                               arms, reporting probed fraction and
-#                               scan-vs-prescreen qps/p99
+#                               scan-vs-prescreen qps/p99. Populates both
+#                               ways (bulk AND sequential) and records the
+#                               per-phase breakdown, the bulk-vs-sequential
+#                               speedup, and the state-identity verdict in
+#                               the populate section.
 #   BENCH_serve_1m.json       - opt-in (CSJ_BENCH_1M=1): the 1M-entry
-#                               prescreen scenario. Feasible since the
-#                               parallel workload build, but the catalog
-#                               populate alone runs ~6 minutes, so it
-#                               stays out of the default sweep.
+#                               prescreen scenario with the same two-arm
+#                               populate comparison. The sequential arm
+#                               dominates the runtime (several minutes;
+#                               the bulk arm loads the same catalog >= 2x
+#                               faster), so it stays out of the default
+#                               sweep.
 #
 # Numbers from non-Release builds are meaningless, so the script verifies
 # the build tree's CMAKE_BUILD_TYPE and refuses to run otherwise. Every
@@ -81,16 +87,18 @@ echo "== csj_serve large (100k-entry catalog: prescreen candidate generation) ==
   --catalog_size=100000 --size=40 --cluster=12 --plant_lo=0.5 \
   --plant_hi=0.8 --k=5 --requests=150 --clients=2 --workers=2 \
   --zipf=1.1 --upsert_fraction=0 --prescreen=true --compare=6 \
+  --populate_compare=true \
   --json=BENCH_serve_large.json \
   --git_sha="${git_sha}" --build_type="${build_type}"
 
 if [ "${CSJ_BENCH_1M:-0}" = "1" ]; then
   echo
-  echo "== csj_serve 1M (1M-entry catalog: prescreen at scale; ~10 min) =="
+  echo "== csj_serve 1M (1M-entry catalog: prescreen at scale + two-arm populate; ~10 min) =="
   "${build_dir}/tools/csj_serve" \
     --catalog_size=1000000 --size=40 --cluster=12 --plant_lo=0.5 \
     --plant_hi=0.8 --k=5 --requests=40 --clients=2 --workers=2 \
     --zipf=1.1 --upsert_fraction=0 --prescreen=true \
+    --populate_compare=true \
     --json=BENCH_serve_1m.json \
     --git_sha="${git_sha}" --build_type="${build_type}"
 fi

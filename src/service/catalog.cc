@@ -32,6 +32,43 @@ CommunityCatalog::CommunityCatalog(Options options) : options_(options) {
     signature_index_ = std::make_unique<SignatureIndex>(
         options_.shards, *options_.signatures);
   }
+  if (options_.mutation_log_capacity > 0) {
+    mutation_log_ = std::make_unique<MutationLog>();
+  }
+}
+
+void CommunityCatalog::AppendMutation(uint64_t id, uint64_t version,
+                                      bool remove) {
+  MutationLog& log = *mutation_log_;
+  std::lock_guard lock(log.mu);
+  log.records.push_back({log.next_seq++, id, version, remove});
+  while (log.records.size() > options_.mutation_log_capacity) {
+    log.records.pop_front();
+    ++log.first_seq;
+  }
+}
+
+uint64_t CommunityCatalog::mutation_seq() const {
+  if (mutation_log_ == nullptr) return 0;
+  std::lock_guard lock(mutation_log_->mu);
+  return mutation_log_->next_seq - 1;
+}
+
+bool CommunityCatalog::ReadMutationsSince(
+    uint64_t cursor, std::vector<MutationRecord>* out) const {
+  if (mutation_log_ == nullptr) return false;
+  MutationLog& log = *mutation_log_;
+  std::lock_guard lock(log.mu);
+  // A consumer is in sync iff no record in (cursor, next_seq) has been
+  // truncated. With a dense deque that means cursor >= first_seq - 1.
+  if (cursor + 1 < log.first_seq) return false;
+  const uint64_t last = log.next_seq - 1;
+  if (cursor >= last) return true;  // nothing new
+  // Dense seqs make the suffix a direct index: records[i].seq ==
+  // first_seq + i.
+  const auto begin = static_cast<std::ptrdiff_t>(cursor + 1 - log.first_seq);
+  out->insert(out->end(), log.records.begin() + begin, log.records.end());
+  return true;
 }
 
 uint32_t CommunityCatalog::ShardIndexOf(uint64_t id) const {
@@ -93,6 +130,11 @@ uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
     if (signature_index_ != nullptr) {
       signature_index_->Install(shard_index, id, entry.version,
                                 entry.signature);
+    }
+    // Logged inside the critical section so the log's per-id order can
+    // never contradict the install order readers observe.
+    if (mutation_log_ != nullptr) {
+      AppendMutation(id, entry.version, /*remove=*/false);
     }
   }
   mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
@@ -287,6 +329,16 @@ uint64_t CommunityCatalog::BulkLoad(
       if (signature_index_ != nullptr) {
         signature_index_->InstallBatch(shard_index, installs);
       }
+      if (mutation_log_ != nullptr) {
+        // Member order within the shard is batch order, so for any one
+        // id the log replays the same last-wins sequence the entry map
+        // applied. (The install loop over shards is serial, so the
+        // whole-batch log order is deterministic too.)
+        for (const uint32_t i : members) {
+          AppendMutation(entries[i].id, entries[i].version,
+                         /*remove=*/false);
+        }
+      }
     }
     mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -308,6 +360,11 @@ bool CommunityCatalog::Remove(uint64_t id) {
     removed = shard.entries.erase(id) > 0;
     if (removed && signature_index_ != nullptr) {
       signature_index_->Remove(shard_index, id);
+    }
+    // Only a remove that actually erased something is logged: a Remove
+    // of an absent id changes no observable state for log consumers.
+    if (removed && mutation_log_ != nullptr) {
+      AppendMutation(id, /*version=*/0, /*remove=*/true);
     }
   }
   mutations_finished_.fetch_add(1, std::memory_order_acq_rel);

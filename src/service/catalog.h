@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
@@ -42,6 +44,24 @@ struct CatalogEntry {
   /// Prescreen sketch, built at Upsert when the catalog has a signature
   /// index configured (null otherwise). Frozen with the community.
   std::shared_ptr<const CommunitySignature> signature;
+};
+
+/// One record of the catalog's optional MUTATION LOG (see
+/// Options::mutation_log_capacity): which id changed, in what way, in
+/// which order. Consumers such as the evolution subsystem's
+/// `TopKMaintainer` replay the suffix of the log since their last
+/// cursor to learn exactly which entries moved, instead of re-scanning
+/// the whole catalog.
+struct MutationRecord {
+  /// Dense 1-based append ordinal — record seq is issued exactly once
+  /// and never skipped, so a consumer holding cursor c has seen the
+  /// complete mutation history iff it reads every record with seq > c.
+  uint64_t seq = 0;
+  uint64_t id = 0;
+  /// The installed entry version for upserts; 0 for removes (a Remove
+  /// consumes no catalog version, matching the un-logged behavior).
+  uint64_t version = 0;
+  bool remove = false;
 };
 
 /// A live, incrementally maintained exact similarity between ONE query
@@ -126,6 +146,14 @@ class CommunityCatalog {
     /// entry map, so index and entries can never disagree. Queries use
     /// ProbeCandidates() for sub-linear candidate generation.
     std::optional<SignatureOptions> signatures;
+    /// When nonzero, every successful mutation (Upsert, BulkLoad member,
+    /// Remove of a resident id) appends a MutationRecord to a bounded
+    /// in-memory log holding the most recent `mutation_log_capacity`
+    /// records. Appends happen inside the same exclusive shard section
+    /// as the install itself, so for any single id the log order equals
+    /// the install order. 0 (the default) disables the log entirely —
+    /// no behavior or cost change for existing deployments.
+    size_t mutation_log_capacity = 0;
   };
 
   // Two overloads rather than `Options options = {}`: a nested struct's
@@ -224,6 +252,22 @@ class CommunityCatalog {
     return mutations_finished_.load(std::memory_order_acquire);
   }
 
+  /// Last mutation-log sequence number issued (0 before the first logged
+  /// mutation, and always 0 when the log is disabled).
+  uint64_t mutation_seq() const;
+
+  /// Appends every retained log record with seq > `cursor` to `out`, in
+  /// append order, and returns true. Returns false — appending nothing —
+  /// when the log is disabled or when records after `cursor` have
+  /// already been truncated away (the consumer fell more than
+  /// `mutation_log_capacity` records behind); the caller must then
+  /// resynchronize with a full recompute against the live catalog.
+  /// Passing cursor = mutation_seq() read at resync time restarts clean:
+  /// mutations racing the resync read land after that cursor and are
+  /// replayed (possibly redundantly, never missed) on the next call.
+  bool ReadMutationsSince(uint64_t cursor,
+                          std::vector<MutationRecord>* out) const;
+
   /// Pins the current entry of `entry_id` and builds a live incremental
   /// session for (query, entry): the query community's users are seeded
   /// as the initial subscribers (handles 0..n-1 in user order), further
@@ -278,15 +322,30 @@ class CommunityCatalog {
     std::map<uint64_t, CatalogEntry> entries;
   };
 
+  /// The bounded mutation log (see Options::mutation_log_capacity). Its
+  /// own mutex rather than a shard's: appends come from every shard, and
+  /// readers must see one consistent (records, next_seq) pair without
+  /// taking any shard lock. Records are dense: records[i].seq ==
+  /// first_seq + i whenever the deque is non-empty.
+  struct MutationLog {
+    mutable std::mutex mu;
+    std::deque<MutationRecord> records;
+    uint64_t next_seq = 1;   ///< seq the NEXT append will take
+    uint64_t first_seq = 1;  ///< seq of records.front() when non-empty
+  };
+
   uint32_t ShardIndexOf(uint64_t id) const;
   const Shard& ShardOf(uint64_t id) const;
   Shard& ShardOf(uint64_t id);
+  void AppendMutation(uint64_t id, uint64_t version, bool remove);
 
   Options options_;
   std::vector<Shard> shards_;
   /// Sketch store mirroring shards_ one-to-one; every mutation happens
   /// under the matching shard's exclusive lock (see Options::signatures).
   std::unique_ptr<SignatureIndex> signature_index_;
+  /// Null when Options::mutation_log_capacity == 0.
+  std::unique_ptr<MutationLog> mutation_log_;
   /// Next version to issue; versions are catalog-wide and monotonic.
   std::atomic<uint64_t> next_version_{1};
   /// The mutation clock (see mutations_started()). Bumped around BOTH

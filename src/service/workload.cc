@@ -141,7 +141,13 @@ void ServeWorkload::PopulateSequential(CsjServer* server,
 
 std::shared_ptr<const Community> ServeWorkload::MintCommunity(
     util::Rng& rng) const {
+  return MintAgainstAnchor(rng);
+}
+
+std::shared_ptr<const Community> ServeWorkload::MintAgainstAnchor(
+    util::Rng& rng, uint64_t* anchor_id) const {
   const uint32_t anchor_index = anchors_[rng.Below(anchors_.size())];
+  if (anchor_id != nullptr) *anchor_id = anchor_index + 1;
   const Community& anchor = *communities_[anchor_index];
   data::VkLikeGenerator gen(CategoryOf(anchor_index));
   data::CoupleSpec spec;

@@ -69,6 +69,18 @@ class ServeWorkload {
     return communities_;
   }
 
+  /// Indices (0-based, into communities()) of the cluster anchors.
+  const std::vector<uint32_t>& anchors() const { return anchors_; }
+
+  /// Mints a fresh community planted against a seeded cluster anchor —
+  /// the same recipe the upsert mix installs, exposed so the evolution
+  /// subsystem can seed community BIRTHS from the identical
+  /// distribution. When `anchor_id` is non-null it receives the chosen
+  /// anchor's catalog id (anchor index + 1), which the drift model uses
+  /// to attach the newborn's live anchor session.
+  std::shared_ptr<const Community> MintAgainstAnchor(
+      util::Rng& rng, uint64_t* anchor_id = nullptr) const;
+
   /// Per-phase populate accounting (BulkLoad phases are zero for the
   /// sequential arm, which has no phase boundaries to time).
   struct PopulateStats {

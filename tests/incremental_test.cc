@@ -278,6 +278,94 @@ TEST(IncrementalCsjTest, NewAUserAbsorbsStrandedB) {
   EXPECT_TRUE(csj.MatchOf(stranded).has_value());
 }
 
+/// The A-side churn REBUILD differential: after every round of mixed
+/// A-insertions/removals (plus B churn), an IncrementalCsj REBUILT from
+/// scratch on the post-churn A community — the documented policy when A
+/// has changed wholesale, and what the evolution replayer does at every
+/// quiesce — must agree with the incrementally maintained instance on
+/// the matching size, the similarity bits, and the size rule. The HK
+/// oracle anchors both.
+class ASideRebuildDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ASideRebuildDifferential, MaintainedEqualsRebuildAfterChurn) {
+  util::Rng rng(GetParam() + 900);
+  const Community a0 = RandomCommunity(3, 20, 6, GetParam() + 3000);
+  JoinOptions options;
+  options.eps = 1;
+  IncrementalCsj maintained(a0, options);
+
+  std::vector<IncrementalCsj::Handle> handles;
+  std::vector<std::vector<Count>> b_vectors;
+  std::vector<std::pair<UserId, std::vector<Count>>> live_a;
+  for (UserId u = 0; u < a0.size(); ++u) {
+    live_a.emplace_back(u, std::vector<Count>(a0.User(u).begin(),
+                                              a0.User(u).end()));
+  }
+
+  for (int round = 0; round < 12; ++round) {
+    // A churn burst (the rebuild trigger), plus enough B churn that the
+    // matching has structure to preserve.
+    for (int i = 0; i < 6; ++i) {
+      std::vector<Count> vec(3);
+      for (auto& v : vec) v = static_cast<Count>(rng.Below(7));
+      if (rng.Bernoulli(0.55) || live_a.size() < 6) {
+        live_a.emplace_back(maintained.AddAUser(vec), vec);
+      } else {
+        const auto pick = static_cast<size_t>(rng.Below(live_a.size()));
+        ASSERT_TRUE(maintained.RemoveAUser(live_a[pick].first));
+        live_a.erase(live_a.begin() + static_cast<ptrdiff_t>(pick));
+      }
+      if (rng.Bernoulli(0.6) || handles.empty()) {
+        std::vector<Count> b(3);
+        for (auto& v : b) v = static_cast<Count>(rng.Below(7));
+        handles.push_back(maintained.AddUser(b));
+        b_vectors.push_back(b);
+      } else {
+        const auto pick = static_cast<size_t>(rng.Below(handles.size()));
+        ASSERT_TRUE(maintained.RemoveUser(handles[pick]));
+        handles.erase(handles.begin() + static_cast<ptrdiff_t>(pick));
+        b_vectors.erase(b_vectors.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+
+    // From-scratch rebuild on the post-churn A, live B re-added in
+    // handle order — the exact construction the quiesce-time session
+    // rebuild performs.
+    Community a2(3);
+    for (const auto& [id, vec] : live_a) a2.AddUser(vec);
+    IncrementalCsj rebuilt(a2, options);
+    for (const auto& vec : b_vectors) (void)rebuilt.AddUser(vec);
+
+    ASSERT_EQ(maintained.live_a_users(), live_a.size());
+    ASSERT_EQ(rebuilt.live_a_users(), live_a.size());
+    ASSERT_EQ(maintained.live_users(), rebuilt.live_users());
+    ASSERT_EQ(maintained.matched_pairs(), rebuilt.matched_pairs())
+        << "round " << round << ": maintained matching size diverged from "
+        << "the from-scratch rebuild";
+    const double maintained_sim = maintained.Similarity();
+    const double rebuilt_sim = rebuilt.Similarity();
+    ASSERT_EQ(maintained_sim, rebuilt_sim)
+        << "round " << round << ": similarity bits diverged";
+    ASSERT_EQ(maintained.SizesAdmissible(), rebuilt.SizesAdmissible());
+
+    // Both must sit on the true maximum.
+    std::vector<MatchedPair> edges;
+    for (uint32_t b = 0; b < b_vectors.size(); ++b) {
+      for (uint32_t j = 0; j < live_a.size(); ++j) {
+        if (EpsilonMatches(b_vectors[b], live_a[j].second, options.eps)) {
+          edges.push_back(MatchedPair{b, j});
+        }
+      }
+    }
+    ASSERT_EQ(maintained.matched_pairs(),
+              matching::HopcroftKarp(edges).size())
+        << "round " << round << ": not a maximum matching";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ASideRebuildDifferential,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
 TEST(IncrementalCsjTest, MatchedPairsAreValidAndOneToOne) {
   util::Rng rng(42);
   const Community a = RandomCommunity(5, 60, 6, 99);

@@ -18,7 +18,10 @@
 # installed under per-shard locks, thread-local sketch scratch), the result
 # cache (shared rankings handed out across invalidation/eviction), and
 # the wire/net suites (FrameDecoder's lazily-compacted buffer, the
-# reactor's connection teardown racing in-flight worker responses).
+# reactor's connection teardown racing in-flight worker responses), and
+# the evolution suites (drift snapshots frozen and re-installed across
+# quiesces, maintained rankings and trigger before/after buffers handed
+# to subscribers, live sessions rebuilt over pinned anchor entries).
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -eu

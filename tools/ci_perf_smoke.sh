@@ -22,7 +22,12 @@
 # rejects and decode/transport errors, both identity gates (cached arm
 # and net arm byte-identical to direct recompute), a >= 50% cache hit
 # rate under zipf-skewed traffic, and cache-hit p99 strictly below the
-# compute p99 — the cache either pays for itself or the gate fails.
+# compute p99 — the cache either pays for itself or the gate fails. The
+# evolve_smoke gate closes with the evolution subsystem: csj_evolve
+# replays a seeded drift trace against the live catalog and requires the
+# maintained rankings byte-identical to fresh recomputes at every quiesce
+# point, exact triggers, a nonzero trigger count, and the maintained path
+# cheaper than recomputing (timing leg retried once against CI noise).
 #
 # Usage:
 #   tools/ci_perf_smoke.sh [build-dir]          build + sweep + check
@@ -77,7 +82,7 @@ build_dir="${1:-build-perf}"
 cmake -B "${build_dir}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCSJ_BUILD_EXAMPLES=OFF
-cmake --build "${build_dir}" -j --target bench_pipeline csj_serve
+cmake --build "${build_dir}" -j --target bench_pipeline csj_serve csj_evolve
 
 git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 json_out="${build_dir}/perf_smoke.json"
@@ -234,4 +239,42 @@ for gate in \
   fi
 done
 echo "net smoke gate passed: ${net_json}"
+
+# evolve_smoke: the evolution subsystem end to end. csj_evolve drives a
+# seeded drift stream (joins/leaves/decay/births/deaths) through the live
+# catalog and compares the TopKMaintainer's rankings against fresh
+# recomputes at every quiesce point; it exits non-zero itself on any
+# identity or trigger mismatch. The greps hold the report to its claims:
+# byte identity, trigger exactness, a trace that actually fired triggers,
+# and the maintained path beating recompute wall clock. The last is a
+# timing measurement on a shared CI box, so a miss is retried ONCE on a
+# fresh run before failing.
+evolve_json="${build_dir}/evolve_smoke.json"
+run_evolve_leg() {
+  "${build_dir}/tools/csj_evolve" \
+    --catalog=400 --size=30 --cluster=4 --events=400 --quiesce_every=50 \
+    --queries=4 --k=5 --eps=1 \
+    --json="${evolve_json}" \
+    --git_sha="${git_sha}" --build_type=Release
+}
+run_evolve_leg
+for gate in '"evolve_identical": ?true' '"trigger_exact": ?true' \
+            '"triggers_fired": ?[1-9]'; do
+  if ! grep -Eq "${gate}" "${evolve_json}"; then
+    echo "FAIL: ${gate} not satisfied in ${evolve_json}" >&2
+    exit 1
+  fi
+done
+if ! grep -Eq '"maintained_faster": ?true' "${evolve_json}"; then
+  echo "evolve_smoke: maintained path slower than recompute on first run, retrying once" >&2
+  run_evolve_leg
+  for gate in '"evolve_identical": ?true' '"trigger_exact": ?true' \
+              '"maintained_faster": ?true'; do
+    if ! grep -Eq "${gate}" "${evolve_json}"; then
+      echo "FAIL: ${gate} not satisfied in ${evolve_json}" >&2
+      exit 1
+    fi
+  done
+fi
+echo "evolve smoke gate passed: ${evolve_json}"
 echo "perf smoke gate passed."

@@ -18,6 +18,12 @@
 #                               per-phase breakdown, the bulk-vs-sequential
 #                               speedup, and the state-identity verdict in
 #                               the populate section.
+#   BENCH_evolve.json         - long-horizon continuous evolution over a
+#                               10k-community catalog: drift events
+#                               applied, triggers fired, maintained vs
+#                               fresh recompute wall time, max ranking
+#                               staleness window, with the byte-identity
+#                               and trigger-exactness verdicts
 #   BENCH_serve_1m.json       - opt-in (CSJ_BENCH_1M=1): the 1M-entry
 #                               prescreen scenario with the same two-arm
 #                               populate comparison. The sequential arm
@@ -91,6 +97,15 @@ echo "== csj_serve large (100k-entry catalog: prescreen candidate generation) ==
   --json=BENCH_serve_large.json \
   --git_sha="${git_sha}" --build_type="${build_type}"
 
+echo
+echo "== csj_evolve (10k-community drift: maintained top-k vs recompute) =="
+"${build_dir}/tools/csj_evolve" \
+  --catalog_size=10000 --size=40 --cluster=12 --plant_lo=0.5 \
+  --plant_hi=0.8 --k=5 --eps=1 --queries=8 --events=2000 \
+  --quiesce_every=100 --prescreen=true \
+  --json=BENCH_evolve.json \
+  --git_sha="${git_sha}" --build_type="${build_type}"
+
 if [ "${CSJ_BENCH_1M:-0}" = "1" ]; then
   echo
   echo "== csj_serve 1M (1M-entry catalog: prescreen at scale + two-arm populate; ~10 min) =="
@@ -109,4 +124,4 @@ script_dir="$(dirname "$0")"
 sh "${script_dir}/ci_perf_smoke.sh" --check-json BENCH_pipeline.json
 
 echo
-echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json, BENCH_serve.json and BENCH_serve_large.json (${git_sha}, ${build_type})"
+echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json, BENCH_serve.json, BENCH_serve_large.json and BENCH_evolve.json (${git_sha}, ${build_type})"

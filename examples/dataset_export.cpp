@@ -4,6 +4,7 @@
 //
 //   ./dataset_export [--size N] [--dir PATH]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -60,8 +61,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "reload failed\n");
     return 1;
   }
-  const bool ok = from_csv->flat() == community.flat() &&
-                  from_bin->flat() == community.flat();
+  const bool ok = std::ranges::equal(from_csv->flat(), community.flat()) &&
+                  std::ranges::equal(from_bin->flat(), community.flat());
   std::printf("round trip %s: CSV %s users, binary %s users\n",
               ok ? "OK" : "MISMATCH",
               csj::util::WithCommas(from_csv->size()).c_str(),

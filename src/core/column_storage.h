@@ -1,0 +1,111 @@
+#ifndef CSJ_CORE_COLUMN_STORAGE_H_
+#define CSJ_CORE_COLUMN_STORAGE_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace csj {
+
+/// One immutable column of a derived artifact (encoded-buffer ids, part
+/// sums, sketch tables): either a vector the object OWNS (the build
+/// path) or a BORROWED view into externally-owned memory (the persist
+/// path, where the column bytes live in a mapped segment file and must
+/// not be copied). Accessors are raw-pointer reads either way, so the
+/// join kernels see identical code for both modes.
+///
+/// Lifetime: a view does NOT pin its backing memory — the object that
+/// aggregates the columns holds one keep-alive `shared_ptr` for the
+/// whole mapping (one refcount per artifact instead of one per column).
+///
+/// The cached data pointer is rebound on copy/move instead of branching
+/// per access: `data()` must stay a single load for the scan loops.
+template <typename T>
+class ColumnStorage {
+ public:
+  ColumnStorage() = default;
+
+  /// Owning mode: adopts the vector.
+  /*implicit*/ ColumnStorage(std::vector<T> owned)
+      : owned_(std::move(owned)),
+        data_(owned_.data()),
+        size_(owned_.size()) {}
+
+  /// Borrowing mode: a view of `size` elements at `data` (externally
+  /// owned and immutable for this object's lifetime).
+  static ColumnStorage View(const T* data, size_t size) {
+    ColumnStorage column;
+    column.data_ = data;
+    column.size_ = size;
+    column.viewing_ = true;
+    return column;
+  }
+
+  ColumnStorage(const ColumnStorage& other)
+      : owned_(other.owned_), viewing_(other.viewing_) {
+    Rebind(other);
+  }
+  ColumnStorage& operator=(const ColumnStorage& other) {
+    if (this != &other) {
+      owned_ = other.owned_;
+      viewing_ = other.viewing_;
+      Rebind(other);
+    }
+    return *this;
+  }
+  // Moving a vector keeps its heap buffer, so the source's data pointer
+  // stays valid for the destination in both modes.
+  ColumnStorage(ColumnStorage&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        data_(other.data_),
+        size_(other.size_),
+        viewing_(other.viewing_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  ColumnStorage& operator=(ColumnStorage&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      data_ = other.data_;
+      size_ = other.size_;
+      viewing_ = other.viewing_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool viewing() const { return viewing_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  /// Heap bytes owned by THIS object (0 in borrowing mode — the mapped
+  /// bytes are accounted by whoever owns the mapping).
+  size_t OwnedBytes() const { return owned_.capacity() * sizeof(T); }
+
+ private:
+  void Rebind(const ColumnStorage& other) {
+    if (viewing_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool viewing_ = false;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_COLUMN_STORAGE_H_

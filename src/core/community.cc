@@ -16,16 +16,39 @@ Community::Community(Dim d, std::vector<Count> flat_counts, std::string name)
   CSJ_CHECK_EQ(counts_.size() % d, 0u);
 }
 
+Community Community::FromView(Dim d, const Count* counts, size_t flat_count,
+                              std::shared_ptr<const void> owner,
+                              std::string name) {
+  CSJ_CHECK_GE(d, 1u);
+  CSJ_CHECK_EQ(flat_count % d, 0u);
+  CSJ_CHECK(counts != nullptr || flat_count == 0);
+  Community community(d, std::move(name));
+  community.view_ = counts;
+  community.view_size_ = flat_count;
+  community.owner_ = std::move(owner);
+  return community;
+}
+
+void Community::EnsureOwned() {
+  if (view_ == nullptr) return;
+  counts_.assign(view_, view_ + view_size_);
+  view_ = nullptr;
+  view_size_ = 0;
+  owner_.reset();
+}
+
 UserId Community::AddUser(std::span<const Count> vec) {
   CSJ_CHECK_EQ(vec.size(), d_);
+  EnsureOwned();
   const UserId id = size();
   counts_.insert(counts_.end(), vec.begin(), vec.end());
   return id;
 }
 
 Count Community::MaxCounter() const {
-  if (counts_.empty()) return 0;
-  return *std::max_element(counts_.begin(), counts_.end());
+  const std::span<const Count> counts = flat();
+  if (counts.empty()) return 0;
+  return *std::max_element(counts.begin(), counts.end());
 }
 
 bool SizesAdmissible(uint32_t size_b, uint32_t size_a) {

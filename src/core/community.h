@@ -2,8 +2,10 @@
 #define CSJ_CORE_COMMUNITY_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -16,6 +18,15 @@ namespace csj {
 ///
 /// Users are addressed by their row index (`UserId`); the paper's
 /// `real_ID` is exactly this index.
+///
+/// Storage is either OWNED (a vector, the build/mutate path) or a
+/// BORROWED view of externally-owned counters (the persist path: the
+/// rows live in a memory-mapped segment file pinned by `owner` and are
+/// served zero-copy). A view is copy-on-write: the first mutating call
+/// (AddUser / MutableUser / Reserve) silently materializes an owned
+/// copy, so the catalog's frozen `shared_ptr<const Community>` entries
+/// can reference mapped bytes while drift-style edits of a copy keep
+/// working unchanged.
 class Community {
  public:
   /// Creates an empty community of dimensionality `d >= 1`.
@@ -24,46 +35,70 @@ class Community {
   /// Creates a community from `users * d` row-major counters.
   Community(Dim d, std::vector<Count> flat_counts, std::string name = "");
 
+  /// Creates a borrowed view of `flat_count` row-major counters at
+  /// `counts` (a multiple of `d`), kept alive by `owner`.
+  static Community FromView(Dim d, const Count* counts, size_t flat_count,
+                            std::shared_ptr<const void> owner,
+                            std::string name = "");
+
   Community(const Community&) = default;
   Community& operator=(const Community&) = default;
   Community(Community&&) = default;
   Community& operator=(Community&&) = default;
 
-  /// Appends one user; `vec.size()` must equal `d()`.
+  /// Appends one user; `vec.size()` must equal `d()`. Materializes a
+  /// borrowed view first.
   UserId AddUser(std::span<const Count> vec);
 
   /// Read-only view of one user's counters.
   std::span<const Count> User(UserId id) const {
-    return {counts_.data() + static_cast<size_t>(id) * d_, d_};
+    return {Data() + static_cast<size_t>(id) * d_, d_};
   }
 
   /// Mutable view of one user's counters (used by the planting sampler).
+  /// Materializes a borrowed view first.
   std::span<Count> MutableUser(UserId id) {
+    EnsureOwned();
     return {counts_.data() + static_cast<size_t>(id) * d_, d_};
   }
 
   Dim d() const { return d_; }
-  uint32_t size() const {
-    return static_cast<uint32_t>(counts_.size() / d_);
-  }
-  bool empty() const { return counts_.empty(); }
+  uint32_t size() const { return static_cast<uint32_t>(FlatSize() / d_); }
+  bool empty() const { return FlatSize() == 0; }
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
   /// The whole row-major buffer; exposed for the normalizer and I/O.
-  const std::vector<Count>& flat() const { return counts_; }
+  std::span<const Count> flat() const { return {Data(), FlatSize()}; }
+
+  /// True when the counters are a borrowed view (mapped segment bytes).
+  bool viewing() const { return view_ != nullptr; }
 
   /// Largest counter over all users and dimensions (0 when empty).
   Count MaxCounter() const;
 
-  /// Reserves storage for `users` rows.
+  /// Reserves storage for `users` rows (materializes a view).
   void Reserve(uint32_t users) {
+    EnsureOwned();
     counts_.reserve(static_cast<size_t>(users) * d_);
   }
 
  private:
+  const Count* Data() const {
+    return view_ != nullptr ? view_ : counts_.data();
+  }
+  size_t FlatSize() const {
+    return view_ != nullptr ? view_size_ : counts_.size();
+  }
+  /// Copy-on-write: copies a borrowed view into owned storage and drops
+  /// the keep-alive. No-op when already owned.
+  void EnsureOwned();
+
   Dim d_;
   std::vector<Count> counts_;
+  const Count* view_ = nullptr;
+  size_t view_size_ = 0;
+  std::shared_ptr<const void> owner_;
   std::string name_;
 };
 

@@ -142,16 +142,32 @@ EncodedB::EncodedB(const Community& b, const Encoder& encoder)
   SortPermutationInto(unsorted_ids, &scratch.perm);
   const std::vector<uint32_t>& perm = scratch.perm;
 
-  ids_.resize(n);
-  real_.resize(n);
-  sums_.resize(static_cast<size_t>(n) * parts_);
+  std::vector<uint64_t> ids(n);
+  std::vector<UserId> real(n);
+  std::vector<uint64_t> sorted_sums(static_cast<size_t>(n) * parts_);
   for (uint32_t i = 0; i < n; ++i) {
     const UserId u = perm[i];
-    ids_[i] = unsorted_ids[u];
-    real_[i] = u;
+    ids[i] = unsorted_ids[u];
+    real[i] = u;
     std::copy_n(unsorted_sums.data() + static_cast<size_t>(u) * parts_,
-                parts_, sums_.data() + static_cast<size_t>(i) * parts_);
+                parts_, sorted_sums.data() + static_cast<size_t>(i) * parts_);
   }
+  ids_ = std::move(ids);
+  real_ = std::move(real);
+  sums_ = std::move(sorted_sums);
+}
+
+EncodedB::EncodedB(const Columns& columns, std::shared_ptr<const void> owner)
+    : parts_(columns.parts),
+      ids_(ColumnStorage<uint64_t>::View(columns.ids, columns.n)),
+      real_(ColumnStorage<UserId>::View(columns.real, columns.n)),
+      sums_(ColumnStorage<uint64_t>::View(
+          columns.sums, static_cast<size_t>(columns.n) * columns.parts)),
+      owner_(std::move(owner)) {
+  CSJ_CHECK_GE(parts_, 1u);
+  CSJ_CHECK(columns.n == 0 ||
+            (columns.ids != nullptr && columns.real != nullptr &&
+             columns.sums != nullptr));
 }
 
 EncodedA::EncodedA(const Community& a, const Encoder& encoder)
@@ -203,26 +219,48 @@ EncodedA::EncodedA(const Community& a, const Encoder& encoder)
   SortPermutationInto(unsorted_mins, &scratch.perm);
   const std::vector<uint32_t>& perm = scratch.perm;
 
-  mins_.resize(n);
-  maxs_.resize(n);
-  real_.resize(n);
+  std::vector<uint64_t> mins(n);
+  std::vector<uint64_t> maxs(n);
+  std::vector<UserId> real(n);
   // Part-major columns (see part_lo()): column 2p holds part p's lo for
   // every entry, column 2p+1 the hi, both in sorted order.
-  cols_.resize(static_cast<size_t>(n) * 2 * parts_);
+  std::vector<uint64_t> cols(static_cast<size_t>(n) * 2 * parts_);
   for (uint32_t i = 0; i < n; ++i) {
     const UserId u = perm[i];
-    mins_[i] = unsorted_mins[u];
-    maxs_[i] = unsorted_maxs[u];
-    real_[i] = u;
+    mins[i] = unsorted_mins[u];
+    maxs[i] = unsorted_maxs[u];
+    real[i] = u;
     for (uint32_t p = 0; p < parts_; ++p) {
-      cols_[static_cast<size_t>(2 * p) * n + i] =
+      cols[static_cast<size_t>(2 * p) * n + i] =
           unsorted_lo[static_cast<size_t>(u) * parts_ + p];
-      cols_[static_cast<size_t>(2 * p + 1) * n + i] =
+      cols[static_cast<size_t>(2 * p + 1) * n + i] =
           unsorted_hi[static_cast<size_t>(u) * parts_ + p];
     }
   }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
+  real_ = std::move(real);
+  cols_ = std::move(cols);
   window_.Assign(n, encoder.d(),
                  [&](uint32_t i) { return a.User(real_[i]); });
+}
+
+EncodedA::EncodedA(const Columns& columns, std::shared_ptr<const void> owner)
+    : parts_(columns.parts),
+      mins_(ColumnStorage<uint64_t>::View(columns.mins, columns.n)),
+      maxs_(ColumnStorage<uint64_t>::View(columns.maxs, columns.n)),
+      real_(ColumnStorage<UserId>::View(columns.real, columns.n)),
+      cols_(ColumnStorage<uint64_t>::View(
+          columns.cols, static_cast<size_t>(columns.n) * 2 * columns.parts)),
+      owner_(std::move(owner)) {
+  CSJ_CHECK_GE(parts_, 1u);
+  CSJ_CHECK(columns.n == 0 ||
+            (columns.mins != nullptr && columns.maxs != nullptr &&
+             columns.real != nullptr && columns.cols != nullptr &&
+             columns.window != nullptr));
+  // The window shares owner_ through its own keep-alive: a copied-out
+  // window must not dangle if this buffer dies first.
+  window_.AssignView(columns.n, columns.d, columns.window, owner_);
 }
 
 uint32_t EncodedA::UpperBound(uint64_t id) const {

@@ -155,18 +155,35 @@ CommunitySignature::CommunitySignature(const Community& community,
   }
   sampled_ = static_cast<uint32_t>(users.size());
 
-  table_.resize(static_cast<size_t>(d_) * (quantiles_ + 1));
+  std::vector<Count> table(static_cast<size_t>(d_) * (quantiles_ + 1));
   std::vector<Count> column(sampled_);
   for (Dim k = 0; k < d_; ++k) {
     for (uint32_t i = 0; i < sampled_; ++i) {
       column[i] = community.User(users[i])[k];
     }
     std::sort(column.begin(), column.end());
-    Count* row = table_.data() + static_cast<size_t>(k) * (quantiles_ + 1);
+    Count* row = table.data() + static_cast<size_t>(k) * (quantiles_ + 1);
     for (uint32_t j = 0; j <= quantiles_; ++j) {
       row[j] = column[RankOf(j, sampled_, quantiles_)];
     }
   }
+  table_ = std::move(table);
+}
+
+CommunitySignature::CommunitySignature(const TableView& view,
+                                       std::shared_ptr<const void> owner)
+    : n_(view.n),
+      sampled_(view.sampled),
+      quantiles_(view.quantiles),
+      d_(view.d),
+      table_(ColumnStorage<Count>::View(
+          view.table, static_cast<size_t>(view.d) * (view.quantiles + 1))),
+      owner_(std::move(owner)) {
+  CSJ_CHECK_GE(n_, 1u);
+  CSJ_CHECK_GE(sampled_, 1u);
+  CSJ_CHECK_GE(d_, 1u);
+  CSJ_CHECK_EQ(ClampQuantiles(quantiles_), quantiles_);
+  CSJ_CHECK(view.table != nullptr);
 }
 
 CommunitySignature::CommunitySignature(const Community& community,
@@ -194,7 +211,7 @@ CommunitySignature::CommunitySignature(const Community& community,
     if (users.empty()) users.push_back(0);  // a sketch needs >= 1 user
   }
   sampled_ = all_users ? n_ : static_cast<uint32_t>(users.size());
-  table_.resize(static_cast<size_t>(d_) * (quantiles_ + 1));
+  std::vector<Count> table(static_cast<size_t>(d_) * (quantiles_ + 1));
 
   // A sketch is d order-statistic rows, one per counter column. Instead
   // of d separate sorts, sort ALL columns at once: pack each counter
@@ -225,13 +242,15 @@ CommunitySignature::CommunitySignature(const Community& community,
     RadixRankExtract<uint16_t>(community, users, all_users, sampled_, d_,
                                vbits, dbits, quantiles_, ranks,
                                scratch->keys16, scratch->aux16,
-                               scratch->zeros, table_.data());
+                               scratch->zeros, table.data());
+    table_ = std::move(table);
     return;
   }
   if (vbits + dbits <= 32) {
     RadixRankExtract<Count>(community, users, all_users, sampled_, d_, vbits,
                             dbits, quantiles_, ranks, scratch->columns,
-                            scratch->aux, scratch->zeros, table_.data());
+                            scratch->aux, scratch->zeros, table.data());
+    table_ = std::move(table);
     return;
   }
 
@@ -258,12 +277,13 @@ CommunitySignature::CommunitySignature(const Community& community,
     }
     std::sort(column, column + nonzeros);
     const uint32_t zeros = sampled_ - nonzeros;
-    Count* row = table_.data() + static_cast<size_t>(k) * (quantiles_ + 1);
+    Count* row = table.data() + static_cast<size_t>(k) * (quantiles_ + 1);
     for (uint32_t j = 0; j <= quantiles_; ++j) {
       const uint32_t r = ranks[j];
       row[j] = r < zeros ? 0 : column[r - zeros];
     }
   }
+  table_ = std::move(table);
 }
 
 uint32_t SignatureCountUpperBound(std::span<const Count> row, uint32_t sampled,

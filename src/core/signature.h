@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/column_storage.h"
 #include "core/community.h"
 #include "core/types.h"
 
@@ -104,6 +105,22 @@ class CommunitySignature {
                      const SignatureOptions& options, SketchScratch* scratch,
                      Count max_counter_hint = 0);
 
+  /// A deserialized sketch: the persist path's restore constructor. The
+  /// breakpoint table is BORROWED from `table` (d * (quantiles + 1)
+  /// dimension-major values, e.g. a mapped segment's sketch section,
+  /// pinned by `owner`) — zero-copy, byte-identical to the build
+  /// constructors by the store's fsck contract (recompute agreement).
+  /// `quantiles` must already be the clamped value the builders stored.
+  struct TableView {
+    uint32_t n = 0;
+    uint32_t sampled = 0;
+    uint32_t quantiles = 0;
+    Dim d = 0;
+    const Count* table = nullptr;
+  };
+  CommunitySignature(const TableView& view,
+                     std::shared_ptr<const void> owner);
+
   /// True community size (admissibility checks, the cap's denominator).
   uint32_t size() const { return n_; }
   /// Users actually sketched (== size() at recall_target 1.0).
@@ -119,10 +136,10 @@ class CommunitySignature {
 
   /// The whole dimension-major table (the index copies it into its
   /// packed sweep columns).
-  std::span<const Count> table() const { return table_; }
+  std::span<const Count> table() const { return table_.span(); }
 
   size_t MemoryBytes() const {
-    return table_.capacity() * sizeof(Count) + sizeof(*this);
+    return table_.OwnedBytes() + sizeof(*this);
   }
 
  private:
@@ -130,7 +147,10 @@ class CommunitySignature {
   uint32_t sampled_ = 0;
   uint32_t quantiles_ = 0;
   Dim d_ = 0;
-  std::vector<Count> table_;  ///< d * (quantiles + 1), dimension-major
+  /// d * (quantiles + 1), dimension-major; owned when built, borrowed
+  /// (mapped segment bytes pinned by owner_) when restored.
+  ColumnStorage<Count> table_;
+  std::shared_ptr<const void> owner_;
 };
 
 /// Certified upper bound on the number of sketched users whose value in

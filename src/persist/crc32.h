@@ -1,0 +1,22 @@
+#ifndef CSJ_PERSIST_CRC32_H_
+#define CSJ_PERSIST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace csj::persist {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum guarding every persisted region: superblock, segment
+/// header, section payloads, log records. Software slice-by-8: one
+/// 8 KiB table, ~1 byte/cycle, no ISA dependence — fast enough for the
+/// write path and for csj_fsck's full-store sweep, and the store never
+/// CRCs payloads on the zero-copy open path.
+///
+/// `seed` is the running CRC for incremental use (pass the previous
+/// return value); a one-shot caller passes the default.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace csj::persist
+
+#endif  // CSJ_PERSIST_CRC32_H_

@@ -1,0 +1,64 @@
+#ifndef CSJ_PERSIST_FSCK_H_
+#define CSJ_PERSIST_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csj::persist {
+
+struct FsckOptions {
+  std::string dir;
+  /// Recompute derived artifacts (digests, sketches, encodings,
+  /// windows) from the stored counters and byte-compare against the
+  /// stored columns. Catches writer bugs and semantic drift that CRCs
+  /// cannot (CRCs prove the bytes are what was written, recomputation
+  /// proves what was written is what the builders produce today).
+  bool deep = true;
+  /// Truncate a torn log tail in place (the only mutation fsck ever
+  /// performs; everything else is strictly read-only).
+  bool repair = false;
+};
+
+/// One verifier finding. `fatal` findings mean the store must not be
+/// served; non-fatal ones (a torn log tail, leftover files from an
+/// interrupted checkpoint) are expected crash residue that open-time
+/// recovery handles.
+struct FsckFinding {
+  bool fatal = false;
+  std::string message;
+};
+
+struct FsckReport {
+  std::vector<FsckFinding> findings;
+  uint64_t generation = 0;
+  uint64_t segment_entries = 0;
+  uint64_t log_records = 0;
+  uint64_t torn_tail_bytes = 0;
+  bool repaired = false;
+
+  bool clean() const {
+    for (const FsckFinding& finding : findings) {
+      if (finding.fatal) return false;
+    }
+    return true;
+  }
+};
+
+/// Offline store verifier: walks superblock → segment → log and
+/// validates every layer — file magics, header and section-table CRCs,
+/// SECTION PAYLOAD CRCs (the check the zero-copy open path skips),
+/// offset/bound/alignment sanity, id ordering, version uniqueness and
+/// monotonicity against next_version, prefix-array consistency, log
+/// record framing and CRCs, and log-upsert versions against the sealed
+/// generation's horizon. With `deep` it additionally recomputes each
+/// entry's digest, sketch table, encoded buffers and verify windows
+/// from the stored counters and requires byte agreement.
+///
+/// Returns false only when the directory cannot be walked at all;
+/// corruption is reported through the findings.
+bool FsckStore(const FsckOptions& options, FsckReport* report);
+
+}  // namespace csj::persist
+
+#endif  // CSJ_PERSIST_FSCK_H_

@@ -1,0 +1,138 @@
+#ifndef CSJ_PERSIST_STORE_H_
+#define CSJ_PERSIST_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "persist/log.h"
+#include "persist/segment.h"
+#include "service/catalog.h"
+
+namespace csj::persist {
+
+struct StoreOptions {
+  /// Store directory; created (one level) when absent.
+  std::string dir;
+  /// madvise hints applied to mapped segments (see MappedSegment::Map).
+  bool use_madvise = true;
+  bool use_hugepages = true;
+  /// fsync barrier cadence of the mutation log (records per barrier; 1
+  /// makes every mutation durable before its shard lock is released).
+  size_t log_sync_every = 1;
+  /// Crash-injection harness (tests only; not owned, may be null).
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// Accounting of Open() + RestoreInto().
+struct OpenStats {
+  bool opened_existing = false;  ///< a committed superblock was found
+  uint64_t generation = 0;
+  uint64_t segment_entries = 0;
+  uint64_t segment_bytes = 0;
+  uint64_t log_records_replayed = 0;
+  uint64_t log_torn_bytes = 0;  ///< bytes past the valid prefix
+  double map_seconds = 0.0;      ///< superblock + segment map + validate
+  double restore_seconds = 0.0;  ///< RestoreBatch over the segment image
+  double replay_seconds = 0.0;   ///< log-tail replay
+};
+
+/// Accounting of one Checkpoint().
+struct CheckpointStats {
+  uint64_t generation = 0;  ///< the generation just sealed
+  uint64_t entries = 0;
+  uint64_t bytes = 0;           ///< sealed segment file size
+  double snapshot_seconds = 0.0;  ///< catalog snapshot + artifact fetch
+  double write_seconds = 0.0;     ///< segment assembly + write + fsync
+  double commit_seconds = 0.0;    ///< superblock commit + old-gen cleanup
+};
+
+/// The persistent catalog store: one directory holding the committed
+/// superblock, the current sealed segment generation and its mutation
+/// log (format.h documents the files and the commit protocol).
+///
+/// Lifecycle:
+///
+///   auto store = Store::Open(options, &err);     // map latest generation
+///   store->RestoreInto(&catalog, &stats);        // logplay recovery
+///   store->StartLogging(&catalog);               // durable from here on
+///   ... mutations ...
+///   store->Checkpoint(catalog, &stats);          // fold log into a new gen
+///
+/// Checkpoint and StartLogging/StopLogging require the catalog to be
+/// QUIESCENT (no in-flight mutations): the evolution subsystem's
+/// quiesce points satisfy this by construction, which is why they
+/// double as checkpoint sites. Concurrent mutations while logging is
+/// attached are fully supported — that is the normal serving mode.
+class Store {
+ public:
+  /// Opens (or initializes) the store directory: reads and validates
+  /// the superblock, maps the sealed segment, decodes the log's valid
+  /// prefix. Returns nullptr with `*error` set on structural corruption
+  /// (csj_fsck gives the detailed diagnosis).
+  static std::unique_ptr<Store> Open(StoreOptions options, std::string* error,
+                                     OpenStats* stats = nullptr);
+
+  /// Rebuilds `catalog` (must be freshly constructed and empty) to the
+  /// exact pre-crash state: segment entries install zero-copy under
+  /// their original versions, then the log's valid prefix replays in
+  /// append order — per shard that is the writer's install order, so
+  /// snapshots, versions, warm-cache residency, sketch-index layout and
+  /// every top-k ranking come back byte-identical. The catalog must be
+  /// configured with the same warm parameters and signature options the
+  /// writer used (checked against the segment header).
+  bool RestoreInto(service::CommunityCatalog* catalog, std::string* error,
+                   OpenStats* stats = nullptr);
+
+  /// Attaches the durable mutation sink: every subsequent catalog
+  /// mutation appends a self-contained record to the current log, CRC'd
+  /// and fsync-barriered per StoreOptions::log_sync_every.
+  bool StartLogging(service::CommunityCatalog* catalog, std::string* error);
+
+  /// Detaches the sink and seals the log tail with a final barrier.
+  void StopLogging(service::CommunityCatalog* catalog);
+
+  /// Folds the catalog's current state into a new sealed generation:
+  /// writes seg-<G+1> (communities + digests + sketches + warm encoded
+  /// artifacts), fsyncs it, commits the superblock, then deletes the
+  /// old generation's files. On any failure the store still names the
+  /// old generation — a half-written new segment is inert garbage.
+  /// When logging is attached, the log rolls to the new generation.
+  bool Checkpoint(const service::CommunityCatalog& catalog, std::string* error,
+                  CheckpointStats* stats = nullptr);
+
+  uint64_t generation() const { return generation_; }
+  /// True when the store holds restorable state — a sealed segment or a
+  /// non-empty log tail (e.g. a store that crashed before its first
+  /// checkpoint). Drives the --warm_restart populate-or-restore choice.
+  bool has_data() const {
+    return generation_ >= 1 || !log_image_.records.empty();
+  }
+  /// Records durably appended to the current log by this process.
+  uint64_t log_records() const {
+    return writer_ == nullptr ? 0 : writer_->records_appended();
+  }
+
+  std::string SuperblockPath() const;
+  std::string SegmentPath(uint64_t generation) const;
+  std::string LogPath(uint64_t generation) const;
+
+ private:
+  explicit Store(StoreOptions options) : options_(std::move(options)) {}
+
+  bool CommitSuperblock(uint64_t generation, std::string* error);
+
+  StoreOptions options_;
+  uint64_t generation_ = 0;
+  std::shared_ptr<MappedSegment> segment_;  // null when generation has none
+  LogImage log_image_;
+  /// Guards writer_ swap (checkpoint log roll) against sink appends.
+  std::mutex writer_mu_;
+  std::unique_ptr<LogWriter> writer_;
+  bool logging_ = false;
+};
+
+}  // namespace csj::persist
+
+#endif  // CSJ_PERSIST_STORE_H_

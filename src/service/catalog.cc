@@ -136,6 +136,10 @@ uint64_t CommunityCatalog::Upsert(uint64_t id, Community community) {
     if (mutation_log_ != nullptr) {
       AppendMutation(id, entry.version, /*remove=*/false);
     }
+    // The durable-log seam observes the same ordering point.
+    if (mutation_sink_) {
+      mutation_sink_({id, entry.version, /*remove=*/false, entry.community});
+    }
   }
   mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
   upserts_.fetch_add(1, std::memory_order_relaxed);
@@ -316,6 +320,15 @@ uint64_t CommunityCatalog::BulkLoad(
     mutations_started_.fetch_add(1, std::memory_order_acq_rel);
     {
       std::unique_lock lock(shard.mu);
+      // Sink first, in member (= batch) order, while the entries still
+      // hold their community pointers — the move loop below strips them.
+      // Same critical section, so sink order still equals install order.
+      if (mutation_sink_) {
+        for (const uint32_t i : members) {
+          mutation_sink_({entries[i].id, entries[i].version,
+                          /*remove=*/false, entries[i].community});
+        }
+      }
       for (const uint32_t i : members) {
         // Entries are single-use here: moving skips three shared_ptr
         // refcount round-trips per element. (Duplicate ids overwrite in
@@ -347,6 +360,133 @@ uint64_t CommunityCatalog::BulkLoad(
   return base + n - 1;
 }
 
+uint64_t CommunityCatalog::RestoreBatch(std::vector<RestoredEntry> batch,
+                                        uint64_t next_version,
+                                        BulkLoadStats* stats) {
+  if (stats != nullptr) *stats = BulkLoadStats{};
+  const uint32_t n = static_cast<uint32_t>(batch.size());
+  if (stats != nullptr) stats->entries = n;
+  for (const RestoredEntry& entry : batch) {
+    CSJ_CHECK(entry.community != nullptr && !entry.community->empty())
+        << "catalog entries must be non-empty";
+    CSJ_CHECK_GE(entry.version, 1u);
+    CSJ_CHECK_LT(entry.version, next_version)
+        << "restored version outside the recovered version horizon";
+  }
+  CSJ_CHECK_GE(next_version, 1u);
+
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  std::vector<CatalogEntry> entries(n);
+  if (options_.cache != nullptr) {
+    options_.cache->Reserve(static_cast<size_t>(n) * 3);
+  }
+
+  // One wave, not BulkLoad's two: the common restore has every derived
+  // artifact already reconstructed (zero-copy views over the mapped
+  // segment), so per entry this is three cache inserts and two
+  // shared_ptr adoptions. Only log-tail entries — whose artifacts were
+  // never checkpointed — pay a build, through the exact builders Upsert
+  // uses, so the recovered bytes match what the writer held.
+  util::Timer phase_timer;
+  if (signature_index_ != nullptr || options_.cache != nullptr || n > 0) {
+    pool.Run(n, [&](uint32_t i) {
+      RestoredEntry& restored = batch[i];
+      CatalogEntry& entry = entries[i];
+      entry.id = restored.id;
+      entry.version = restored.version;
+      entry.community = std::move(restored.community);
+      entry.digest = restored.digest;
+      if (options_.cache != nullptr) {
+        const Encoder encoder(entry.community->d(), options_.warm_eps,
+                              options_.warm_parts);
+        std::shared_ptr<const EncodedB> encoded_b =
+            std::move(restored.encoded_b);
+        if (encoded_b == nullptr) {
+          encoded_b =
+              std::make_shared<const EncodedB>(*entry.community, encoder);
+        }
+        std::shared_ptr<const EncodedA> encoded_a =
+            std::move(restored.encoded_a);
+        if (encoded_a == nullptr) {
+          encoded_a =
+              std::make_shared<const EncodedA>(*entry.community, encoder);
+        }
+        std::shared_ptr<const VerifyWindow> window = std::move(restored.window);
+        if (window == nullptr) {
+          auto built = std::make_shared<VerifyWindow>();
+          built->Assign(entry.community->size(), entry.community->d(),
+                        [&](uint32_t u) { return entry.community->User(u); });
+          window = std::move(built);
+        }
+        options_.cache->PutEncodedB(entry.digest, options_.warm_eps,
+                                    encoder.parts(), std::move(encoded_b));
+        options_.cache->PutEncodedA(entry.digest, options_.warm_eps,
+                                    encoder.parts(), std::move(encoded_a));
+        options_.cache->PutCommunityWindow(entry.digest, std::move(window));
+      }
+      if (signature_index_ != nullptr) {
+        entry.signature = std::move(restored.signature);
+        if (entry.signature == nullptr) {
+          thread_local SketchScratch scratch;
+          entry.signature = std::make_shared<const CommunitySignature>(
+              *entry.community, signature_index_->options(), &scratch,
+              entry.digest.max_counter);
+        }
+      }
+    });
+  }
+  if (stats != nullptr) stats->encode_seconds = phase_timer.Seconds();
+
+  // Install exactly as BulkLoad does — per-shard exclusive sections in
+  // batch order — so the recovered index pack layout replays the
+  // writer's install history. No journal append and no sink: a restore
+  // replays durable history, it does not create any.
+  phase_timer.Reset();
+  std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    by_shard[ShardIndexOf(entries[i].id)].push_back(i);
+  }
+  std::vector<SignatureIndex::SlotInstall> installs;
+  for (uint32_t shard_index = 0; shard_index < shards_.size();
+       ++shard_index) {
+    const std::vector<uint32_t>& members = by_shard[shard_index];
+    if (members.empty()) continue;
+    Shard& shard = shards_[shard_index];
+    if (signature_index_ != nullptr) {
+      installs.clear();
+      installs.reserve(members.size());
+      for (const uint32_t i : members) {
+        installs.push_back(
+            {entries[i].id, entries[i].version, entries[i].signature});
+      }
+    }
+    mutations_started_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::unique_lock lock(shard.mu);
+      for (const uint32_t i : members) {
+        const uint64_t id = entries[i].id;
+        shard.entries.insert_or_assign(shard.entries.end(), id,
+                                       std::move(entries[i]));
+      }
+      if (signature_index_ != nullptr) {
+        signature_index_->InstallBatch(shard_index, installs);
+      }
+    }
+    mutations_finished_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (stats != nullptr) stats->install_seconds = phase_timer.Seconds();
+
+  // Resume the writer's version sequence. fetch_max semantics: restore
+  // only ever runs on a fresh catalog, but stay monotone regardless.
+  uint64_t current = next_version_.load(std::memory_order_acquire);
+  while (current < next_version &&
+         !next_version_.compare_exchange_weak(current, next_version,
+                                              std::memory_order_acq_rel)) {
+  }
+  upserts_.fetch_add(n, std::memory_order_relaxed);
+  return n == 0 ? 0 : next_version - 1;
+}
+
 bool CommunityCatalog::Remove(uint64_t id) {
   const uint32_t shard_index = ShardIndexOf(id);
   Shard& shard = shards_[shard_index];
@@ -365,6 +505,9 @@ bool CommunityCatalog::Remove(uint64_t id) {
     // of an absent id changes no observable state for log consumers.
     if (removed && mutation_log_ != nullptr) {
       AppendMutation(id, /*version=*/0, /*remove=*/true);
+    }
+    if (removed && mutation_sink_) {
+      mutation_sink_({id, /*version=*/0, /*remove=*/true, nullptr});
     }
   }
   mutations_finished_.fetch_add(1, std::memory_order_acq_rel);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/community.h"
+#include "core/encoding.h"
 #include "core/encoding_cache.h"
 #include "core/join_options.h"
 #include "core/signature.h"
@@ -62,6 +64,21 @@ struct MutationRecord {
   /// consumes no catalog version, matching the un-logged behavior).
   uint64_t version = 0;
   bool remove = false;
+};
+
+/// One mutation as observed by a MUTATION SINK (the durable-log seam,
+/// see CommunityCatalog::SetMutationSink). Unlike the in-RAM
+/// MutationRecord — which only names WHAT changed — a sink event carries
+/// the installed payload itself, so a persistence layer can write a
+/// self-contained log record without re-reading the catalog.
+struct MutationEvent {
+  uint64_t id = 0;
+  /// Issued entry version for upserts; 0 for removes.
+  uint64_t version = 0;
+  bool remove = false;
+  /// The frozen installed buffer (null for removes). The sink may retain
+  /// the shared_ptr; the buffer is immutable for its lifetime.
+  std::shared_ptr<const Community> community;
 };
 
 /// A live, incrementally maintained exact similarity between ONE query
@@ -206,6 +223,55 @@ class CommunityCatalog {
   /// keep its buffers alive; the catalog just forgets it.
   bool Remove(uint64_t id);
 
+  /// One entry of a RestoreBatch() call: a fully reconstructed catalog
+  /// entry carrying its ORIGINAL version plus any pre-built derived
+  /// artifacts. `signature` may be null (built at restore when the
+  /// catalog has a signature index); the three warm-cache artifacts may
+  /// individually be null (built at restore when a cache is configured).
+  struct RestoredEntry {
+    uint64_t id = 0;
+    uint64_t version = 0;
+    std::shared_ptr<const Community> community;
+    CommunityDigest digest;
+    std::shared_ptr<const CommunitySignature> signature;
+    std::shared_ptr<const EncodedB> encoded_b;
+    std::shared_ptr<const EncodedA> encoded_a;
+    std::shared_ptr<const VerifyWindow> window;
+  };
+
+  /// Recovery fast path: installs every entry of `batch` under its
+  /// EXPLICIT version (BulkLoad cannot do this — it reissues a fresh
+  /// contiguous block, and a store recovering `{v3, v17}` after removes
+  /// holds a non-contiguous version set) and advances the catalog's
+  /// version counter to exactly `next_version`, so post-restore upserts
+  /// issue the same versions the pre-crash catalog would have.
+  ///
+  /// Entry ids must be unique and versions unique and < `next_version`;
+  /// batch order is the install order within each shard, which a persist
+  /// layer uses to replay the writer's exact index pack layout. Warm
+  /// artifacts provided on an entry are bulk-inserted into the cache
+  /// as-is (keyed on warm_eps / clamped warm_parts); absent ones are
+  /// built, byte-identical to what Upsert would have produced. The
+  /// mutation SINK is deliberately not invoked — a restore replays the
+  /// durable log, it must not re-append to it — and the in-RAM journal
+  /// stays empty: it is bounded history, not state, and consumers
+  /// resynchronize via mutation_seq() cursors.
+  uint64_t RestoreBatch(std::vector<RestoredEntry> batch,
+                        uint64_t next_version, BulkLoadStats* stats = nullptr);
+
+  /// Installs the DURABLE-LOG SEAM: `sink` is invoked once per effective
+  /// mutation (every Upsert, every BulkLoad member, every Remove that
+  /// erased a resident id) INSIDE the same exclusive shard section as
+  /// the install itself — the same spot the in-RAM journal appends — so
+  /// the sink's observed order can never contradict the install order
+  /// any reader observes, per shard and per id. The sink must be
+  /// thread-safe (shards mutate concurrently) and fast: it runs under a
+  /// shard lock, so it should buffer, not block on I/O. Set it while the
+  /// catalog is quiescent (there is no synchronization against in-flight
+  /// mutations); pass nullptr to detach.
+  using MutationSink = std::function<void(const MutationEvent&)>;
+  void SetMutationSink(MutationSink sink) { mutation_sink_ = std::move(sink); }
+
   /// The current entry for `id`, or an empty optional-like entry
   /// (community == nullptr) when absent.
   CatalogEntry Get(uint64_t id) const;
@@ -304,6 +370,11 @@ class CommunityCatalog {
     return signature_index_.get();
   }
 
+  /// The construction options (the persistence layer reads the warm
+  /// parameters and cache pointer to seal and restore derived
+  /// artifacts in the exact shape serving expects).
+  const Options& options() const { return options_; }
+
   /// Monotonic operation counters (for the server's stats surface).
   struct Stats {
     uint64_t upserts = 0;
@@ -346,6 +417,8 @@ class CommunityCatalog {
   std::unique_ptr<SignatureIndex> signature_index_;
   /// Null when Options::mutation_log_capacity == 0.
   std::unique_ptr<MutationLog> mutation_log_;
+  /// The durable-log seam (see SetMutationSink); empty when detached.
+  MutationSink mutation_sink_;
   /// Next version to issue; versions are catalog-wide and monotonic.
   std::atomic<uint64_t> next_version_{1};
   /// The mutation clock (see mutations_started()). Bumped around BOTH

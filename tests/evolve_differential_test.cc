@@ -6,6 +6,7 @@
 // fresh-ranking diffs at the same points: a trigger fires exactly when
 // the ranked (id, similarity) sequence moved — no missed, no spurious.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -137,7 +138,9 @@ TraceResult RunTrace(const TraceConfig& config) {
     const auto entry = catalog.Get(id);
     EXPECT_NE(entry.community, nullptr) << "live id " << id << " not resident";
     if (entry.community == nullptr) continue;
-    result.image.emplace_back(id, entry.version, entry.community->flat());
+    const auto flat = entry.community->flat();
+    result.image.emplace_back(id, entry.version,
+                              std::vector<Count>(flat.begin(), flat.end()));
   }
   return result;
 }

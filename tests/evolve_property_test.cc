@@ -4,6 +4,7 @@
 // nothing, a reordering commutes — and asserts the maintained world
 // honors it exactly.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -113,7 +114,8 @@ DriftEvent Decay(uint64_t id, double factor) {
 TEST(EvolvePropertyTest, AddThenRemoveRestoresRanking) {
   World world(testing::TestSeed(1) % 100000 + 1);
   const uint64_t target = 2;  // a planted member, id 2 <- communities()[1]
-  const auto before_bytes = world.replayer->LiveSnapshot(target)->flat();
+  const auto before_span = world.replayer->LiveSnapshot(target)->flat();
+  const std::vector<Count> before_bytes(before_span.begin(), before_span.end());
   const auto before_meaning = world.Meaning();
   const uint64_t before_triggers = world.maintainer->trigger_count(0);
 
@@ -134,9 +136,11 @@ TEST(EvolvePropertyTest, AddThenRemoveRestoresRanking) {
   world.replayer->Quiesce();
   const auto leave_outcome = world.maintainer->Refresh(0);
 
-  EXPECT_EQ(world.replayer->LiveSnapshot(target)->flat(), before_bytes)
+  EXPECT_TRUE(std::ranges::equal(
+      world.replayer->LiveSnapshot(target)->flat(), before_bytes))
       << "community counters not restored by the inverse pair";
-  EXPECT_EQ(world.catalog->Get(target).community->flat(), before_bytes);
+  EXPECT_TRUE(std::ranges::equal(world.catalog->Get(target).community->flat(),
+                                 before_bytes));
   EXPECT_EQ(world.Meaning(), before_meaning)
       << "ranking meaning not restored by the inverse pair";
   EXPECT_TRUE(world.maintainer->Ranking(0) ==
@@ -195,8 +199,8 @@ TEST(EvolvePropertyTest, EventPermutationCommutesAtQuiesce) {
   b.replayer->Apply(order2);
   b.replayer->Quiesce();
 
-  EXPECT_EQ(a.catalog->Get(target).community->flat(),
-            b.catalog->Get(target).community->flat())
+  EXPECT_TRUE(std::ranges::equal(a.catalog->Get(target).community->flat(),
+                                 b.catalog->Get(target).community->flat()))
       << "permuted event order changed the installed bytes";
   EXPECT_EQ(a.catalog->Get(target).version, b.catalog->Get(target).version);
   EXPECT_EQ(a.catalog->mutation_seq(), b.catalog->mutation_seq());

@@ -1,6 +1,7 @@
 // Tests for dataset persistence: CSV and binary round trips plus
 // corruption handling.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -33,7 +34,7 @@ TEST(CsvIoTest, RoundTrip) {
   const auto loaded = LoadCommunityCsv(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->d(), original.d());
-  EXPECT_EQ(loaded->flat(), original.flat());
+  EXPECT_TRUE(std::ranges::equal(loaded->flat(), original.flat()));
   EXPECT_EQ(loaded->name(), original.name());
   std::remove(path.c_str());
 }
@@ -83,7 +84,7 @@ TEST(BinaryIoTest, RoundTrip) {
   const auto loaded = LoadCommunityBinary(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->d(), original.d());
-  EXPECT_EQ(loaded->flat(), original.flat());
+  EXPECT_TRUE(std::ranges::equal(loaded->flat(), original.flat()));
   EXPECT_EQ(loaded->name(), original.name());
   std::remove(path.c_str());
 }
@@ -100,7 +101,7 @@ TEST(BinaryIoTest, LargeRandomRoundTrip) {
   ASSERT_TRUE(SaveCommunityBinary(c, path));
   const auto loaded = LoadCommunityBinary(path);
   ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(loaded->flat(), c.flat());
+  EXPECT_TRUE(std::ranges::equal(loaded->flat(), c.flat()));
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,7 @@
 // admission control (kRejected frames for shed requests) and the
 // drop-on-broken-framing connection policy.
 
+#include <algorithm>
 #include "net/wire.h"
 
 #include <arpa/inet.h>
@@ -86,7 +87,7 @@ TEST(NetWire, RequestRoundtripSurvivesByteByByteFeed) {
   EXPECT_EQ(decoded.community->d(), request.community->d());
   EXPECT_EQ(decoded.community->size(), request.community->size());
   EXPECT_EQ(decoded.community->name(), request.community->name());
-  EXPECT_EQ(decoded.community->flat(), request.community->flat());
+  EXPECT_TRUE(std::ranges::equal(decoded.community->flat(), request.community->flat()));
   EXPECT_EQ(decoder.Finish(), WireStatus::kOk);
 }
 

@@ -21,7 +21,11 @@
 # reactor's connection teardown racing in-flight worker responses), and
 # the evolution suites (drift snapshots frozen and re-installed across
 # quiesces, maintained rankings and trigger before/after buffers handed
-# to subscribers, live sessions rebuilt over pinned anchor entries).
+# to subscribers, live sessions rebuilt over pinned anchor entries), and
+# the persistence suites (persist_test pins copy-on-write views over an
+# munmap'd segment — the keepalive must hold the mapping alive; the
+# crash and fsck suites walk mapped columns with recomputed offsets,
+# where every off-by-one is an out-of-bounds read ASan can see).
 #
 # Usage: tools/ci_asan.sh [build-dir]   (default: build-asan)
 set -eu

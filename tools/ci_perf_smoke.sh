@@ -28,6 +28,11 @@
 # maintained rankings byte-identical to fresh recomputes at every quiesce
 # point, exact triggers, a nonzero trigger count, and the maintained path
 # cheaper than recomputing (timing leg retried once against CI noise).
+# The persist_smoke gate closes with the memory-mapped store: the 100k
+# catalog checkpoints to a sealed segment, the serve loop's churn flows
+# through the mutation log, and a cold reopen must restore deep-identical
+# state at >= 5x the populate wall clock (timing leg retried once), with
+# csj_fsck auditing the surviving store clean in deep mode.
 #
 # Usage:
 #   tools/ci_perf_smoke.sh [build-dir]          build + sweep + check
@@ -82,7 +87,7 @@ build_dir="${1:-build-perf}"
 cmake -B "${build_dir}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DCSJ_BUILD_EXAMPLES=OFF
-cmake --build "${build_dir}" -j --target bench_pipeline csj_serve csj_evolve
+cmake --build "${build_dir}" -j --target bench_pipeline csj_serve csj_evolve csj_fsck
 
 git_sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 json_out="${build_dir}/perf_smoke.json"
@@ -277,4 +282,52 @@ if ! grep -Eq '"maintained_faster": ?true' "${evolve_json}"; then
   done
 fi
 echo "evolve smoke gate passed: ${evolve_json}"
+
+# persist_smoke: the memory-mapped store end to end on the same 100k
+# scenario. csj_serve populates, logs the serve loop's churn into the
+# store, folds it into a sealed generation, then cold-reopens and
+# restores into a scratch catalog with its own cold cache; the restored
+# state must deep-compare identical (entries, versions, digests, sketch
+# tables, probe verdicts) and the warm load must beat a fresh populate
+# by >= 5x. Identity is a hard gate (csj_serve also exits non-zero
+# itself on a mismatch); the speedup claim is a timing measurement on a
+# shared CI box, so a miss is retried ONCE on a fresh run before
+# failing. The store directory is recreated per leg so the comparison
+# never rides a stale generation. csj_fsck then audits the surviving
+# store in deep mode — recomputing digests, sketches, and encodings from
+# the mapped payloads — and must exit clean.
+persist_json="${build_dir}/persist_smoke.json"
+persist_dir="${build_dir}/persist_smoke_store"
+run_persist_leg() {
+  rm -rf "${persist_dir}"
+  "${build_dir}/tools/csj_serve" \
+    --catalog_size=100000 --size=40 --cluster=12 --plant_lo=0.5 \
+    --plant_hi=0.8 --k=5 --requests=20 --clients=2 --workers=2 \
+    --zipf=1.1 --upsert_fraction=0.05 --prescreen=true --compare=0 \
+    --store_dir="${persist_dir}" --persist_compare=true \
+    --json="${persist_json}" \
+    --git_sha="${git_sha}" --build_type=Release
+}
+run_persist_leg
+if ! grep -Eq '"identical": ?true' "${persist_json}"; then
+  echo "FAIL: restored store diverged from the live catalog in ${persist_json}" >&2
+  exit 1
+fi
+if ! grep -Eq '"speedup_ok": ?true' "${persist_json}"; then
+  echo "persist_smoke: warm load < 5x populate on first run, retrying once" >&2
+  run_persist_leg
+  if ! grep -Eq '"identical": ?true' "${persist_json}"; then
+    echo "FAIL: restored store diverged from the live catalog in ${persist_json}" >&2
+    exit 1
+  fi
+  if ! grep -Eq '"speedup_ok": ?true' "${persist_json}"; then
+    echo "FAIL: warm load < 5x populate on both runs in ${persist_json}" >&2
+    exit 1
+  fi
+fi
+if ! "${build_dir}/tools/csj_fsck" --dir="${persist_dir}" --deep=true; then
+  echo "FAIL: csj_fsck found corruption in ${persist_dir}" >&2
+  exit 1
+fi
+echo "persist smoke gate passed: ${persist_json}"
 echo "perf smoke gate passed."

@@ -22,7 +22,11 @@
 # response encodes and the connection teardown under TSAN), and the
 # evolution subsystem (evolve_stress_test: a TopKMaintainer refreshing
 # standing queries races catalog churn writers, top-k readers and a
-# trigger subscriber, with exactly-once mutation-record accounting).
+# trigger subscriber, with exactly-once mutation-record accounting), and
+# the persistent store (persist_crash_test: concurrent upsert/remove
+# writers stream through the durable-log sink inside the shard critical
+# sections while the LogWriter serializes appends on its own mutex, then
+# the recovered state must match the live catalog byte for byte).
 # Configures a dedicated build tree with CSJ_ENABLE_TSAN=ON and runs the
 # relevant test binaries under TSAN.
 #
@@ -40,11 +44,12 @@ cmake --build "${build_dir}" -j \
            encoding_cache_test matching_differential_test \
            catalog_test bulk_load_test topk_service_test \
            service_stress_test signature_test prescreen_test \
-           request_queue_test result_cache_test net_test evolve_stress_test
+           request_queue_test result_cache_test net_test evolve_stress_test \
+           persist_crash_test
 
 # halt_on_error: any race fails the gate immediately.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j 1 \
-        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|BulkLoad|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen|RequestQueue|ServerEdf|ResultCache|NetWire|NetLoopback|EvolveStress'
+        -R 'ThreadPool|ParallelFor|ParallelJoin|ParallelPipeline|Pipeline|EncodingCache|JoinThreads|NestedJoinThreads|CostAwareScheduling|SegmentMatchFarm|MatchingDifferential|Catalog|BulkLoad|LiveCoupleSession|TopKService|ServiceStress|Signature|Prescreen|RequestQueue|ServerEdf|ResultCache|NetWire|NetLoopback|EvolveStress|PersistCrash'
 
 echo "TSAN gate passed."

@@ -37,6 +37,7 @@
 // cached path and the networked path must both return rankings
 // byte-identical to a direct cache-off in-process query.
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -54,6 +55,8 @@
 #include "net/net_client.h"
 #include "net/net_server.h"
 #include "net/wire.h"
+#include "persist/store.h"
+#include "service/deep_compare.h"
 #include "service/server.h"
 #include "service/workload.h"
 #include "util/flags.h"
@@ -111,92 +114,6 @@ struct ArmSummary {
   double p99_ms = 0.0;
   double qps = 0.0;
 };
-
-/// Deep byte-identity between two quiesced catalogs: entries (id,
-/// version, digest, counters, sketch bytes) AND signature-index layout.
-/// Pack layout is compared through per-shard probes — an inert probe
-/// (threshold 0) enumerates every slot in pack/slot order, so identical
-/// candidate SEQUENCES plus identical sweep stats pin the physical
-/// layout; a thresholded probe additionally exercises the pack
-/// prefilter on both sides. ProbeCandidates cannot stand in for the
-/// layout half because it re-sorts candidates by id.
-bool CatalogsIdentical(const csj::service::CommunityCatalog& lhs,
-                       const csj::service::CommunityCatalog& rhs,
-                       csj::Epsilon eps, double threshold) {
-  const std::vector<csj::service::CatalogEntry> lhs_snapshot = lhs.Snapshot();
-  const std::vector<csj::service::CatalogEntry> rhs_snapshot = rhs.Snapshot();
-  if (lhs_snapshot.size() != rhs_snapshot.size()) return false;
-  for (size_t i = 0; i < lhs_snapshot.size(); ++i) {
-    const csj::service::CatalogEntry& a = lhs_snapshot[i];
-    const csj::service::CatalogEntry& b = rhs_snapshot[i];
-    if (a.id != b.id || a.version != b.version ||
-        a.digest.fingerprint != b.digest.fingerprint ||
-        a.digest.max_counter != b.digest.max_counter) {
-      return false;
-    }
-    if (a.community->d() != b.community->d() ||
-        a.community->size() != b.community->size()) {
-      return false;
-    }
-    const auto a_flat = a.community->flat();
-    const auto b_flat = b.community->flat();
-    if (!std::equal(a_flat.begin(), a_flat.end(), b_flat.begin(),
-                    b_flat.end())) {
-      return false;
-    }
-    if ((a.signature == nullptr) != (b.signature == nullptr)) return false;
-    if (a.signature != nullptr) {
-      if (a.signature->sampled() != b.signature->sampled()) return false;
-      const auto a_table = a.signature->table();
-      const auto b_table = b.signature->table();
-      if (!std::equal(a_table.begin(), a_table.end(), b_table.begin(),
-                      b_table.end())) {
-        return false;
-      }
-    }
-  }
-  const csj::SignatureIndex* lhs_index = lhs.signature_index();
-  const csj::SignatureIndex* rhs_index = rhs.signature_index();
-  if ((lhs_index == nullptr) != (rhs_index == nullptr)) return false;
-  if (lhs_index == nullptr || lhs_snapshot.empty()) return true;
-  if (lhs_index->shards() != rhs_index->shards()) return false;
-  for (uint32_t q = 0; q < 3; ++q) {
-    const csj::service::CatalogEntry& query_entry =
-        lhs_snapshot[(static_cast<size_t>(q) * lhs_snapshot.size()) / 3];
-    const csj::CommunitySignature query_sig(*query_entry.community,
-                                            lhs_index->options());
-    const std::vector<csj::Dim> order = csj::SignatureProbeOrder(query_sig);
-    for (const double tau : {0.0, threshold}) {
-      csj::SignatureIndex::ProbeQuery probe;
-      probe.signature = &query_sig;
-      probe.eps = eps;
-      probe.threshold = tau;
-      probe.probe_order = order;
-      for (uint32_t shard = 0; shard < lhs_index->shards(); ++shard) {
-        std::vector<csj::PrescreenCandidate> lhs_out, rhs_out;
-        csj::PrescreenStats lhs_stats, rhs_stats;
-        lhs_index->ProbeShard(shard, probe, &lhs_out, &lhs_stats);
-        rhs_index->ProbeShard(shard, probe, &rhs_out, &rhs_stats);
-        if (lhs_out.size() != rhs_out.size()) return false;
-        for (size_t i = 0; i < lhs_out.size(); ++i) {
-          if (lhs_out[i].id != rhs_out[i].id ||
-              lhs_out[i].version != rhs_out[i].version) {
-            return false;
-          }
-        }
-        if (lhs_stats.examined != rhs_stats.examined ||
-            lhs_stats.passed != rhs_stats.passed ||
-            lhs_stats.skipped_cap != rhs_stats.skipped_cap ||
-            lhs_stats.skipped_inadmissible != rhs_stats.skipped_inadmissible ||
-            lhs_stats.skipped_dim != rhs_stats.skipped_dim ||
-            lhs_stats.packs_skipped != rhs_stats.packs_skipped) {
-          return false;
-        }
-      }
-    }
-  }
-  return true;
-}
 
 ArmSummary SummarizeArm(const std::vector<double>& latencies_ms) {
   ArmSummary arm;
@@ -266,6 +183,21 @@ int main(int argc, char** argv) {
                "enable the versioned hot-query result cache");
   flags.Define("result_cache_capacity", "4096",
                "total result-cache rankings across shards");
+  flags.Define("store_dir", "",
+               "persistent store directory (empty = RAM only); mutations "
+               "append to the durable log while the loop runs");
+  flags.Define("warm_restart", "false",
+               "restore the catalog from --store_dir (segment map + "
+               "logplay) instead of populating; falls back to populate "
+               "when the store is empty");
+  flags.Define("persist_compare", "false",
+               "after the loop: checkpoint, re-open the store cold, "
+               "restore into a scratch catalog and deep-verify byte "
+               "identity; gates warm-load speedup >= 5x over populate");
+  flags.Define("persist_madvise", "true",
+               "MADV_WILLNEED on mapped segments");
+  flags.Define("persist_hugepages", "true",
+               "MADV_HUGEPAGE on mapped segments");
   flags.Define("seed", "42", "workload seed");
   flags.Define("json", "", "write the results as JSON to this path");
   flags.Define("git_sha", "", "source revision stamped into the JSON");
@@ -342,20 +274,101 @@ int main(int argc, char** argv) {
   const csj::service::ServeWorkload workload(workload_options);
 
   csj::service::CsjServer server(server_options);
-  csj::service::ServeWorkload::PopulateStats populate_stats;
-  if (bulk_load) {
-    workload.Populate(&server, &populate_stats);
-  } else {
-    workload.PopulateSequential(&server, &populate_stats);
+
+  // Persistence: the store opens BEFORE populate so a warm restart can
+  // skip the build entirely — that skipped wall time is the subsystem's
+  // whole value proposition.
+  const std::string store_dir = flags.GetString("store_dir");
+  const bool warm_restart = flags.GetBool("warm_restart");
+  const bool persist_compare = flags.GetBool("persist_compare");
+  std::unique_ptr<csj::persist::Store> store;
+  csj::persist::OpenStats open_stats;
+  if (!store_dir.empty()) {
+    csj::persist::StoreOptions store_options;
+    store_options.dir = store_dir;
+    store_options.use_madvise = flags.GetBool("persist_madvise");
+    store_options.use_hugepages = flags.GetBool("persist_hugepages");
+    std::string store_error;
+    store = csj::persist::Store::Open(store_options, &store_error,
+                                      &open_stats);
+    if (store == nullptr) {
+      std::fprintf(stderr, "store open failed: %s\n", store_error.c_str());
+      return 1;
+    }
   }
-  const double populate_seconds = populate_stats.total_seconds;
-  std::printf(
-      "populate (%s): %.2f s, %.0f entries/s (encode %.2f s, sketch "
-      "%.2f s, install %.2f s)\n",
-      populate_stats.bulk ? "bulk" : "sequential",
-      populate_stats.total_seconds, populate_stats.entries_per_sec,
-      populate_stats.encode_seconds, populate_stats.sketch_seconds,
-      populate_stats.install_seconds);
+
+  csj::service::ServeWorkload::PopulateStats populate_stats;
+  const bool warm_loaded =
+      store != nullptr && warm_restart && store->has_data();
+  double populate_seconds = 0.0;
+  double load_seconds = 0.0;
+  long load_minflt = 0;
+  long load_majflt = 0;
+  if (warm_loaded) {
+    rusage faults_before{};
+    rusage faults_after{};
+    getrusage(RUSAGE_SELF, &faults_before);
+    csj::util::Timer load_timer;
+    std::string store_error;
+    if (!store->RestoreInto(&server.catalog(), &store_error, &open_stats)) {
+      std::fprintf(stderr, "warm restart failed: %s\n", store_error.c_str());
+      return 1;
+    }
+    load_seconds = load_timer.Seconds();
+    getrusage(RUSAGE_SELF, &faults_after);
+    load_minflt = faults_after.ru_minflt - faults_before.ru_minflt;
+    load_majflt = faults_after.ru_majflt - faults_before.ru_majflt;
+    std::printf(
+        "warm restart: %llu segment entries + %llu log records in %.3f s "
+        "(map %.3f s, restore %.3f s, replay %.3f s); faults %ld minor "
+        "/ %ld major\n",
+        static_cast<unsigned long long>(open_stats.segment_entries),
+        static_cast<unsigned long long>(open_stats.log_records_replayed),
+        load_seconds, open_stats.map_seconds, open_stats.restore_seconds,
+        open_stats.replay_seconds, load_minflt, load_majflt);
+  } else {
+    if (bulk_load) {
+      workload.Populate(&server, &populate_stats);
+    } else {
+      workload.PopulateSequential(&server, &populate_stats);
+    }
+    populate_seconds = populate_stats.total_seconds;
+    std::printf(
+        "populate (%s): %.2f s, %.0f entries/s (encode %.2f s, sketch "
+        "%.2f s, install %.2f s)\n",
+        populate_stats.bulk ? "bulk" : "sequential",
+        populate_stats.total_seconds, populate_stats.entries_per_sec,
+        populate_stats.encode_seconds, populate_stats.sketch_seconds,
+        populate_stats.install_seconds);
+  }
+
+  // A fresh populate seals its state before serving; either way the
+  // durable log attaches so the closed loop's churn survives a crash.
+  csj::persist::CheckpointStats save_stats;
+  if (store != nullptr) {
+    std::string store_error;
+    if (!warm_loaded &&
+        !store->Checkpoint(server.catalog(), &store_error, &save_stats)) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", store_error.c_str());
+      return 1;
+    }
+    if (!warm_loaded) {
+      std::printf(
+          "checkpoint: sealed generation %llu, %llu entries, %.1f MiB in "
+          "%.2f s (snapshot %.2f s, write %.2f s, commit %.2f s)\n",
+          static_cast<unsigned long long>(save_stats.generation),
+          static_cast<unsigned long long>(save_stats.entries),
+          static_cast<double>(save_stats.bytes) / (1024.0 * 1024.0),
+          save_stats.snapshot_seconds + save_stats.write_seconds +
+              save_stats.commit_seconds,
+          save_stats.snapshot_seconds, save_stats.write_seconds,
+          save_stats.commit_seconds);
+    }
+    if (!store->StartLogging(&server.catalog(), &store_error)) {
+      std::fprintf(stderr, "log attach failed: %s\n", store_error.c_str());
+      return 1;
+    }
+  }
 
   // The bulk-vs-sequential gate: a scratch server with its own COLD
   // cache runs the other arm (both arms must pay the same builds for an
@@ -375,7 +388,7 @@ int main(int argc, char** argv) {
       workload.Populate(&scratch, &other_stats);
     }
     populate_identical =
-        CatalogsIdentical(server.catalog(), scratch.catalog(),
+        csj::service::CatalogsIdentical(server.catalog(), scratch.catalog(),
                           workload_options.eps, prescreen_threshold);
     const double bulk_seconds = bulk_load ? populate_stats.total_seconds
                                           : other_stats.total_seconds;
@@ -597,6 +610,76 @@ int main(int argc, char** argv) {
       compare_queries > 0 && prescreen_summary.seconds < scan_summary.seconds;
   const bool probed_fraction_ok =
       compare_queries > 0 && compare_probed_fraction < 0.10;
+
+  // The persistence gate: quiesce the log, fold the loop's churn into a
+  // fresh sealed generation, then open the SAME directory through a cold
+  // store handle and prove the restored catalog is byte-identical to the
+  // live one (snapshots, versions, cache residency, index layout) — and
+  // that the warm load beats the fresh populate by >= 5x.
+  bool persist_identical = true;
+  bool persist_speedup_ok = true;
+  double persist_load_seconds = load_seconds;
+  double persist_speedup = 0.0;
+  long persist_minflt = load_minflt;
+  long persist_majflt = load_majflt;
+  csj::persist::CheckpointStats fold_stats;
+  csj::persist::OpenStats reopen_stats;
+  if (store != nullptr && persist_compare) {
+    std::string store_error;
+    store->StopLogging(&server.catalog());
+    if (!store->Checkpoint(server.catalog(), &store_error, &fold_stats)) {
+      std::fprintf(stderr, "final checkpoint failed: %s\n",
+                   store_error.c_str());
+      return 1;
+    }
+    csj::persist::StoreOptions reopen_options;
+    reopen_options.dir = store_dir;
+    reopen_options.use_madvise = flags.GetBool("persist_madvise");
+    reopen_options.use_hugepages = flags.GetBool("persist_hugepages");
+    auto reopened = csj::persist::Store::Open(reopen_options, &store_error,
+                                              &reopen_stats);
+    if (reopened == nullptr) {
+      std::fprintf(stderr, "store re-open failed: %s\n", store_error.c_str());
+      return 1;
+    }
+    // The scratch catalog gets its own COLD cache: warm-load residency
+    // must come from the segment, not from the live server's cache.
+    csj::EncodingCache scratch_cache;
+    csj::service::CommunityCatalog::Options scratch_options =
+        server_options.catalog;
+    scratch_options.cache = &scratch_cache;
+    csj::service::CommunityCatalog scratch(scratch_options);
+    rusage faults_before{};
+    rusage faults_after{};
+    getrusage(RUSAGE_SELF, &faults_before);
+    csj::util::Timer restore_timer;
+    if (!reopened->RestoreInto(&scratch, &store_error, &reopen_stats)) {
+      std::fprintf(stderr, "restore failed: %s\n", store_error.c_str());
+      return 1;
+    }
+    persist_load_seconds = restore_timer.Seconds();
+    getrusage(RUSAGE_SELF, &faults_after);
+    persist_minflt = faults_after.ru_minflt - faults_before.ru_minflt;
+    persist_majflt = faults_after.ru_majflt - faults_before.ru_majflt;
+    persist_identical = csj::service::CatalogsIdentical(
+        server.catalog(), scratch, workload_options.eps,
+        prescreen_threshold);
+    // The speedup gate needs a fresh-populate baseline from THIS run;
+    // a warm-restarted run reports the load time without gating.
+    persist_speedup = persist_load_seconds > 0.0
+                          ? populate_seconds / persist_load_seconds
+                          : 0.0;
+    persist_speedup_ok = populate_seconds <= 0.0 || persist_speedup >= 5.0;
+    std::printf(
+        "persist compare: populate %.2f s vs warm load %.3f s -> %.1fx "
+        "speedup (%s), state %s; load faults %ld minor / %ld major\n",
+        populate_seconds, persist_load_seconds, persist_speedup,
+        populate_seconds <= 0.0 ? "no fresh baseline"
+        : persist_speedup_ok    ? ">=5x ok"
+                                : ">=5x FAIL",
+        persist_identical ? "identical" : "MISMATCH", persist_minflt,
+        persist_majflt);
+  }
 
   // Merge in client order; totals are deterministic for a fixed seed and
   // request budget (which client issued which request is not).
@@ -880,6 +963,46 @@ int main(int argc, char** argv) {
     json.Key("transport_errors"); json.Uint(total.transport_errors);
     json.Key("net_identity"); json.Bool(net_identity);
     json.EndObject();
+    json.Key("persist");
+    json.BeginObject();
+    json.Key("enabled"); json.Bool(store != nullptr);
+    json.Key("store_dir"); json.String(store_dir);
+    json.Key("warm_restart"); json.Bool(warm_loaded);
+    json.Key("generation");
+    json.Uint(store != nullptr ? store->generation() : 0);
+    json.Key("madvise"); json.Bool(flags.GetBool("persist_madvise"));
+    json.Key("hugepages"); json.Bool(flags.GetBool("persist_hugepages"));
+    // Populate-vs-load: the wall time a warm restart skips.
+    json.Key("populate_seconds"); json.Double(populate_seconds);
+    json.Key("load_seconds"); json.Double(persist_load_seconds);
+    json.Key("speedup"); json.Double(persist_speedup);
+    json.Key("speedup_ok"); json.Bool(persist_speedup_ok);
+    json.Key("identical"); json.Bool(persist_identical);
+    json.Key("save_seconds");
+    json.Double(save_stats.snapshot_seconds + save_stats.write_seconds +
+                save_stats.commit_seconds);
+    json.Key("segment_entries");
+    json.Uint(persist_compare ? reopen_stats.segment_entries
+                              : open_stats.segment_entries);
+    json.Key("segment_bytes");
+    json.Uint(persist_compare ? reopen_stats.segment_bytes
+                              : open_stats.segment_bytes);
+    json.Key("map_seconds");
+    json.Double(persist_compare ? reopen_stats.map_seconds
+                                : open_stats.map_seconds);
+    json.Key("restore_seconds");
+    json.Double(persist_compare ? reopen_stats.restore_seconds
+                                : open_stats.restore_seconds);
+    json.Key("replay_seconds");
+    json.Double(persist_compare ? reopen_stats.replay_seconds
+                                : open_stats.replay_seconds);
+    json.Key("log_records_replayed");
+    json.Uint(persist_compare ? reopen_stats.log_records_replayed
+                              : open_stats.log_records_replayed);
+    // First-touch page-fault accounting for the load (getrusage deltas).
+    json.Key("load_minflt"); json.Int(persist_minflt);
+    json.Key("load_majflt"); json.Int(persist_majflt);
+    json.EndObject();
     json.Key("prescreen");
     json.BeginObject();
     json.Key("enabled"); json.Bool(prescreen);
@@ -929,7 +1052,7 @@ int main(int argc, char** argv) {
   // cached, networked, and bulk-populate arms are all held to the same
   // byte-identity bar as the prescreen arm.
   return (serve_ok && compare_identical && cache_identity && net_identity &&
-          populate_identical)
+          populate_identical && persist_identical && persist_speedup_ok)
              ? 0
              : 1;
 }

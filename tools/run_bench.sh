@@ -24,6 +24,14 @@
 #                               fresh recompute wall time, max ranking
 #                               staleness window, with the byte-identity
 #                               and trigger-exactness verdicts
+#   BENCH_persist.json        - the 100k scenario through the persistent
+#                               store: populate, checkpoint to a sealed
+#                               columnar segment, log the serve loop's
+#                               churn, fold, cold-reopen. Reports save
+#                               wall time, warm-load vs populate speedup,
+#                               page-fault deltas (minor/major) for the
+#                               mapped load, and the deep state-identity
+#                               verdict in the persist section.
 #   BENCH_serve_1m.json       - opt-in (CSJ_BENCH_1M=1): the 1M-entry
 #                               prescreen scenario with the same two-arm
 #                               populate comparison. The sequential arm
@@ -106,6 +114,18 @@ echo "== csj_evolve (10k-community drift: maintained top-k vs recompute) =="
   --json=BENCH_evolve.json \
   --git_sha="${git_sha}" --build_type="${build_type}"
 
+echo
+echo "== csj_serve persist (100k-entry catalog: checkpoint, log churn, warm reload) =="
+rm -rf BENCH_persist_store
+"${build_dir}/tools/csj_serve" \
+  --catalog_size=100000 --size=40 --cluster=12 --plant_lo=0.5 \
+  --plant_hi=0.8 --k=5 --requests=150 --clients=2 --workers=2 \
+  --zipf=1.1 --upsert_fraction=0.05 --prescreen=true \
+  --store_dir=BENCH_persist_store --persist_compare=true \
+  --json=BENCH_persist.json \
+  --git_sha="${git_sha}" --build_type="${build_type}"
+rm -rf BENCH_persist_store
+
 if [ "${CSJ_BENCH_1M:-0}" = "1" ]; then
   echo
   echo "== csj_serve 1M (1M-entry catalog: prescreen at scale + two-arm populate; ~10 min) =="
@@ -124,4 +144,4 @@ script_dir="$(dirname "$0")"
 sh "${script_dir}/ci_perf_smoke.sh" --check-json BENCH_pipeline.json
 
 echo
-echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json, BENCH_serve.json, BENCH_serve_large.json and BENCH_evolve.json (${git_sha}, ${build_type})"
+echo "wrote BENCH_pipeline.json, BENCH_micro_kernels.json, BENCH_serve.json, BENCH_serve_large.json, BENCH_evolve.json and BENCH_persist.json (${git_sha}, ${build_type})"

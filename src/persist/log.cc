@@ -51,9 +51,18 @@ bool LogWriter::Open(const std::string& path, uint64_t generation,
     fd_ = -1;
     return false;
   }
-  if (st.st_size == 0) {
-    // Fresh log: header now, fsynced — a log whose header never made it
-    // to disk reads as empty, which is also correct.
+  if (st.st_size == 0 || resume_at < sizeof(LogHeader)) {
+    // Fresh log — or a file whose header never became durable (a torn
+    // header reads as resume_at == 0). Appending after a partial header
+    // would leave the store unopenable ("bad log magic"), so restart
+    // from byte 0: truncate whatever is there and write a real header,
+    // fsynced before any record follows it.
+    if (st.st_size != 0 && ::ftruncate(fd_, 0) != 0) {
+      *error = Errno("ftruncate " + path);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
     LogHeader header;
     header.generation = generation;
     header.crc = Crc32c(&header, offsetof(LogHeader, crc));
@@ -70,24 +79,26 @@ bool LogWriter::Open(const std::string& path, uint64_t generation,
       fd_ = -1;
       return false;
     }
+    end_offset_ = sizeof(LogHeader);
   } else {
     // Resuming: chop any torn tail BEFORE appending, so the first new
     // record never lands after garbage (it would be unreachable — the
     // reader stops at the tear — and would confuse fsck forever).
-    const auto resume = static_cast<off_t>(
-        resume_at < sizeof(LogHeader) ? sizeof(LogHeader) : resume_at);
+    const auto resume = static_cast<off_t>(resume_at);
     if (resume < st.st_size && ::ftruncate(fd_, resume) != 0) {
       *error = Errno("ftruncate " + path);
       ::close(fd_);
       fd_ = -1;
       return false;
     }
-    if (::lseek(fd_, 0, SEEK_END) < 0) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
       *error = Errno("lseek " + path);
       ::close(fd_);
       fd_ = -1;
       return false;
     }
+    end_offset_ = static_cast<uint64_t>(end);
   }
   return true;
 }
@@ -130,6 +141,7 @@ bool LogWriter::AppendLocked(const std::vector<uint8_t>& payload) {
   }
   ++records_;
   ++since_sync_;
+  end_offset_ += frame.size();
   if (since_sync_ >= sync_every_) return SyncLocked();
   return true;
 }
@@ -201,6 +213,11 @@ void LogWriter::Close() {
 uint64_t LogWriter::records_appended() const {
   std::lock_guard lock(mu_);
   return records_;
+}
+
+uint64_t LogWriter::end_offset() const {
+  std::lock_guard lock(mu_);
+  return end_offset_;
 }
 
 bool ReadLog(const std::string& path, uint64_t expect_generation,

@@ -68,8 +68,12 @@ class LogWriter {
  public:
   /// Opens `path` for appending, writing the header when the file is
   /// new. `resume_at` is the validated byte length of an existing log
-  /// (from LogReader): the file is truncated there first, so appends
-  /// never land after a torn tail. Returns false on I/O failure.
+  /// (from ReadLog, or end_offset() of the previous writer on the same
+  /// file): the file is truncated there first, so appends never land
+  /// after a torn tail. A `resume_at` short of a full header means the
+  /// header never became durable — the file restarts from byte 0 with a
+  /// fresh header rather than appending after garbage. Returns false on
+  /// I/O failure.
   bool Open(const std::string& path, uint64_t generation, size_t sync_every,
             uint64_t resume_at, FaultInjector* fault, std::string* error);
 
@@ -88,6 +92,13 @@ class LogWriter {
 
   uint64_t records_appended() const;
 
+  /// Byte length of the valid record prefix this writer has produced:
+  /// the file end after the last fully appended record (partial writes
+  /// from an injected crash are excluded). Valid after Close() too —
+  /// pass it as the next Open's `resume_at` when reattaching to the
+  /// same file, so records appended by THIS writer are never chopped.
+  uint64_t end_offset() const;
+
   ~LogWriter() { Close(); }
 
  private:
@@ -99,6 +110,7 @@ class LogWriter {
   size_t sync_every_ = 1;
   uint64_t records_ = 0;
   uint64_t since_sync_ = 0;
+  uint64_t end_offset_ = 0;  ///< file length of the valid record prefix
   FaultInjector* fault_ = nullptr;  // not owned; null in production
 };
 

@@ -176,6 +176,7 @@ std::unique_ptr<Store> Store::Open(StoreOptions options, std::string* error,
                &store->log_image_, error)) {
     return nullptr;
   }
+  store->log_end_ = store->log_image_.truncated_at;
   if (stats != nullptr) {
     stats->log_torn_bytes =
         store->log_image_.bytes.size() - store->log_image_.truncated_at;
@@ -278,6 +279,11 @@ bool Store::RestoreInto(service::CommunityCatalog* catalog, std::string* error,
     }
     for (size_t i = 0; i < n; ++i) {
       if (i > 0 && ids[i] <= ids[i - 1]) return shape_error("id order");
+      // Versions live in un-CRC'd payload bytes like the prefixes: a
+      // corrupt value must fail here, not abort inside RestoreBatch.
+      if (versions[i] == 0 || versions[i] >= header.next_version) {
+        return shape_error("version range");
+      }
       const Dim d = dims[i];
       const uint64_t users = users_prefix[i + 1] - users_prefix[i];
       if (d == 0 || users == 0 || users_prefix[i + 1] < users_prefix[i]) {
@@ -455,8 +461,17 @@ bool Store::StartLogging(service::CommunityCatalog* catalog,
   CSJ_CHECK(writer_ == nullptr) << "logging already started";
   writer_ = std::make_unique<LogWriter>();
   if (!writer_->Open(LogPath(generation_), generation_,
-                     options_.log_sync_every, log_image_.truncated_at,
+                     options_.log_sync_every, log_end_,
                      options_.fault_injector, error)) {
+    writer_.reset();
+    return false;
+  }
+  log_end_ = writer_->end_offset();
+  // The log's dirent must be durable too: fsyncing the file contents
+  // (which Open did for a fresh header) does not persist the directory
+  // entry, and losing the dirent in a crash drops the whole log.
+  if (!FsyncDir(options_.dir, error)) {
+    writer_->Close();
     writer_.reset();
     return false;
   }
@@ -478,6 +493,7 @@ void Store::StopLogging(service::CommunityCatalog* catalog) {
   std::lock_guard lock(writer_mu_);
   if (writer_ != nullptr) {
     writer_->Close();
+    log_end_ = writer_->end_offset();
     writer_.reset();
   }
   logging_ = false;
@@ -659,14 +675,18 @@ bool Store::Checkpoint(const service::CommunityCatalog& catalog,
   if (stats != nullptr) stats->write_seconds = timer.Seconds();
   timer.Reset();
 
-  // Commit: roll the log under the writer lock so no sink append can
-  // land between the final barrier of the old generation and the
-  // superblock flip. (Callers checkpoint at quiesce points, so in
-  // practice nothing races this; the lock makes it safe regardless.)
+  // Commit: roll the log under the writer lock. The lock only orders
+  // sink appends against the writer swap — it does NOT cover the window
+  // between catalog.Snapshot() above and this flip. A mutation landing
+  // in that window would live only in the old-generation log, which is
+  // unlinked below, and be lost. Safety rests entirely on the
+  // documented precondition that callers checkpoint at quiesce points
+  // (no in-flight mutations from snapshot through commit).
   {
     std::lock_guard lock(writer_mu_);
     if (writer_ != nullptr) {
       writer_->Close();
+      log_end_ = writer_->end_offset();
       writer_.reset();
     }
     if (!CommitSuperblock(new_generation, error)) {
@@ -678,11 +698,21 @@ bool Store::Checkpoint(const service::CommunityCatalog& catalog,
     (void)::unlink(SegmentPath(old_generation).c_str());
     (void)::unlink(LogPath(old_generation).c_str());
     log_image_ = LogImage{};
+    log_end_ = 0;
     if (logging_) {
       writer_ = std::make_unique<LogWriter>();
       if (!writer_->Open(LogPath(generation_), generation_,
                          options_.log_sync_every, /*resume_at=*/0,
                          options_.fault_injector, error)) {
+        writer_.reset();
+        logging_ = false;
+        return false;
+      }
+      log_end_ = writer_->end_offset();
+      // Make the rolled log's dirent durable (CommitSuperblock's
+      // directory fsync happened BEFORE this file was created).
+      if (!FsyncDir(options_.dir, error)) {
+        writer_->Close();
         writer_.reset();
         logging_ = false;
         return false;

@@ -127,6 +127,12 @@ class Store {
   uint64_t generation_ = 0;
   std::shared_ptr<MappedSegment> segment_;  // null when generation has none
   LogImage log_image_;
+  /// Valid end of the current generation's log file: seeded from the
+  /// open-time ReadLog, advanced to the writer's end_offset() whenever
+  /// a writer detaches. StartLogging resumes (and truncates) HERE — not
+  /// at the stale open-time length, which would chop records a previous
+  /// logging session of this process already acknowledged as durable.
+  uint64_t log_end_ = 0;
   /// Guards writer_ swap (checkpoint log roll) against sink appends.
   std::mutex writer_mu_;
   std::unique_ptr<LogWriter> writer_;

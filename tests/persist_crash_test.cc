@@ -6,6 +6,7 @@
 // pass the recovered store.
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -287,6 +288,67 @@ TEST(PersistCrashTest, RecoveredStoreResumesLoggingAndConverges) {
   }
   // And the re-written log itself recovers to the same converged state.
   ExpectRecoversPrefix(dir, ops.size());
+}
+
+TEST(PersistCrashTest, TornLogHeaderRestartsTheLogInsteadOfWedging) {
+  // Regression: a log file shorter than its header (the writer died
+  // inside the very first write) reads as truncated_at == 0; resuming
+  // used to append records after the garbage bytes, making the next
+  // open fail structurally ("bad log magic") — acked records
+  // unreachable forever. The writer must instead restart from byte 0
+  // with a fresh header.
+  const std::string dir = FreshDir();
+  std::string error;
+  {
+    StoreOptions options;
+    options.dir = dir;
+    auto store = Store::Open(options, &error);
+    ASSERT_NE(store, nullptr) << error;
+  }
+  {
+    // Plant a torn header: a few junk bytes, fewer than sizeof(LogHeader).
+    FILE* torn = std::fopen((dir + "/log-0.csj").c_str(), "wb");
+    ASSERT_NE(torn, nullptr);
+    std::fputs("junk", torn);
+    std::fclose(torn);
+  }
+
+  {
+    StoreOptions options;
+    options.dir = dir;
+    OpenStats stats;
+    auto store = Store::Open(options, &error, &stats);
+    ASSERT_NE(store, nullptr) << error;
+    EXPECT_GT(stats.log_torn_bytes, 0u);
+    EncodingCache cache;
+    service::CommunityCatalog live(CatalogOpts(&cache));
+    ASSERT_TRUE(store->RestoreInto(&live, &error, &stats)) << error;
+    EXPECT_EQ(stats.log_records_replayed, 0u);
+    ASSERT_TRUE(store->StartLogging(&live, &error)) << error;
+    live.Upsert(1, MakeTestCommunity(12, 1));
+    live.Upsert(2, MakeTestCommunity(13, 2));
+    store->StopLogging(&live);
+  }
+
+  // The rewritten log must be structurally sound and carry the records.
+  StoreOptions options;
+  options.dir = dir;
+  OpenStats stats;
+  auto store = Store::Open(options, &error, &stats);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(stats.log_torn_bytes, 0u);
+  EncodingCache cache;
+  service::CommunityCatalog recovered(CatalogOpts(&cache));
+  ASSERT_TRUE(store->RestoreInto(&recovered, &error, &stats)) << error;
+  EXPECT_EQ(stats.log_records_replayed, 2u);
+  EXPECT_EQ(recovered.size(), 2u);
+
+  FsckOptions fsck;
+  fsck.dir = dir;
+  FsckReport report;
+  ASSERT_TRUE(FsckStore(fsck, &report));
+  EXPECT_TRUE(report.clean())
+      << (report.findings.empty() ? "" : report.findings[0].message);
 }
 
 TEST(PersistCrashTest, ConcurrentMutationsSurviveRestartByteIdentically) {

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -170,6 +171,50 @@ TEST(PersistStoreTest, LogOnlyStoreRecoversWithoutAnySegment) {
   ExpectRestoresIdentical(dir, catalog);
 }
 
+TEST(PersistStoreTest, RestartedLoggingKeepsEarlierSessionsRecords) {
+  // Regression: StartLogging must resume at the log's CURRENT end, not
+  // the open-time length — a stop/start cycle used to truncate away
+  // every record the first session had already fsync-acknowledged.
+  const std::string dir = FreshDir();
+  EncodingCache cache;
+  service::CommunityCatalog catalog(CatalogOpts(&cache));
+
+  StoreOptions options;
+  options.dir = dir;
+  std::string error;
+  {
+    auto store = Store::Open(options, &error);
+    ASSERT_NE(store, nullptr) << error;
+    ASSERT_TRUE(store->StartLogging(&catalog, &error)) << error;
+    catalog.Upsert(1, MakeTestCommunity(14, 1));
+    catalog.Upsert(2, MakeTestCommunity(15, 2));
+    store->StopLogging(&catalog);
+
+    // Second session on the same store object and the same log file.
+    ASSERT_TRUE(store->StartLogging(&catalog, &error)) << error;
+    catalog.Upsert(3, MakeTestCommunity(16, 3));
+    catalog.Remove(1);
+    store->StopLogging(&catalog);
+
+    // And a third, to prove the end offset keeps advancing.
+    ASSERT_TRUE(store->StartLogging(&catalog, &error)) << error;
+    catalog.Upsert(4, MakeTestCommunity(17, 4));
+    store->StopLogging(&catalog);
+  }
+  {
+    StoreOptions reopen;
+    reopen.dir = dir;
+    OpenStats stats;
+    auto store = Store::Open(reopen, &error, &stats);
+    ASSERT_NE(store, nullptr) << error;
+    EncodingCache recovered_cache;
+    service::CommunityCatalog recovered(CatalogOpts(&recovered_cache));
+    ASSERT_TRUE(store->RestoreInto(&recovered, &error, &stats)) << error;
+    EXPECT_EQ(stats.log_records_replayed, 5u);  // 4 upserts + 1 remove
+  }
+  ExpectRestoresIdentical(dir, catalog);
+}
+
 TEST(PersistStoreTest, CheckpointAdvancesGenerationAndDropsOldFiles) {
   const std::string dir = FreshDir();
   EncodingCache cache;
@@ -278,6 +323,53 @@ TEST(PersistStoreTest, RestoreRejectsMismatchedWarmParameters) {
   ASSERT_NE(store, nullptr) << error;
   EXPECT_FALSE(store->RestoreInto(&wrong, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(PersistStoreTest, RestoreRejectsCorruptVersionColumnGracefully) {
+  // The versions column lives in un-CRC'd payload bytes; a corrupt
+  // value must surface as the graceful "run csj_fsck" shape error, not
+  // abort inside RestoreBatch.
+  const std::string dir = FreshDir();
+  EncodingCache cache;
+  service::CommunityCatalog catalog(CatalogOpts(&cache));
+  for (uint64_t id = 1; id <= 4; ++id) {
+    catalog.Upsert(id, MakeTestCommunity(12, id));
+  }
+
+  StoreOptions options;
+  options.dir = dir;
+  std::string error;
+  {
+    auto store = Store::Open(options, &error);
+    ASSERT_NE(store, nullptr) << error;
+    ASSERT_TRUE(store->Checkpoint(catalog, &error)) << error;
+  }
+
+  // Locate the first version's high byte, then blow it up (a value far
+  // past header.next_version).
+  const std::string seg = dir + "/seg-1.csj";
+  uint64_t corrupt_at = 0;
+  {
+    auto segment = MappedSegment::Map(seg, false, false, &error);
+    ASSERT_NE(segment, nullptr) << error;
+    const SectionDesc* desc = segment->Find(SectionKind::kVersions);
+    ASSERT_NE(desc, nullptr);
+    corrupt_at = desc->offset + 7;
+  }
+  {
+    FILE* file = std::fopen(seg.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fseek(file, static_cast<long>(corrupt_at), SEEK_SET), 0);
+    ASSERT_EQ(std::fputc(0xFF, file), 0xFF);
+    std::fclose(file);
+  }
+
+  auto store = Store::Open(options, &error);
+  ASSERT_NE(store, nullptr) << error;
+  EncodingCache restored_cache;
+  service::CommunityCatalog restored(CatalogOpts(&restored_cache));
+  EXPECT_FALSE(store->RestoreInto(&restored, &error));
+  EXPECT_NE(error.find("csj_fsck"), std::string::npos) << error;
 }
 
 }  // namespace
